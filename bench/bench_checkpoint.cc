@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Checkpoint performance (paper Sec. 7.1 "Checkpoint Performance"):
+ * Mitosis and CXLfork checkpoint roughly an order of magnitude faster
+ * than CRIU (no data serialization); Mitosis is ~1.5x faster than
+ * CXLfork because it copies into local DRAM rather than CXL — at the
+ * price of coupling the checkpoint to the parent node.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace cxlfork;
+
+    sim::Table table("Checkpoint performance (Sec. 7.1)");
+    table.setHeader({"Function", "CRIU (ms)", "Mitosis (ms)",
+                     "CXLfork (ms)", "CRIU/CXLfork", "CXLfork/Mitosis",
+                     "CXLfork CXL (MB)", "Mitosis local (MB)"});
+    double rCriu = 0, rMito = 0;
+    int n = 0;
+    for (const auto &w : faas::table1Workloads()) {
+        porter::Cluster cluster(bench::benchClusterConfig());
+        auto parent = bench::deployWarmParent(cluster, w.spec);
+
+        rfork::CriuCxl criu(cluster.fabric());
+        rfork::MitosisCxl mito(cluster.fabric());
+        rfork::CxlFork cxlf(cluster.fabric());
+
+        rfork::CheckpointStats criuCs, mitoCs, cxlfCs;
+        auto h1 = criu.checkpoint(cluster.node(0), parent->task(), &criuCs);
+        auto h2 = mito.checkpoint(cluster.node(0), parent->task(), &mitoCs);
+        auto h3 = cxlf.checkpoint(cluster.node(0), parent->task(), &cxlfCs);
+
+        table.addRow(
+            {w.spec.name, sim::Table::num(criuCs.latency.toMs(), 1),
+             sim::Table::num(mitoCs.latency.toMs(), 1),
+             sim::Table::num(cxlfCs.latency.toMs(), 1),
+             sim::Table::num(criuCs.latency / cxlfCs.latency, 1) + "x",
+             sim::Table::num(cxlfCs.latency / mitoCs.latency, 2) + "x",
+             sim::Table::num(double(h3->cxlBytes()) / (1 << 20), 0),
+             sim::Table::num(double(h2->localBytes()) / (1 << 20), 0)});
+        rCriu += criuCs.latency / cxlfCs.latency;
+        rMito += cxlfCs.latency / mitoCs.latency;
+        ++n;
+        (void)h1;
+    }
+    table.addNote(sim::format(
+        "Averages: CRIU/CXLfork %.1fx (paper: ~10x), CXLfork/Mitosis "
+        "%.2fx (paper: ~1.5x).",
+        rCriu / n, rMito / n));
+    table.addNote("Checkpointing is off the critical path: functions are "
+                  "checkpointed once and restored many times.");
+    table.print();
+    return 0;
+}

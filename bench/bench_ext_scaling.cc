@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Extension: scaling to many nodes (paper Sec. 8 discussion).
+ *
+ * One Bert checkpoint on the shared CXL device, one clone per node,
+ * sweeping the cluster from 2 to 16 nodes:
+ *  - cluster-wide local memory and CXL memory vs per-node replication
+ *    (the CRIU world), i.e. rack-scale deduplication;
+ *  - restore latency as nodes are added — CXLfork has no parent-node
+ *    bottleneck, but the shared device contends (FabricContentionModel);
+ *  - the same sweep for Mitosis, whose checkpoint stays pinned in the
+ *    parent node and whose restores all copy out of it.
+ */
+
+#include "mem/bandwidth.hh"
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace cxlfork;
+
+    const faas::FunctionSpec fn = *faas::findWorkload("Rnn");
+    const mem::FabricContentionModel contention;
+
+    sim::Table t("Scaling: one checkpoint, one clone per node "
+                 "(Rnn, 190 MB)");
+    t.setHeader({"Nodes", "CXLfork restore (ms)", "CXLfork local MB/node",
+                 "CXLfork CXL (MB)", "CRIU-world local (MB total)",
+                 "Dedup factor"});
+
+    for (uint32_t nodes : {2u, 4u, 8u, 16u}) {
+        porter::ClusterConfig cfg = bench::benchClusterConfig(
+            contention.contend(sim::CostParams{}, nodes));
+        cfg.machine.numNodes = nodes;
+        cfg.machine.dramPerNodeBytes = mem::gib(1);
+        cfg.machine.cxlCapacityBytes = mem::gib(2);
+        porter::Cluster cluster(cfg);
+
+        auto parent = bench::deployWarmParent(cluster, fn, 1);
+        rfork::CxlFork cxlf(cluster.fabric());
+        auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
+        // Parent exits: the checkpoint is decoupled (Sec. 3.1).
+        parent->destroy();
+
+        double restoreMsSum = 0;
+        uint64_t localPerNode = 0;
+        std::vector<std::unique_ptr<faas::FunctionInstance>> clones;
+        for (uint32_t n = 0; n < nodes; ++n) {
+            rfork::RestoreStats rs;
+            auto task = cxlf.restore(handle, cluster.node(n), {}, &rs);
+            restoreMsSum += rs.latency.toMs();
+            auto inst = faas::FunctionInstance::adoptRestored(
+                cluster.node(n), fn, task);
+            inst->invoke();
+            localPerNode = inst->localBytes();
+            clones.push_back(std::move(inst));
+        }
+
+        const double cxlMb = double(handle->cxlBytes()) / (1 << 20);
+        const double localMbPerNode = double(localPerNode) / (1 << 20);
+        const double criuWorldMb =
+            double(nodes) * double(fn.footprintBytes) / (1 << 20);
+        const double totalOurs = cxlMb + double(nodes) * localMbPerNode;
+        t.addRow({std::to_string(nodes),
+                  sim::Table::num(restoreMsSum / nodes, 2),
+                  sim::Table::num(localMbPerNode, 1),
+                  sim::Table::num(cxlMb, 0),
+                  sim::Table::num(criuWorldMb, 0),
+                  sim::Table::num(criuWorldMb / totalOurs, 1) + "x"});
+    }
+    t.addNote("Restore latency grows only with fabric contention (no "
+              "parent-node bottleneck); dedup factor = replicated-local "
+              "bytes / (shared CXL + per-node private bytes).");
+    t.print();
+
+    // Mitosis for contrast: every clone copies its pages out of the
+    // parent node, whose memory stays pinned.
+    sim::Table m("Scaling contrast: Mitosis-CXL from one parent "
+                 "(Rnn, 190 MB)");
+    m.setHeader({"Nodes", "First-invoke fault time (ms, avg)",
+                 "Parent-pinned (MB)", "Cluster local (MB total)"});
+    for (uint32_t nodes : {2u, 4u, 8u}) {
+        porter::ClusterConfig cfg = bench::benchClusterConfig(
+            contention.contend(sim::CostParams{}, nodes));
+        cfg.machine.numNodes = nodes;
+        cfg.machine.dramPerNodeBytes = mem::gib(1);
+        porter::Cluster cluster(cfg);
+
+        auto parent = bench::deployWarmParent(cluster, fn, 1);
+        rfork::MitosisCxl mito(cluster.fabric());
+        auto handle = mito.checkpoint(cluster.node(0), parent->task());
+
+        double faultMsSum = 0;
+        uint64_t clusterLocal = handle->localBytes();
+        std::vector<std::unique_ptr<faas::FunctionInstance>> clones;
+        for (uint32_t n = 1; n < nodes; ++n) {
+            auto task = mito.restore(handle, cluster.node(n));
+            auto inst = faas::FunctionInstance::adoptRestored(
+                cluster.node(n), fn, task);
+            const sim::SimTime before = cluster.node(n).faultTime();
+            inst->invoke();
+            faultMsSum += (cluster.node(n).faultTime() - before).toMs();
+            clusterLocal += inst->localBytes();
+            clones.push_back(std::move(inst));
+        }
+        m.addRow({std::to_string(nodes),
+                  sim::Table::num(faultMsSum / double(nodes - 1), 1),
+                  sim::Table::num(double(handle->localBytes()) / (1 << 20),
+                                  0),
+                  sim::Table::num(double(clusterLocal) / (1 << 20), 0)});
+    }
+    m.addNote("The parent node pins the shadow copy and serves every "
+              "clone's lazy copies; CXLfork has neither cost.");
+    m.print();
+    return 0;
+}

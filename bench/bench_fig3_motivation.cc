@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 3c: the motivation experiment. Fork a BERT instance to a new
+ * node with CRIU-CXL and Mitosis-CXL and run one inference; compare
+ * end-to-end latency and local memory against local fork. Paper: CRIU
+ * restore alone is 2.7x local fork+exec; CRIU consumes 42x the local
+ * memory; Mitosis 2.6x total latency and 24x memory.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace cxlfork;
+    using bench::RforkRun;
+
+    const faas::FunctionSpec bert = *faas::findWorkload("Bert");
+
+    // LocalFork baseline.
+    porter::Cluster lfCluster(bench::benchClusterConfig());
+    auto lfParent = bench::deployWarmParent(lfCluster, bert);
+    const RforkRun localRun =
+        bench::runLocalForkScenario(lfCluster, *lfParent);
+
+    // CRIU-CXL.
+    porter::Cluster criuCluster(bench::benchClusterConfig());
+    auto criuParent = bench::deployWarmParent(criuCluster, bert);
+    rfork::CriuCxl criu(criuCluster.fabric());
+    auto criuHandle =
+        criu.checkpoint(criuCluster.node(0), criuParent->task());
+    const RforkRun criuRun = bench::runRestoreScenario(
+        criuCluster, criu, criuHandle, bert, 1);
+
+    // Mitosis-CXL.
+    porter::Cluster mitoCluster(bench::benchClusterConfig());
+    auto mitoParent = bench::deployWarmParent(mitoCluster, bert);
+    rfork::MitosisCxl mito(mitoCluster.fabric());
+    auto mitoHandle =
+        mito.checkpoint(mitoCluster.node(0), mitoParent->task());
+    const RforkRun mitoRun = bench::runRestoreScenario(
+        mitoCluster, mito, mitoHandle, bert, 1);
+
+    sim::Table table("Figure 3c: BERT remote fork with existing "
+                     "mechanisms (state already checkpointed)");
+    table.setHeader({"Scenario", "Restore (ms)", "Faults (ms)",
+                     "Exec (ms)", "Total (ms)", "vs LocalFork",
+                     "Local mem (MB)", "Mem vs LocalFork"});
+    auto addRow = [&](const char *name, const RforkRun &r) {
+        table.addRow(
+            {name, sim::Table::num(r.restore.toMs(), 1),
+             sim::Table::num(r.pageFaults.toMs(), 1),
+             sim::Table::num(r.execution.toMs(), 1),
+             sim::Table::num(r.total().toMs(), 1),
+             sim::Table::num(r.total() / localRun.total(), 2) + "x",
+             sim::Table::num(double(r.localBytes) / (1 << 20), 1),
+             sim::Table::num(double(r.localBytes) /
+                                 double(localRun.localBytes), 1) +
+                 "x"});
+    };
+    addRow("LocalFork", localRun);
+    addRow("CRIU-CXL", criuRun);
+    addRow("Mitosis-CXL", mitoRun);
+    table.addNote("Paper: CRIU restore 2.7x local fork+exec, 42x local "
+                  "memory; Mitosis 2.6x end-to-end, 24x local memory.");
+    table.print();
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Figure 7: cold-start execution of every Table-1 function under each
+ * rfork design, broken down into Restore / Page Faults / Execution
+ * (7a), and the local memory consumed normalized to Cold (7b).
+ *
+ * Paper headline numbers: CXLfork restores in 1.2-6.1 ms (CRIU-CXL
+ * 16-423 ms, Mitosis-CXL up to 15 ms); end-to-end CXLfork is ~14%
+ * slower than LocalFork, 2.26x faster than CRIU-CXL and 1.40x faster
+ * than Mitosis-CXL on average; Cold is ~11x slower than CXLfork.
+ * Memory: CXLfork needs ~13% of Cold; -87% vs CRIU, -61% vs Mitosis.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace cxlfork;
+    using bench::RforkRun;
+
+    struct Row
+    {
+        std::string fn;
+        RforkRun cold, local, criu, mito, cxlf;
+    };
+    std::vector<Row> rows;
+
+    for (const auto &w : faas::table1Workloads()) {
+        Row row;
+        row.fn = w.spec.name;
+
+        // Cold (vanilla, unsandboxed).
+        {
+            porter::Cluster cluster(bench::benchClusterConfig());
+            row.cold = bench::runColdScenario(cluster, w.spec, 1);
+        }
+        // LocalFork.
+        {
+            porter::Cluster cluster(bench::benchClusterConfig());
+            auto parent = bench::deployWarmParent(cluster, w.spec);
+            row.local = bench::runLocalForkScenario(cluster, *parent);
+        }
+        // CRIU-CXL.
+        {
+            porter::Cluster cluster(bench::benchClusterConfig());
+            auto parent = bench::deployWarmParent(cluster, w.spec);
+            rfork::CriuCxl criu(cluster.fabric());
+            auto h = criu.checkpoint(cluster.node(0), parent->task());
+            row.criu = bench::runRestoreScenario(cluster, criu, h, w.spec, 1);
+        }
+        // Mitosis-CXL.
+        {
+            porter::Cluster cluster(bench::benchClusterConfig());
+            auto parent = bench::deployWarmParent(cluster, w.spec);
+            rfork::MitosisCxl mito(cluster.fabric());
+            auto h = mito.checkpoint(cluster.node(0), parent->task());
+            row.mito = bench::runRestoreScenario(cluster, mito, h, w.spec, 1);
+        }
+        // CXLfork (default migrate-on-write + dirty prefetch).
+        {
+            porter::Cluster cluster(bench::benchClusterConfig());
+            auto parent = bench::deployWarmParent(cluster, w.spec);
+            rfork::CxlFork cxlf(cluster.fabric());
+            auto h = cxlf.checkpoint(cluster.node(0), parent->task());
+            row.cxlf = bench::runRestoreScenario(cluster, cxlf, h, w.spec, 1);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    // --- Fig. 7a: latency breakdown.
+    sim::Table lat("Figure 7a: cold-start execution breakdown (ms): "
+                   "restore + page faults + execution");
+    lat.setHeader({"Function", "Cold", "LocalFork",
+                   "CRIU rst/flt/exec", "Mitosis rst/flt/exec",
+                   "CXLfork rst/flt/exec", "CRIU tot", "Mitosis tot",
+                   "CXLfork tot"});
+    double sCold = 0, sLocal = 0, sCriu = 0, sMito = 0, sCxlf = 0;
+    auto bd = [](const RforkRun &r) {
+        return sim::Table::num(r.restore.toMs(), 1) + "/" +
+               sim::Table::num(r.pageFaults.toMs(), 1) + "/" +
+               sim::Table::num(r.execution.toMs(), 1);
+    };
+    for (const Row &r : rows) {
+        lat.addRow({r.fn, sim::Table::num(r.cold.total().toMs(), 1),
+                    sim::Table::num(r.local.total().toMs(), 1),
+                    bd(r.criu), bd(r.mito), bd(r.cxlf),
+                    sim::Table::num(r.criu.total().toMs(), 1),
+                    sim::Table::num(r.mito.total().toMs(), 1),
+                    sim::Table::num(r.cxlf.total().toMs(), 1)});
+        sCold += r.cold.total() / r.cxlf.total();
+        sLocal += r.cxlf.total() / r.local.total();
+        sCriu += r.criu.total() / r.cxlf.total();
+        sMito += r.mito.total() / r.cxlf.total();
+        sCxlf += r.cxlf.restore.toMs();
+    }
+    const double n = double(rows.size());
+    lat.addNote(sim::format("CXLfork vs LocalFork: %.2fx slower on average "
+                            "(paper: 1.14x).", sLocal / n));
+    lat.addNote(sim::format("CXLfork speedup vs CRIU-CXL: %.2fx (paper: "
+                            "2.26x); vs Mitosis-CXL: %.2fx (paper: 1.40x).",
+                            sCriu / n, sMito / n));
+    lat.addNote(sim::format("Cold vs CXLfork: %.1fx slower on average "
+                            "(paper: ~11x).", sCold / n));
+    lat.print();
+
+    // --- Restore range summary.
+    sim::Table rst("Figure 7a detail: restore latency ranges (ms)");
+    rst.setHeader({"Mechanism", "Min", "Max"});
+    auto range = [&](const char *name, auto pick) {
+        double lo = 1e30, hi = 0;
+        for (const Row &r : rows) {
+            const double v = pick(r).restore.toMs();
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        rst.addRow({name, sim::Table::num(lo, 1), sim::Table::num(hi, 1)});
+    };
+    range("CRIU-CXL", [](const Row &r) { return r.criu; });
+    range("Mitosis-CXL", [](const Row &r) { return r.mito; });
+    range("CXLfork", [](const Row &r) { return r.cxlf; });
+    rst.addNote("Paper: CRIU 16-423 ms, Mitosis up to 15 ms, CXLfork "
+                "1.2-6.1 ms.");
+    rst.print();
+
+    // --- Fig. 7b: normalized local memory.
+    sim::Table memTable("Figure 7b: local memory consumption, "
+                        "normalized to Cold");
+    memTable.setHeader({"Function", "Cold (MB)", "CRIU-CXL", "Mitosis-CXL",
+                        "CXLfork"});
+    double mCriu = 0, mMito = 0, mCxlf = 0;
+    for (const Row &r : rows) {
+        const double cold = double(r.cold.localBytes);
+        memTable.addRow({r.fn,
+                         sim::Table::num(cold / (1 << 20), 0),
+                         sim::Table::num(double(r.criu.localBytes) / cold, 2),
+                         sim::Table::num(double(r.mito.localBytes) / cold, 2),
+                         sim::Table::num(double(r.cxlf.localBytes) / cold,
+                                         2)});
+        mCriu += double(r.criu.localBytes) / cold;
+        mMito += double(r.mito.localBytes) / cold;
+        mCxlf += double(r.cxlf.localBytes) / cold;
+    }
+    memTable.addRow({"Average", "-", sim::Table::num(mCriu / n, 2),
+                     sim::Table::num(mMito / n, 2),
+                     sim::Table::num(mCxlf / n, 2)});
+    memTable.addNote(sim::format(
+        "CXLfork reduces local memory by %.0f%% vs CRIU-CXL (paper: 87%%) "
+        "and %.0f%% vs Mitosis-CXL (paper: 61%%).",
+        100.0 * (1.0 - mCxlf / mCriu), 100.0 * (1.0 - mCxlf / mMito)));
+    memTable.print();
+    return 0;
+}

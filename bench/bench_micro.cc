@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): wall-clock cost of the library's
+ * hot operations, plus a report of the *simulated* fault microcosts
+ * against the paper's measurements (Sec. 4.2.1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+#include "proto/messages.hh"
+#include "rfork/cxlfork.hh"
+
+namespace {
+
+using namespace cxlfork;
+
+// --- Simulated microcosts reported once, before the wall-time runs.
+
+struct CostReport
+{
+    CostReport()
+    {
+        sim::CostParams c;
+        sim::Table t("Simulated fault microcosts (paper Sec. 4.2.1)");
+        t.setHeader({"Operation", "Simulated cost (us)", "Paper"});
+        t.addRow({"Anonymous minor fault",
+                  sim::Table::num(c.minorFault.toUs(), 2), "<1 us"});
+        t.addRow({"CXL CoW fault", sim::Table::num(c.cxlCowFault().toUs(), 2),
+                  "~2.5 us"});
+        t.addRow({"  of which data movement",
+                  sim::Table::num(c.cxlPageCopy().toUs(), 2), "~1.3 us"});
+        t.addRow({"  of which TLB shootdown",
+                  sim::Table::num(c.tlbShootdown.toUs(), 2), "~0.5 us"});
+        t.addRow({"Local CoW fault",
+                  sim::Table::num(c.localCowFault().toUs(), 2), "-"});
+        t.addRow({"Mitosis remote fault (2 crossings)",
+                  sim::Table::num((c.cxlAccessFault() + c.cxlWrite(4096) +
+                                   c.cxlLatency).toUs(), 2),
+                  "-"});
+        t.print();
+    }
+};
+CostReport reportOnce;
+
+// --- Wall-clock microbenchmarks of the implementation.
+
+void
+BM_PageTableMapUnmap(benchmark::State &state)
+{
+    mem::Machine machine{mem::MachineConfig{}};
+    sim::SimClock clock;
+    os::PageTable pt(machine, machine.nodeDram(0), clock);
+    const mem::PhysAddr frame =
+        machine.nodeDram(0).alloc(mem::FrameUse::Data);
+    uint64_t vpn = 0x5555'0000;
+    for (auto _ : state) {
+        const mem::VirtAddr va = mem::VirtAddr::fromPageNumber(vpn++);
+        os::Pte p = os::Pte::make(frame, true);
+        p.set(os::Pte::kSoftCxl); // do not release our frame on unmap
+        pt.setPte(va, p);
+        benchmark::DoNotOptimize(pt.lookup(va));
+    }
+}
+BENCHMARK(BM_PageTableMapUnmap);
+
+void
+BM_PageTableLookup(benchmark::State &state)
+{
+    mem::Machine machine{mem::MachineConfig{}};
+    sim::SimClock clock;
+    os::PageTable pt(machine, machine.nodeDram(0), clock);
+    const mem::PhysAddr frame =
+        machine.nodeDram(0).alloc(mem::FrameUse::Data);
+    for (uint64_t i = 0; i < 4096; ++i) {
+        os::Pte p = os::Pte::make(frame, false);
+        p.set(os::Pte::kSoftCxl);
+        pt.setPte(mem::VirtAddr::fromPageNumber(i), p);
+    }
+    uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pt.lookup(mem::VirtAddr::fromPageNumber(i++ % 4096)));
+    }
+}
+BENCHMARK(BM_PageTableLookup);
+
+void
+BM_FaultPathMinor(benchmark::State &state)
+{
+    porter::Cluster cluster(bench::benchClusterConfig());
+    os::NodeOs &node = cluster.node(0);
+    auto task = node.createTask("bm");
+    os::Vma &vma = node.mapAnon(*task, mem::gib(2),
+                                os::kVmaRead | os::kVmaWrite, "bm");
+    uint64_t page = 0;
+    for (auto _ : state) {
+        node.access(*task, vma.start.plus(page * mem::kPageSize), true, 1);
+        ++page;
+        if (page >= vma.pageCount())
+            state.SkipWithError("range exhausted");
+    }
+    state.SetItemsProcessed(int64_t(page));
+}
+BENCHMARK(BM_FaultPathMinor)->Iterations(100000);
+
+void
+BM_CheckpointThroughput(benchmark::State &state)
+{
+    const auto spec = *faas::findWorkload("Json");
+    for (auto _ : state) {
+        state.PauseTiming();
+        porter::Cluster cluster(bench::benchClusterConfig());
+        auto parent = bench::deployWarmParent(cluster, spec, 1);
+        rfork::CxlFork cxlf(cluster.fabric());
+        state.ResumeTiming();
+        auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
+        benchmark::DoNotOptimize(handle);
+    }
+}
+BENCHMARK(BM_CheckpointThroughput)->Unit(benchmark::kMillisecond)
+    ->Iterations(5);
+
+void
+BM_RestoreAttach(benchmark::State &state)
+{
+    const auto spec = *faas::findWorkload("Json");
+    porter::Cluster cluster(bench::benchClusterConfig());
+    auto parent = bench::deployWarmParent(cluster, spec, 1);
+    rfork::CxlFork cxlf(cluster.fabric());
+    auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
+    for (auto _ : state) {
+        auto task = cxlf.restore(handle, cluster.node(1));
+        benchmark::DoNotOptimize(task);
+        state.PauseTiming();
+        cluster.node(1).exitTask(task);
+        state.ResumeTiming();
+    }
+}
+BENCHMARK(BM_RestoreAttach)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+void
+BM_WireEncodeDecode(benchmark::State &state)
+{
+    proto::CriuImageMsg img;
+    img.global.taskName = "bm";
+    for (uint64_t i = 0; i < 10000; ++i)
+        img.pages.push_back({i, i * 3});
+    for (auto _ : state) {
+        proto::Encoder e;
+        img.encode(e);
+        proto::Decoder d(e.buffer());
+        benchmark::DoNotOptimize(proto::CriuImageMsg::decode(d));
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) * 10000 * 16);
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

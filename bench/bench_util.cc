@@ -1,0 +1,100 @@
+#include "bench_util.hh"
+
+namespace cxlfork::bench {
+
+using faas::FunctionInstance;
+using faas::FunctionSpec;
+using sim::SimTime;
+
+std::unique_ptr<FunctionInstance>
+deployWarmParent(porter::Cluster &cluster, const FunctionSpec &spec,
+                 uint32_t warmInvocations)
+{
+    auto parent = FunctionInstance::deployCold(cluster.node(0), spec);
+    for (uint32_t i = 0; i < warmInvocations; ++i)
+        parent->invoke();
+    // CXLporter clears A/D after the first invocation so checkpointed
+    // bits capture the steady state, not initialization (Sec. 5).
+    parent->task().mm().pageTable().clearAccessedBits(/*alsoDirty=*/true);
+    parent->invoke();
+    return parent;
+}
+
+RforkRun
+runRestoreScenario(porter::Cluster &cluster,
+                   rfork::RemoteForkMechanism &mech,
+                   const std::shared_ptr<rfork::CheckpointHandle> &handle,
+                   const FunctionSpec &spec, mem::NodeId targetNode,
+                   const rfork::RestoreOptions &opts)
+{
+    os::NodeOs &node = cluster.node(targetNode);
+    RforkRun run;
+    // Local memory is the child's *additional* demand on the node: the
+    // delta of the node's DRAM usage across restore + execution. (The
+    // page-count view would double-charge frames CoW-shared with the
+    // parent or the checkpoint.)
+    const uint64_t memBefore = node.localDram().usedBytes();
+
+    rfork::RestoreStats rs;
+    auto task = mech.restore(handle, node, opts, &rs);
+    run.restore = rs.latency;
+
+    auto child = FunctionInstance::adoptRestored(node, spec, task);
+    const SimTime faultsBefore = node.faultTime();
+    const SimTime execStart = node.clock().now();
+    child->invoke();
+    const SimTime execTotal = node.clock().now() - execStart;
+    run.pageFaults = node.faultTime() - faultsBefore;
+    run.execution = execTotal - run.pageFaults;
+    run.localBytes = node.localDram().usedBytes() - memBefore;
+    child->destroy();
+    return run;
+}
+
+RforkRun
+runColdScenario(porter::Cluster &cluster, const FunctionSpec &spec,
+                mem::NodeId targetNode)
+{
+    os::NodeOs &node = cluster.node(targetNode);
+    RforkRun run;
+    const uint64_t memBefore = node.localDram().usedBytes();
+    const SimTime faultsBefore = node.faultTime();
+    const SimTime start = node.clock().now();
+    auto inst = FunctionInstance::deployCold(node, spec);
+    inst->invoke();
+    const SimTime total = node.clock().now() - start;
+    run.pageFaults = node.faultTime() - faultsBefore;
+    run.execution = total - run.pageFaults;
+    run.localBytes = node.localDram().usedBytes() - memBefore;
+    inst->destroy();
+    return run;
+}
+
+RforkRun
+runLocalForkScenario(porter::Cluster &cluster, FunctionInstance &parent)
+{
+    (void)cluster; // the parent pins the node; kept for API symmetry
+    os::NodeOs &node = parent.node();
+    rfork::LocalFork lf;
+    auto handle = lf.checkpoint(node, parent.task());
+
+    RforkRun run;
+    const uint64_t memBefore = node.localDram().usedBytes();
+    rfork::RestoreStats rs;
+    auto task = lf.restore(handle, node, {}, &rs);
+    run.restore = rs.latency;
+
+    auto child =
+        FunctionInstance::adoptRestored(node, parent.spec(), task);
+    const SimTime faultsBefore = node.faultTime();
+    const SimTime execStart = node.clock().now();
+    child->invoke();
+    const SimTime execTotal = node.clock().now() - execStart;
+    run.pageFaults = node.faultTime() - faultsBefore;
+    run.execution = execTotal - run.pageFaults;
+    run.localBytes = node.localDram().usedBytes() - memBefore;
+    child->destroy();
+    return run;
+}
+
+} // namespace cxlfork::bench

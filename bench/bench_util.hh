@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benches: a cluster sized
+ * for the Table-1 functions, rfork scenario runners, and breakdown
+ * structs matching the figures.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faas/workloads.hh"
+#include "porter/cluster.hh"
+#include "rfork/criu.hh"
+#include "rfork/cxlfork.hh"
+#include "rfork/localfork.hh"
+#include "rfork/mitosis.hh"
+#include "sim/table.hh"
+
+namespace cxlfork::bench {
+
+/** A cluster big enough for Bert (630 MB) under every mechanism. */
+inline porter::ClusterConfig
+benchClusterConfig(sim::CostParams costs = {})
+{
+    porter::ClusterConfig cfg;
+    cfg.machine.numNodes = 2;
+    cfg.machine.dramPerNodeBytes = mem::gib(4);
+    cfg.machine.cxlCapacityBytes = mem::gib(4);
+    cfg.machine.llcBytes = mem::mib(64);
+    cfg.machine.costs = costs;
+    return cfg;
+}
+
+/** The Fig. 7a bar: one cold-start execution under one rfork design. */
+struct RforkRun
+{
+    sim::SimTime restore;    ///< Restore phase.
+    sim::SimTime pageFaults; ///< All fault handling during execution.
+    sim::SimTime execution;  ///< The rest of the first invocation.
+    uint64_t localBytes = 0; ///< Child-local memory after execution.
+
+    sim::SimTime total() const { return restore + pageFaults + execution; }
+};
+
+/**
+ * Deploy a warmed-up parent of `spec` on node 0 of a fresh cluster
+ * (per the CXLporter recipe: A/D cleared after warm-up so the
+ * checkpoint captures the steady access pattern).
+ */
+std::unique_ptr<faas::FunctionInstance>
+deployWarmParent(porter::Cluster &cluster, const faas::FunctionSpec &spec,
+                 uint32_t warmInvocations = 3);
+
+/** Run one cold-start execution via an already-made checkpoint. */
+RforkRun runRestoreScenario(porter::Cluster &cluster,
+                            rfork::RemoteForkMechanism &mech,
+                            const std::shared_ptr<rfork::CheckpointHandle> &h,
+                            const faas::FunctionSpec &spec,
+                            mem::NodeId targetNode,
+                            const rfork::RestoreOptions &opts = {});
+
+/** Run the vanilla cold execution (no rfork). */
+RforkRun runColdScenario(porter::Cluster &cluster,
+                         const faas::FunctionSpec &spec,
+                         mem::NodeId targetNode);
+
+/** Run the same-node LocalFork scenario. */
+RforkRun runLocalForkScenario(porter::Cluster &cluster,
+                              faas::FunctionInstance &parent);
+
+} // namespace cxlfork::bench

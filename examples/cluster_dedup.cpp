@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cluster-wide deduplication: one checkpoint, many nodes.
+ *
+ * Spawns a Cnn instance on every node of an 8-node CXL cluster from a
+ * single checkpoint and prints the per-node and cluster-wide memory
+ * bill, versus what a copy-everything design would pay. Also shows the
+ * effect of the fabric-contention model as more nodes share the
+ * device.
+ */
+
+#include <cstdio>
+
+#include "faas/workloads.hh"
+#include "mem/bandwidth.hh"
+#include "porter/cluster.hh"
+#include "rfork/cxlfork.hh"
+
+using namespace cxlfork;
+
+int
+main()
+{
+    const faas::FunctionSpec cnn = *faas::findWorkload("Cnn");
+    const uint32_t kNodes = 8;
+
+    mem::FabricContentionModel contention;
+    porter::ClusterConfig cfg;
+    cfg.machine.numNodes = kNodes;
+    cfg.machine.dramPerNodeBytes = mem::gib(1);
+    cfg.machine.cxlCapacityBytes = mem::gib(2);
+    cfg.machine.costs = contention.contend(sim::CostParams{}, kNodes);
+    porter::Cluster cluster(cfg);
+
+    // One parent, one checkpoint.
+    auto parent = faas::FunctionInstance::deployCold(cluster.node(0), cnn);
+    parent->invoke();
+    parent->task().mm().pageTable().clearAccessedBits(true);
+    parent->invoke();
+    rfork::CxlFork cxlfork(cluster.fabric());
+    rfork::CheckpointStats cs;
+    auto checkpoint = cxlfork.checkpoint(cluster.node(0), parent->task(), &cs);
+    parent->destroy();
+    std::printf("checkpointed %s once: %.0f MB on the shared CXL device "
+                "(%s)\n\n",
+                cnn.name.c_str(), double(checkpoint->cxlBytes()) / (1 << 20),
+                cs.latency.toString().c_str());
+
+    // One clone per node.
+    uint64_t clusterLocal = 0;
+    std::vector<std::unique_ptr<faas::FunctionInstance>> clones;
+    for (uint32_t n = 0; n < kNodes; ++n) {
+        rfork::RestoreStats rs;
+        auto task = cxlfork.restore(checkpoint, cluster.node(n), {}, &rs);
+        auto inst = faas::FunctionInstance::adoptRestored(cluster.node(n),
+                                                          cnn, task);
+        inst->invoke();
+        std::printf("node %u: restored in %8s, local %5.1f MB, "
+                    "CXL-mapped %5.0f MB\n",
+                    n, rs.latency.toString().c_str(),
+                    double(inst->localBytes()) / (1 << 20),
+                    double(inst->cxlBytes()) / (1 << 20));
+        clusterLocal += inst->localBytes();
+        clones.push_back(std::move(inst));
+    }
+
+    const double ours =
+        double(clusterLocal + checkpoint->cxlBytes()) / (1 << 20);
+    const double replicated =
+        double(kNodes) * double(cnn.footprintBytes) / (1 << 20);
+    std::printf("\ncluster memory bill: %.0f MB (shared checkpoint + "
+                "private pages)\n",
+                ours);
+    std::printf("copy-everything bill: %.0f MB across %u nodes\n",
+                replicated, kNodes);
+    std::printf("rack-scale deduplication: %.1fx\n", replicated / ours);
+    return 0;
+}

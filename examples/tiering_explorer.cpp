@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tiering explorer: what the three CXLfork tiering policies do to one
+ * function whose working set exceeds the LLC (BFS).
+ *
+ * For each policy it reports cold execution, warm execution, local
+ * memory, and fault counts — the trade-off surface of paper Fig. 8 —
+ * and then demonstrates the A-bit interface: resetting the checkpoint's
+ * Accessed bits and re-profiling the hot set from a running sibling.
+ */
+
+#include <cstdio>
+
+#include "faas/workloads.hh"
+#include "porter/cluster.hh"
+#include "rfork/cxlfork.hh"
+
+using namespace cxlfork;
+
+static const char *
+policyName(os::TieringPolicy p)
+{
+    return os::tieringPolicyName(p);
+}
+
+int
+main()
+{
+    const faas::FunctionSpec bfs = *faas::findWorkload("BFS");
+
+    porter::ClusterConfig cfg;
+    cfg.machine.numNodes = 2;
+    cfg.machine.dramPerNodeBytes = mem::gib(2);
+    cfg.machine.cxlCapacityBytes = mem::gib(2);
+    porter::Cluster cluster(cfg);
+
+    // Warm up a parent and checkpoint it in its steady state.
+    auto parent = faas::FunctionInstance::deployCold(cluster.node(0), bfs);
+    parent->invoke();
+    parent->task().mm().pageTable().clearAccessedBits(/*alsoDirty=*/true);
+    parent->invoke();
+    rfork::CxlFork cxlfork(cluster.fabric());
+    auto checkpoint = cxlfork.checkpoint(cluster.node(0), parent->task());
+    auto image = rfork::CxlFork::image(checkpoint);
+    std::printf("checkpointed %s: %llu pages on CXL, %llu marked hot by "
+                "the parent's A bits\n\n",
+                bfs.name.c_str(), (unsigned long long)image->pageCount(),
+                (unsigned long long)image->accessedPageCount());
+
+    // MoW last: an attached (MoW) sibling's page walks re-mark A bits
+    // on the shared checkpointed tables, which would promote every page
+    // for a hybrid sibling profiled after it.
+    for (os::TieringPolicy policy : {os::TieringPolicy::MigrateOnAccess,
+                                     os::TieringPolicy::Hybrid,
+                                     os::TieringPolicy::MigrateOnWrite}) {
+        rfork::RestoreOptions opts;
+        opts.policy = policy;
+        rfork::RestoreStats rs;
+        auto task = cxlfork.restore(checkpoint, cluster.node(1), opts, &rs);
+        auto child = faas::FunctionInstance::adoptRestored(cluster.node(1),
+                                                           bfs, task);
+        const auto cold = child->invoke();
+        child->invoke();
+        const auto warm = child->invoke();
+
+        std::printf("--- %s ---\n", policyName(policy));
+        std::printf("  restore %8s   cold exec %8s   warm exec %8s\n",
+                    rs.latency.toString().c_str(),
+                    cold.latency.toString().c_str(),
+                    warm.latency.toString().c_str());
+        std::printf("  local mem %.0f MB, CXL-mapped %.0f MB, faults: "
+                    "%llu CoW, %llu migrate\n",
+                    double(child->localBytes()) / (1 << 20),
+                    double(child->cxlBytes()) / (1 << 20),
+                    (unsigned long long)cold.cowFaults,
+                    (unsigned long long)(cold.migrateFaults +
+                                         warm.migrateFaults));
+        child->destroy();
+    }
+
+    // The user-space working-set interface (Sec. 4.3).
+    image->resetAccessedBits();
+    std::printf("\nafter A-bit reset the image reports %llu hot pages\n",
+                (unsigned long long)image->accessedPageCount());
+    auto task = cxlfork.restore(checkpoint, cluster.node(1));
+    auto sibling =
+        faas::FunctionInstance::adoptRestored(cluster.node(1), bfs, task);
+    sibling->invoke();
+    std::printf("one sibling invocation re-marks %llu hot pages through "
+                "hardware A-bit updates on the shared CXL page tables\n",
+                (unsigned long long)image->accessedPageCount());
+    return 0;
+}

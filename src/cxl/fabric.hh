@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The CXL fabric context: the shared device plus fabric-level services
+ * (the in-CXL shared filesystem) and accounting.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "mem/machine.hh"
+#include "shared_fs.hh"
+#include "sim/stats.hh"
+
+namespace cxlfork::cxl {
+
+/** Fabric-wide shared state for a cluster of nodes. */
+class CxlFabric
+{
+  public:
+    explicit CxlFabric(mem::Machine &machine)
+        : machine_(machine), sharedFs_(machine)
+    {}
+
+    CxlFabric(const CxlFabric &) = delete;
+    CxlFabric &operator=(const CxlFabric &) = delete;
+
+    mem::Machine &machine() { return machine_; }
+    mem::FrameAllocator &device() { return machine_.cxl(); }
+    SharedFs &sharedFs() { return sharedFs_; }
+    sim::StatSet &stats() { return stats_; }
+
+    /** Device capacity consumed, across checkpoints and files. */
+    uint64_t usedBytes() const { return machine_.cxl().usedBytes(); }
+    uint64_t freeBytes() const { return machine_.cxl().freeBytes(); }
+
+  private:
+    mem::Machine &machine_;
+    SharedFs sharedFs_;
+    sim::StatSet stats_;
+};
+
+} // namespace cxlfork::cxl

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The distributed checkpoint object store (paper Sec. 5): maps unique
+ * <user, function> tuples to checkpoint identifiers (CIDs) of
+ * CXL-stored checkpoints. Header-only and generic over the stored
+ * object type so the fabric layer stays independent of rfork.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cxlfork::cxl {
+
+/** Checkpoint identifier. */
+using Cid = uint64_t;
+
+/**
+ * Keyed store of shared checkpoint objects.
+ *
+ * put() registers a new checkpoint for <user, function> and returns
+ * its CID; lookup() returns the latest CID for the tuple; reclaim()
+ * drops a checkpoint (e.g. under CXL memory pressure).
+ */
+template <typename T>
+class ObjectStore
+{
+  public:
+    Cid
+    put(const std::string &user, const std::string &function,
+        std::shared_ptr<T> object)
+    {
+        const Cid cid = nextCid_++;
+        objects_[cid] = std::move(object);
+        latest_[{user, function}] = cid;
+        return cid;
+    }
+
+    std::optional<Cid>
+    lookup(const std::string &user, const std::string &function) const
+    {
+        auto it = latest_.find({user, function});
+        if (it == latest_.end())
+            return std::nullopt;
+        // The checkpoint may have been reclaimed meanwhile.
+        if (!objects_.count(it->second))
+            return std::nullopt;
+        return it->second;
+    }
+
+    std::shared_ptr<T>
+    get(Cid cid) const
+    {
+        auto it = objects_.find(cid);
+        return it == objects_.end() ? nullptr : it->second;
+    }
+
+    /** Drop the store's reference; the image dies once unattached. */
+    void reclaim(Cid cid) { objects_.erase(cid); }
+
+    size_t size() const { return objects_.size(); }
+
+    std::vector<Cid>
+    cids() const
+    {
+        std::vector<Cid> out;
+        out.reserve(objects_.size());
+        for (const auto &[cid, obj] : objects_)
+            out.push_back(cid);
+        return out;
+    }
+
+  private:
+    Cid nextCid_ = 1;
+    std::map<Cid, std::shared_ptr<T>> objects_;
+    std::map<std::pair<std::string, std::string>, Cid> latest_;
+};
+
+} // namespace cxlfork::cxl

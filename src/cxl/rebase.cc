@@ -1,0 +1,63 @@
+#include "rebase.hh"
+
+#include "sim/log.hh"
+
+namespace cxlfork::cxl {
+
+using os::Pte;
+using os::TablePage;
+
+void
+rebaseLeaf(TablePage &leaf, const mem::Machine &machine)
+{
+    CXLF_ASSERT(leaf.level() == 0);
+    for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+        Pte &p = leaf.pte(i);
+        if (!p.present())
+            continue;
+        if (p.rebased())
+            sim::panic("rebaseLeaf: PTE %u already rebased", i);
+        const uint64_t offset = machine.cxlOffsetOf(p.frame());
+        p.setFrame(mem::PhysAddr{offset});
+        p.set(Pte::kSoftRebased);
+    }
+}
+
+void
+derebaseLeaf(TablePage &leaf, const mem::Machine &machine)
+{
+    CXLF_ASSERT(leaf.level() == 0);
+    for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+        Pte &p = leaf.pte(i);
+        if (!p.present())
+            continue;
+        if (!p.rebased())
+            sim::panic("derebaseLeaf: PTE %u not in rebased form", i);
+        p.setFrame(machine.cxlAddrOf(p.frame().raw));
+        p.clear(Pte::kSoftRebased);
+    }
+}
+
+bool
+leafIsRebased(const TablePage &leaf)
+{
+    for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+        const Pte &p = leaf.pte(i);
+        if (p.present() && !p.rebased())
+            return false;
+    }
+    return true;
+}
+
+bool
+leafIsAbsolute(const TablePage &leaf)
+{
+    for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+        const Pte &p = leaf.pte(i);
+        if (p.present() && p.rebased())
+            return false;
+    }
+    return true;
+}
+
+} // namespace cxlfork::cxl

@@ -1,0 +1,59 @@
+#include "shared_fs.hh"
+
+#include "sim/log.hh"
+
+namespace cxlfork::cxl {
+
+SharedFs::~SharedFs()
+{
+    for (auto &[name, file] : files_)
+        releaseFrames(file);
+}
+
+const CxlFsFile &
+SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
+                uint64_t simulatedBytes, sim::SimClock &clock)
+{
+    remove(name);
+    CxlFsFile file;
+    file.name = name;
+    file.data = std::move(encoded);
+    file.simulatedBytes = simulatedBytes;
+    const uint64_t pages = mem::pagesFor(simulatedBytes);
+    file.frames.reserve(pages);
+    for (uint64_t i = 0; i < pages; ++i)
+        file.frames.push_back(machine_.cxl().alloc(mem::FrameUse::FileCache));
+    clock.advance(machine_.costs().cxlWrite(simulatedBytes));
+    usedBytes_ += pages * mem::kPageSize;
+    auto [it, ok] = files_.emplace(name, std::move(file));
+    CXLF_ASSERT(ok);
+    return it->second;
+}
+
+const CxlFsFile *
+SharedFs::open(const std::string &name) const
+{
+    auto it = files_.find(name);
+    return it == files_.end() ? nullptr : &it->second;
+}
+
+void
+SharedFs::remove(const std::string &name)
+{
+    auto it = files_.find(name);
+    if (it == files_.end())
+        return;
+    releaseFrames(it->second);
+    files_.erase(it);
+}
+
+void
+SharedFs::releaseFrames(CxlFsFile &file)
+{
+    for (mem::PhysAddr f : file.frames)
+        machine_.cxl().decRef(f);
+    usedBytes_ -= file.frames.size() * mem::kPageSize;
+    file.frames.clear();
+}
+
+} // namespace cxlfork::cxl

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * An in-CXL-memory filesystem shared by all nodes.
+ *
+ * This is the CRIU-CXL transport (paper Sec. 6.2): the checkpointing
+ * node serializes image files here; the restoring node reads them
+ * without any file copy, paying only CXL access costs. Backing frames
+ * are allocated on the CXL device so checkpoint files count against
+ * its capacity.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/machine.hh"
+#include "sim/clock.hh"
+
+namespace cxlfork::cxl {
+
+/** One file stored in CXL memory. */
+struct CxlFsFile
+{
+    std::string name;
+    std::vector<uint8_t> data;  ///< Real encoded bytes (token-compressed).
+    uint64_t simulatedBytes = 0; ///< Size the file would have for real.
+    std::vector<mem::PhysAddr> frames; ///< CXL frames backing it.
+};
+
+/** The shared checkpoint-file store. */
+class SharedFs
+{
+  public:
+    explicit SharedFs(mem::Machine &machine) : machine_(machine) {}
+
+    ~SharedFs();
+
+    SharedFs(const SharedFs &) = delete;
+    SharedFs &operator=(const SharedFs &) = delete;
+
+    /**
+     * Write a file: allocates CXL frames for its simulated size and
+     * charges the writing node's clock for the non-temporal stores.
+     * Overwrites any previous file of the same name.
+     */
+    const CxlFsFile &write(const std::string &name,
+                           std::vector<uint8_t> encoded,
+                           uint64_t simulatedBytes, sim::SimClock &clock);
+
+    /** Open for reading; nullptr when absent. No cost (mapped access). */
+    const CxlFsFile *open(const std::string &name) const;
+
+    /** Remove a file, releasing its CXL frames. */
+    void remove(const std::string &name);
+
+    uint64_t fileCount() const { return files_.size(); }
+    uint64_t usedBytes() const { return usedBytes_; }
+
+  private:
+    void releaseFrames(CxlFsFile &file);
+
+    mem::Machine &machine_;
+    std::map<std::string, CxlFsFile> files_;
+    uint64_t usedBytes_ = 0;
+};
+
+} // namespace cxlfork::cxl

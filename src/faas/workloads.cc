@@ -1,0 +1,98 @@
+#include "workloads.hh"
+
+namespace cxlfork::faas {
+
+using namespace sim::time_literals;
+
+namespace {
+
+FunctionSpec
+make(const std::string &name, uint64_t footprintMib, double initFrac,
+     double roFrac, double rwFrac, uint64_t wsMib, double reuse,
+     sim::SimTime compute, sim::SimTime init, double libFrac,
+     uint32_t vmas, uint64_t seed)
+{
+    FunctionSpec s;
+    s.name = name;
+    s.footprintBytes = mem::mib(footprintMib);
+    s.initFrac = initFrac;
+    s.roFrac = roFrac;
+    s.rwFrac = rwFrac;
+    s.workingSetBytes = mem::mib(wsMib);
+    s.wsReuse = reuse;
+    s.computeTime = compute;
+    s.stateInitTime = init;
+    s.libFracOfInit = libFrac;
+    s.vmaCount = vmas;
+    s.seed = seed;
+    return s;
+}
+
+std::vector<WorkloadEntry>
+build()
+{
+    std::vector<WorkloadEntry> v;
+    v.push_back({make("Float", 24, 0.78, 0.17, 0.05, 2, 8, 18_ms, 240_ms,
+                      0.50, 120, 11),
+                 "Sin, Cos, and Sqrt on floats"});
+    v.push_back({make("Linpack", 33, 0.70, 0.22, 0.08, 8, 16, 90_ms, 260_ms,
+                      0.45, 130, 12),
+                 "Linear algebra solver for matrices"});
+    v.push_back({make("Json", 24, 0.72, 0.21, 0.07, 4, 6, 35_ms, 240_ms,
+                      0.50, 140, 13),
+                 "JSON serialization & deserialization"});
+    v.push_back({make("Pyaes", 24, 0.78, 0.18, 0.04, 3, 12, 70_ms, 230_ms,
+                      0.50, 120, 14),
+                 "Python AES encryption of a string"});
+    v.push_back({make("Chameleon", 27, 0.74, 0.21, 0.05, 5, 6, 45_ms, 245_ms,
+                      0.50, 150, 15),
+                 "HTML table rendering"});
+    v.push_back({make("HTML", 256, 0.85, 0.13, 0.02, 6, 4, 12_ms, 280_ms,
+                      0.35, 180, 16),
+                 "HTML web service"});
+    v.push_back({make("Cnn", 265, 0.70, 0.27, 0.03, 45, 6, 180_ms, 300_ms,
+                      0.30, 220, 17),
+                 "JPEG classification CNN"});
+    v.push_back({make("Rnn", 190, 0.62, 0.33, 0.05, 22, 6, 60_ms, 320_ms,
+                      0.30, 200, 18),
+                 "Generating natural language sentences"});
+    v.push_back({make("BFS", 125, 0.42, 0.52, 0.06, 70, 8, 150_ms, 290_ms,
+                      0.30, 160, 19),
+                 "Breadth-first search"});
+    v.push_back({make("Bert", 630, 0.68, 0.29, 0.03, 190, 3, 420_ms, 230_ms,
+                      0.25, 300, 20),
+                 "BERT-based ML inference"});
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadEntry> &
+table1Workloads()
+{
+    static const std::vector<WorkloadEntry> workloads = build();
+    return workloads;
+}
+
+std::optional<FunctionSpec>
+findWorkload(const std::string &name)
+{
+    for (const WorkloadEntry &w : table1Workloads()) {
+        if (w.spec.name == name)
+            return w.spec;
+    }
+    return std::nullopt;
+}
+
+std::vector<FunctionSpec>
+representativeWorkloads()
+{
+    // One small cache-resident function, one mid-size, and the two
+    // LLC-exceeding functions the tiering study hinges on.
+    std::vector<FunctionSpec> out;
+    for (const char *name : {"Float", "Json", "Rnn", "BFS", "Bert"})
+        out.push_back(*findWorkload(name));
+    return out;
+}
+
+} // namespace cxlfork::faas

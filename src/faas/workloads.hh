@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The evaluation workloads: the ten serverless functions of Table 1
+ * (FunctionBench CPU/memory functions plus three real-world functions),
+ * with synthetic segment splits and working sets calibrated so the
+ * Fig. 1 averages (72.2 / 23 / 4.8 %) and the paper's cache behaviour
+ * (only BFS and Bert exceed the 64 MB LLC) hold.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "function.hh"
+
+namespace cxlfork::faas {
+
+/** Spec plus the Table 1 description string. */
+struct WorkloadEntry
+{
+    FunctionSpec spec;
+    std::string description;
+};
+
+/** All ten Table 1 functions. */
+const std::vector<WorkloadEntry> &table1Workloads();
+
+/** Lookup by function name (nullopt when unknown). */
+std::optional<FunctionSpec> findWorkload(const std::string &name);
+
+/** The subset used in the Fig. 9 sensitivity study. */
+std::vector<FunctionSpec> representativeWorkloads();
+
+} // namespace cxlfork::faas

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * CXL fabric contention model (paper Sec. 8 "Scalability to a high
+ * number of nodes": "in a large cluster, we anticipate that limited
+ * CXL bandwidth may be a bottleneck").
+ *
+ * The device has a fixed read/write bandwidth; when several nodes
+ * drive it concurrently, each stream sees a proportional share plus a
+ * mild queueing inflation of the access latency. This is a sustained
+ * steady-state model (no per-request queue simulation), applied by
+ * deriving a contended CostParams for a given sharer count.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hh"
+
+namespace cxlfork::mem {
+
+/** Contention parameters. */
+struct FabricContentionModel
+{
+    /**
+     * Fraction of the latency added per extra concurrent sharer
+     * (queueing at the device port). 0.12 reproduces the mild
+     * super-linear degradation measured on real multi-headed devices.
+     */
+    double latencyInflationPerSharer = 0.12;
+
+    /**
+     * Fraction of aggregate device bandwidth one stream retains when n
+     * streams are active is 1/n; the factor below models scheduling
+     * overhead on top of the fair share.
+     */
+    double bandwidthOverheadPerSharer = 0.05;
+
+    /**
+     * Derive the cost parameters one node observes when `sharers`
+     * nodes concurrently drive the CXL device.
+     */
+    sim::CostParams
+    contend(const sim::CostParams &base, uint32_t sharers) const
+    {
+        sim::CostParams out = base;
+        if (sharers <= 1)
+            return out;
+        const double n = double(sharers);
+        const double share =
+            1.0 / (n * (1.0 + bandwidthOverheadPerSharer * (n - 1.0)));
+        out.cxlReadBwGBs = base.cxlReadBwGBs * share;
+        out.cxlWriteBwGBs = base.cxlWriteBwGBs * share;
+        out.cxlLatency =
+            base.cxlLatency * (1.0 + latencyInflationPerSharer * (n - 1.0));
+        return out;
+    }
+};
+
+} // namespace cxlfork::mem

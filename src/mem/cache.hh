@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytic last-level-cache model for one node.
+ *
+ * The evaluation's cache effects are working-set effects: functions
+ * whose steady working set fits in the 64 MB LLC pay (almost) nothing
+ * for CXL-resident read-only data, while BFS/Bert spill and expose the
+ * CXL latency (paper Sec. 7.1 "Tiering"). A transparent analytic model
+ * captures exactly that: cold misses stream the working set once, and
+ * the steady-state miss ratio is the capacity shortfall.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "types.hh"
+
+namespace cxlfork::mem {
+
+/** Per-node LLC capacity model. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(uint64_t capacityBytes, double effectiveness = 0.9)
+        : capacity_(capacityBytes), effectiveness_(effectiveness)
+    {}
+
+    uint64_t capacityBytes() const { return capacity_; }
+
+    /** Usable capacity after conflict/associativity losses. */
+    double
+    effectiveCapacity() const
+    {
+        return double(capacity_) * effectiveness_;
+    }
+
+    /**
+     * Steady-state miss ratio for uniform re-access over a working set.
+     * Zero when the set fits; otherwise the fraction that cannot be
+     * resident.
+     */
+    double
+    steadyMissRate(uint64_t workingSetBytes) const
+    {
+        const double ws = double(workingSetBytes);
+        if (ws <= effectiveCapacity() || ws == 0.0)
+            return 0.0;
+        return 1.0 - effectiveCapacity() / ws;
+    }
+
+    /** Compulsory misses to stream a byte range once. */
+    static uint64_t
+    coldMisses(uint64_t bytes)
+    {
+        return (bytes + kCachelineSize - 1) / kCachelineSize;
+    }
+
+    /**
+     * Misses for a phase issuing `accesses` cacheline touches uniformly
+     * over a working set of `workingSetBytes`, the first sweep cold.
+     */
+    uint64_t
+    missesFor(uint64_t workingSetBytes, uint64_t accesses) const
+    {
+        const uint64_t cold = coldMisses(workingSetBytes);
+        if (accesses <= cold)
+            return accesses;
+        const uint64_t warm = accesses - cold;
+        return cold + uint64_t(double(warm) * steadyMissRate(workingSetBytes));
+    }
+
+  private:
+    uint64_t capacity_;
+    double effectiveness_;
+};
+
+} // namespace cxlfork::mem

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Physical page frame metadata.
+ *
+ * Frames do not carry 4 KB of real data; each carries a 64-bit content
+ * token standing in for the page's bytes. Copying a page copies the
+ * token, so checkpoint/restore data-integrity is testable ("the child
+ * reads exactly the parent's tokens") without gigabytes of storage.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace cxlfork::mem {
+
+/** What a frame is being used for (informational + accounting). */
+enum class FrameUse : uint8_t {
+    Free,       ///< On the allocator free list.
+    Data,       ///< Process data page.
+    PageTable,  ///< A page-table node.
+    Metadata,   ///< Checkpointed OS metadata (VMA leaves, descriptors).
+    FileCache,  ///< Page-cache page backing a file.
+};
+
+/** Metadata for one simulated physical page frame. */
+struct Frame
+{
+    uint64_t content = 0;   ///< Token standing in for the page's bytes.
+    uint32_t refcount = 0;  ///< Sharers (CoW sharing, CXL cross-node sharing).
+    FrameUse use = FrameUse::Free;
+
+    bool allocated() const { return use != FrameUse::Free; }
+};
+
+} // namespace cxlfork::mem

@@ -1,0 +1,106 @@
+#include "frame_allocator.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace cxlfork::mem {
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::LocalDram:
+        return "local-dram";
+      case Tier::Cxl:
+        return "cxl";
+    }
+    return "?";
+}
+
+FrameAllocator::FrameAllocator(std::string name, Tier tier, PhysAddr base,
+                               uint64_t capacityBytes)
+    : name_(std::move(name)), tier_(tier), base_(base),
+      capacity_(capacityBytes), totalFrames_(capacityBytes / kPageSize)
+{
+    if (base_.raw % kPageSize != 0)
+        sim::fatal("tier %s: base not page aligned", name_.c_str());
+    if (capacity_ % kPageSize != 0)
+        sim::fatal("tier %s: capacity not a page multiple", name_.c_str());
+    frames_.resize(totalFrames_);
+    freeList_.reserve(totalFrames_);
+    // Hand out low addresses first: push high indices so pop_back yields
+    // index 0 first. Deterministic and cheap.
+    for (uint64_t i = totalFrames_; i > 0; --i)
+        freeList_.push_back(i - 1);
+}
+
+PhysAddr
+FrameAllocator::alloc(FrameUse use, uint64_t content)
+{
+    if (use == FrameUse::Free)
+        sim::panic("allocating a frame as Free");
+    if (freeList_.empty()) {
+        sim::fatal("tier %s out of memory (%llu frames in use)",
+                   name_.c_str(), (unsigned long long)usedFrames_);
+    }
+    const uint64_t idx = freeList_.back();
+    freeList_.pop_back();
+    Frame &f = frames_[idx];
+    f.use = use;
+    f.refcount = 1;
+    f.content = content;
+    ++usedFrames_;
+    peakUsedFrames_ = std::max(peakUsedFrames_, usedFrames_);
+    return PhysAddr{base_.raw + idx * kPageSize};
+}
+
+uint64_t
+FrameAllocator::indexOf(PhysAddr addr) const
+{
+    if (!contains(addr))
+        sim::panic("address %#llx outside tier %s",
+                   (unsigned long long)addr.raw, name_.c_str());
+    return (addr.raw - base_.raw) / kPageSize;
+}
+
+void
+FrameAllocator::incRef(PhysAddr addr)
+{
+    Frame &f = frames_[indexOf(addr)];
+    CXLF_ASSERT(f.allocated());
+    ++f.refcount;
+}
+
+bool
+FrameAllocator::decRef(PhysAddr addr)
+{
+    Frame &f = frames_[indexOf(addr)];
+    CXLF_ASSERT(f.allocated());
+    CXLF_ASSERT(f.refcount > 0);
+    if (--f.refcount > 0)
+        return false;
+    f.use = FrameUse::Free;
+    f.content = 0;
+    --usedFrames_;
+    freeList_.push_back(indexOf(addr));
+    return true;
+}
+
+Frame &
+FrameAllocator::frame(PhysAddr addr)
+{
+    Frame &f = frames_[indexOf(addr)];
+    CXLF_ASSERT(f.allocated());
+    return f;
+}
+
+const Frame &
+FrameAllocator::frame(PhysAddr addr) const
+{
+    const Frame &f = frames_[indexOf(addr)];
+    CXLF_ASSERT(f.allocated());
+    return f;
+}
+
+} // namespace cxlfork::mem

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A frame allocator over one contiguous physical range (one tier
+ * instance): a node's DRAM or the shared CXL device.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frame.hh"
+#include "types.hh"
+
+namespace cxlfork::mem {
+
+/**
+ * Allocates page frames from [base, base + capacity) and tracks their
+ * metadata and reference counts.
+ */
+class FrameAllocator
+{
+  public:
+    /**
+     * @param name Human-readable tier name for diagnostics.
+     * @param tier Which tier this range models.
+     * @param base First physical address of the range (page aligned).
+     * @param capacityBytes Size of the range (page multiple).
+     */
+    FrameAllocator(std::string name, Tier tier, PhysAddr base,
+                   uint64_t capacityBytes);
+
+    /**
+     * Allocate one frame.
+     * @return the frame's physical address, refcount 1.
+     * @throws sim::FatalError if the tier is exhausted.
+     */
+    PhysAddr alloc(FrameUse use, uint64_t content = 0);
+
+    /** True if at least n more frames can be allocated. */
+    bool canAlloc(uint64_t n = 1) const { return freeFrames() >= n; }
+
+    /** Add one reference to an allocated frame. */
+    void incRef(PhysAddr addr);
+
+    /**
+     * Drop one reference; frees the frame when it reaches zero.
+     * @return true if the frame was freed.
+     */
+    bool decRef(PhysAddr addr);
+
+    /** Metadata access. Address must be an allocated frame in range. */
+    Frame &frame(PhysAddr addr);
+    const Frame &frame(PhysAddr addr) const;
+
+    bool contains(PhysAddr addr) const
+    {
+        return addr.raw >= base_.raw && addr.raw < base_.raw + capacity_;
+    }
+
+    Tier tier() const { return tier_; }
+    PhysAddr base() const { return base_; }
+    uint64_t capacityBytes() const { return capacity_; }
+    uint64_t usedBytes() const { return usedFrames_ * kPageSize; }
+    uint64_t freeBytes() const { return capacity_ - usedBytes(); }
+    uint64_t usedFrames() const { return usedFrames_; }
+    uint64_t freeFrames() const { return totalFrames_ - usedFrames_; }
+    const std::string &name() const { return name_; }
+
+    /** Peak concurrent usage since construction/reset, in bytes. */
+    uint64_t peakUsedBytes() const { return peakUsedFrames_ * kPageSize; }
+    void resetPeak() { peakUsedFrames_ = usedFrames_; }
+
+  private:
+    uint64_t indexOf(PhysAddr addr) const;
+
+    std::string name_;
+    Tier tier_;
+    PhysAddr base_;
+    uint64_t capacity_;
+    uint64_t totalFrames_;
+    uint64_t usedFrames_ = 0;
+    uint64_t peakUsedFrames_ = 0;
+    std::vector<Frame> frames_;
+    std::vector<uint64_t> freeList_;
+};
+
+} // namespace cxlfork::mem

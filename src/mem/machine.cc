@@ -1,0 +1,54 @@
+#include "machine.hh"
+
+#include "sim/log.hh"
+
+namespace cxlfork::mem {
+
+namespace {
+
+// Disjoint, page-aligned physical windows. Node i's DRAM begins at
+// (i + 1) * 256 GB; the CXL device sits at 16 TB. Address 0 is never
+// handed out, so PhysAddr{0} can mean "null".
+constexpr uint64_t kNodeStride = 1ull << 38;
+constexpr uint64_t kCxlBase = 1ull << 44;
+
+} // namespace
+
+Machine::Machine(const MachineConfig &cfg) : costs_(cfg.costs)
+{
+    if (cfg.numNodes == 0)
+        sim::fatal("machine needs at least one node");
+    if (cfg.dramPerNodeBytes > kNodeStride)
+        sim::fatal("per-node DRAM exceeds the address window");
+    for (uint32_t i = 0; i < cfg.numNodes; ++i) {
+        nodeDram_.push_back(std::make_unique<FrameAllocator>(
+            sim::format("node%u-dram", i), Tier::LocalDram,
+            PhysAddr{(uint64_t(i) + 1) * kNodeStride}, cfg.dramPerNodeBytes));
+        llc_.emplace_back(cfg.llcBytes);
+    }
+    cxl_ = std::make_unique<FrameAllocator>(
+        "cxl-device", Tier::Cxl, PhysAddr{kCxlBase}, cfg.cxlCapacityBytes);
+}
+
+Tier
+Machine::tierOf(PhysAddr addr) const
+{
+    if (cxl_->contains(addr))
+        return Tier::Cxl;
+    return Tier::LocalDram;
+}
+
+FrameAllocator &
+Machine::ownerOf(PhysAddr addr)
+{
+    if (cxl_->contains(addr))
+        return *cxl_;
+    for (auto &dram : nodeDram_) {
+        if (dram->contains(addr))
+            return *dram;
+    }
+    sim::panic("physical address %#llx belongs to no tier",
+               (unsigned long long)addr.raw);
+}
+
+} // namespace cxlfork::mem

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The simulated machine: N compute nodes, each with private DRAM and an
+ * LLC, all attached to one shared CXL memory device.
+ *
+ * This models the paper's platform (two VMs on a dual-socket Sapphire
+ * Rapids host sharing an Agilex FPGA CXL device), generalized to N
+ * nodes. Physical tiers occupy disjoint ranges of a flat 64-bit
+ * address space, so any PhysAddr resolves to its tier.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache.hh"
+#include "frame_allocator.hh"
+#include "sim/cost_model.hh"
+#include "sim/log.hh"
+#include "types.hh"
+
+namespace cxlfork::mem {
+
+/** Machine construction parameters. */
+struct MachineConfig
+{
+    uint32_t numNodes = 2;
+    uint64_t dramPerNodeBytes = gib(8);
+    uint64_t cxlCapacityBytes = gib(16);  ///< Paper: 16 GB DDR4 DIMM.
+    uint64_t llcBytes = mib(64);          ///< Paper: 64 MB L3 per socket.
+    sim::CostParams costs;
+};
+
+/** The N-node CXL-interconnected machine. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    uint32_t numNodes() const { return uint32_t(nodeDram_.size()); }
+
+    FrameAllocator &nodeDram(NodeId n) { return *nodeDram_.at(n); }
+    const FrameAllocator &nodeDram(NodeId n) const { return *nodeDram_.at(n); }
+
+    FrameAllocator &cxl() { return *cxl_; }
+    const FrameAllocator &cxl() const { return *cxl_; }
+
+    CacheModel &llc(NodeId n) { return llc_.at(n); }
+    const CacheModel &llc(NodeId n) const { return llc_.at(n); }
+
+    const sim::CostParams &costs() const { return costs_; }
+    sim::CostParams &mutableCosts() { return costs_; }
+
+    /** Which tier an address lives on. */
+    Tier tierOf(PhysAddr addr) const;
+
+    /** The allocator owning an address. */
+    FrameAllocator &ownerOf(PhysAddr addr);
+
+    /** Frame metadata for any allocated address. */
+    Frame &frame(PhysAddr addr) { return ownerOf(addr).frame(addr); }
+
+    /** Raw access round-trip latency from any node to an address. */
+    sim::SimTime
+    accessLatency(PhysAddr addr) const
+    {
+        return tierOf(addr) == Tier::Cxl ? costs_.cxlLatency
+                                         : costs_.dramLatency;
+    }
+
+    /** CXL device-relative offset for rebasing (paper Sec. 4.1 step 7). */
+    uint64_t
+    cxlOffsetOf(PhysAddr addr) const
+    {
+        CXLF_ASSERT(cxl_->contains(addr));
+        return addr.raw - cxl_->base().raw;
+    }
+
+    PhysAddr
+    cxlAddrOf(uint64_t offset) const
+    {
+        CXLF_ASSERT(offset < cxl_->capacityBytes());
+        return PhysAddr{cxl_->base().raw + offset};
+    }
+
+    /** Drop a reference on any frame, local or CXL. */
+    void putFrame(PhysAddr addr) { ownerOf(addr).decRef(addr); }
+
+    /** Add a reference on any frame. */
+    void getFrame(PhysAddr addr) { ownerOf(addr).incRef(addr); }
+
+  private:
+    sim::CostParams costs_;
+    std::vector<std::unique_ptr<FrameAllocator>> nodeDram_;
+    std::unique_ptr<FrameAllocator> cxl_;
+    std::vector<CacheModel> llc_;
+};
+
+} // namespace cxlfork::mem

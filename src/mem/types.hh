@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fundamental types of the simulated physical memory system.
+ */
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace cxlfork::mem {
+
+/** Page geometry (x86-64 base pages). */
+inline constexpr uint64_t kPageShift = 12;
+inline constexpr uint64_t kPageSize = 1ull << kPageShift;
+inline constexpr uint64_t kCachelineSize = 64;
+inline constexpr uint64_t kLinesPerPage = kPageSize / kCachelineSize;
+
+/** Identifies a compute node (an independent OS instance). */
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId(0);
+
+/** Which memory tier a physical address belongs to. */
+enum class Tier : uint8_t {
+    LocalDram, ///< Node-private DDR.
+    Cxl,       ///< Fabric-shared CXL device memory.
+};
+
+const char *tierName(Tier t);
+
+/**
+ * A simulated physical address. Tiers occupy disjoint ranges of one
+ * flat 64-bit space (assigned by the Machine), so a PhysAddr alone
+ * identifies both tier and frame.
+ */
+struct PhysAddr
+{
+    uint64_t raw = 0;
+
+    constexpr bool isNull() const { return raw == 0; }
+    constexpr PhysAddr pageBase() const { return PhysAddr{raw & ~(kPageSize - 1)}; }
+    constexpr uint64_t pageOffset() const { return raw & (kPageSize - 1); }
+    constexpr PhysAddr plus(uint64_t d) const { return PhysAddr{raw + d}; }
+
+    constexpr auto operator<=>(const PhysAddr &) const = default;
+};
+
+/** A simulated virtual address in some process address space. */
+struct VirtAddr
+{
+    uint64_t raw = 0;
+
+    constexpr VirtAddr pageBase() const { return VirtAddr{raw & ~(kPageSize - 1)}; }
+    constexpr uint64_t pageOffset() const { return raw & (kPageSize - 1); }
+    constexpr uint64_t pageNumber() const { return raw >> kPageShift; }
+    constexpr VirtAddr plus(uint64_t d) const { return VirtAddr{raw + d}; }
+
+    static constexpr VirtAddr fromPageNumber(uint64_t vpn) { return VirtAddr{vpn << kPageShift}; }
+
+    constexpr auto operator<=>(const VirtAddr &) const = default;
+};
+
+/** Bytes -> whole pages, rounding up. */
+constexpr uint64_t
+pagesFor(uint64_t bytes)
+{
+    return (bytes + kPageSize - 1) / kPageSize;
+}
+
+constexpr uint64_t
+mib(uint64_t v)
+{
+    return v << 20;
+}
+
+constexpr uint64_t
+gib(uint64_t v)
+{
+    return v << 30;
+}
+
+} // namespace cxlfork::mem
+
+template <>
+struct std::hash<cxlfork::mem::PhysAddr>
+{
+    size_t operator()(const cxlfork::mem::PhysAddr &a) const noexcept
+    {
+        return std::hash<uint64_t>()(a.raw);
+    }
+};
+
+template <>
+struct std::hash<cxlfork::mem::VirtAddr>
+{
+    size_t operator()(const cxlfork::mem::VirtAddr &a) const noexcept
+    {
+        return std::hash<uint64_t>()(a.raw);
+    }
+};

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Files, inodes and per-process file descriptor tables.
+ *
+ * Nodes share one root filesystem image (the paper's container-image
+ * assumption), so paths resolve identically on every node and CXLfork
+ * can restore file descriptors by re-opening checkpointed paths.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "mem/types.hh"
+
+namespace cxlfork::os {
+
+/** A filesystem object shared across all nodes. */
+struct Inode
+{
+    uint64_t ino = 0;
+    std::string path;
+    uint64_t sizeBytes = 0;
+    uint32_t mode = 0644;
+    uint64_t contentSeed = 0; ///< Derives deterministic per-page tokens.
+
+    /** The content token of page `pageIndex` of this file. */
+    uint64_t
+    pageContent(uint64_t pageIndex) const
+    {
+        // splitmix64 over (seed, page) - deterministic across nodes.
+        uint64_t z = contentSeed + 0x9e3779b97f4a7c15ull * (pageIndex + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+};
+
+/** File open flags (subset). */
+enum FileFlags : uint32_t {
+    kFileRead = 1,
+    kFileWrite = 2,
+};
+
+/** An open file description. */
+struct File
+{
+    std::shared_ptr<Inode> inode;
+    uint32_t flags = kFileRead;
+    uint64_t offset = 0;
+};
+
+/** A socket-like descriptor restored by re-doing the connect. */
+struct Socket
+{
+    std::string peer; ///< "host:port" to re-establish on restore.
+};
+
+/** Per-process descriptor table. */
+class FdTable
+{
+  public:
+    int installFile(File f);
+    int installSocket(Socket s);
+
+    const File *file(int fd) const;
+    const Socket *socket(int fd) const;
+
+    void close(int fd);
+
+    size_t fileCount() const { return files_.size(); }
+    size_t socketCount() const { return sockets_.size(); }
+
+    const std::map<int, File> &files() const { return files_; }
+    const std::map<int, Socket> &sockets() const { return sockets_; }
+
+  private:
+    int nextFd_ = 3; // 0..2 reserved, as tradition demands
+    std::map<int, File> files_;
+    std::map<int, Socket> sockets_;
+};
+
+} // namespace cxlfork::os

@@ -1,0 +1,513 @@
+#include "kernel.hh"
+
+#include "sim/log.hh"
+
+namespace cxlfork::os {
+
+using mem::kPageSize;
+using sim::SimTime;
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::Minor:
+        return "minor";
+      case FaultKind::Major:
+        return "major";
+      case FaultKind::CowLocal:
+        return "cow-local";
+      case FaultKind::CowCxl:
+        return "cow-cxl";
+      case FaultKind::CxlMigrate:
+        return "cxl-migrate";
+      case FaultKind::CxlMapThrough:
+        return "cxl-map";
+    }
+    return "?";
+}
+
+const char *
+tieringPolicyName(TieringPolicy p)
+{
+    switch (p) {
+      case TieringPolicy::MigrateOnWrite:
+        return "migrate-on-write";
+      case TieringPolicy::MigrateOnAccess:
+        return "migrate-on-access";
+      case TieringPolicy::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+NodeOs::NodeOs(mem::NodeId id, mem::Machine &machine,
+               std::shared_ptr<Vfs> vfs, NamespaceRegistry &nsRegistry)
+    : id_(id), machine_(machine), vfs_(std::move(vfs)),
+      nsRegistry_(nsRegistry), hostNs_(nsRegistry.hostSet())
+{
+    if (id_ >= machine_.numNodes())
+        sim::fatal("NodeOs id %u beyond machine nodes", id_);
+}
+
+std::shared_ptr<Task>
+NodeOs::createTask(const std::string &name, const NamespaceSet *ns)
+{
+    const NamespaceSet &set = ns ? *ns : hostNs_;
+    const int pid = set.pid->allocPid();
+    auto mm = std::make_unique<MemoryDescriptor>(machine_, localDram(), clock_);
+    auto task = std::make_shared<Task>(pid, name, id_, std::move(mm), set);
+    tasks_[pid] = task;
+    clock_.advance(machine_.costs().taskCreate);
+    stats_.counter("task.created").inc();
+    return task;
+}
+
+void
+NodeOs::exitTask(const std::shared_ptr<Task> &task)
+{
+    task->setState(TaskState::Zombie);
+    tasks_.erase(task->pid());
+    stats_.counter("task.exited").inc();
+}
+
+std::shared_ptr<Task>
+NodeOs::findTask(int pid) const
+{
+    auto it = tasks_.find(pid);
+    return it == tasks_.end() ? nullptr : it->second;
+}
+
+Vma &
+NodeOs::mapAnon(Task &task, uint64_t bytes, uint8_t perms,
+                const std::string &name, SegClass seg)
+{
+    Vma vma;
+    vma.start = task.mm().allocRange(bytes);
+    vma.end = vma.start.plus(mem::pagesFor(bytes) * kPageSize);
+    vma.perms = perms;
+    vma.kind = VmaKind::Anon;
+    vma.name = name;
+    vma.segClass = seg;
+    clock_.advance(machine_.costs().vmaSetup);
+    return task.mm().vmas().insert(vma);
+}
+
+Vma &
+NodeOs::mapFilePrivate(Task &task, const std::string &path, uint8_t perms,
+                       SegClass seg)
+{
+    auto inode = vfs_->lookup(path);
+    if (!inode)
+        sim::fatal("mapFilePrivate: no such file %s", path.c_str());
+    Vma vma;
+    vma.start = task.mm().allocRange(inode->sizeBytes);
+    vma.end = vma.start.plus(mem::pagesFor(inode->sizeBytes) * kPageSize);
+    vma.perms = perms;
+    vma.kind = VmaKind::FilePrivate;
+    vma.filePath = path;
+    vma.name = path;
+    vma.segClass = seg;
+    clock_.advance(machine_.costs().vmaSetup + machine_.costs().fileOpen);
+    return task.mm().vmas().insert(vma);
+}
+
+Vma &
+NodeOs::mapVma(Task &task, Vma vma)
+{
+    sim::SimTime cost = machine_.costs().vmaSetup;
+    if (vma.kind == VmaKind::FilePrivate) {
+        if (!vfs_->exists(vma.filePath))
+            sim::fatal("mapVma: no such file %s", vma.filePath.c_str());
+        cost += machine_.costs().fileOpen;
+    }
+    clock_.advance(cost);
+    return task.mm().vmas().insert(std::move(vma));
+}
+
+void
+NodeOs::munmap(Task &task, mem::VirtAddr lo, mem::VirtAddr hi)
+{
+    task.mm().vmas().removeRange(lo, hi);
+    task.mm().pageTable().unmapRange(lo, hi);
+    // One invalidation round covers the whole range (batched).
+    clock_.advance(machine_.costs().tlbShootdown +
+                   machine_.costs().vmaSetup);
+    stats_.counter("syscall.munmap").inc();
+}
+
+void
+NodeOs::mprotect(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
+                 uint8_t perms)
+{
+    VmaTree &tree = task.mm().vmas();
+    // Materialize any shared (checkpointed) records under the range:
+    // a permission change is exactly the rare VMA update that forces
+    // the lazy copy of the VMA leaf.
+    for (mem::VirtAddr va = lo.pageBase(); va < hi;
+         va = va.plus(mem::kPageSize)) {
+        if (auto idx = tree.findShared(va)) {
+            tree.materialize(*idx);
+            clock_.advance(machine_.costs().vmaSetup);
+            stats_.counter("vma.materialized").inc();
+        }
+    }
+    bool any = false;
+    std::vector<Vma *> touched;
+    tree.forEach([&](const Vma &v) {
+        if (v.start >= lo && v.end <= hi)
+            touched.push_back(const_cast<Vma *>(&v));
+    });
+    for (Vma *v : touched) {
+        v->perms = perms;
+        clock_.advance(machine_.costs().vmaSetup);
+        any = true;
+    }
+    if (!any)
+        sim::fatal("mprotect: no VMA fully contained in range");
+
+    // Apply to existing translations. Collect first: permission stores
+    // may clone sealed leaves under us.
+    const bool writable = perms & kVmaWrite;
+    std::vector<std::pair<mem::VirtAddr, Pte>> updates;
+    task.mm().pageTable().forEachPresent(
+        lo, hi, [&](mem::VirtAddr va, Pte &pte) {
+            Pte next = pte;
+            if (!writable) {
+                if (!pte.writable())
+                    return;
+                next.clear(Pte::kWrite);
+            } else {
+                if (pte.writable())
+                    return;
+                // CoW / checkpoint / file-backed pages stay read-only;
+                // the write fault upgrades them with a private copy.
+                if (pte.cow() || pte.cxlCheckpoint() || pte.fileBacked())
+                    return;
+                const mem::Frame &frame = machine_.frame(pte.frame());
+                if (frame.refcount != 1)
+                    return;
+                next.set(Pte::kWrite);
+            }
+            updates.emplace_back(va, next);
+        });
+    for (const auto &[va, pte] : updates)
+        task.mm().pageTable().setPte(va, pte);
+    if (!updates.empty())
+        clock_.advance(machine_.costs().tlbShootdown);
+    stats_.counter("syscall.mprotect").inc();
+}
+
+Vma *
+NodeOs::resolveVma(Task &task, mem::VirtAddr va)
+{
+    VmaTree &tree = task.mm().vmas();
+    if (Vma *v = tree.findLocal(va))
+        return v;
+    if (auto idx = tree.findShared(va)) {
+        // Lazy VMA-leaf materialization (paper Sec. 4.2.1): copy the
+        // checkpointed record to local memory and re-register file
+        // callbacks only now, during the first fault into the range.
+        const Vma &rec = tree.shared()->at(*idx);
+        SimTime cost = machine_.costs().vmaSetup +
+                       machine_.costs().deserializeCost(
+                           64 + rec.filePath.size());
+        if (rec.kind == VmaKind::FilePrivate)
+            cost += machine_.costs().fileOpen;
+        clock_.advance(cost);
+        stats_.counter("vma.materialized").inc();
+        return &tree.materialize(*idx);
+    }
+    return nullptr;
+}
+
+AccessResult
+NodeOs::access(Task &task, mem::VirtAddr va, bool isWrite,
+               uint64_t contentOnWrite)
+{
+    PageTable &pt = task.mm().pageTable();
+    const Pte pte = pt.lookup(va);
+
+    AccessResult res;
+    if (pte.present() && (!isWrite || pte.writable())) {
+        // Translation hit: no fault. Record the serving tier and let
+        // the hardware walker maintain A/D.
+        res.tier = machine_.tierOf(pte.frame());
+        if (isWrite) {
+            machine_.frame(pte.frame()).content = contentOnWrite;
+            // A write that hits a writable translation of a sealed
+            // (checkpointed) frame is impossible by construction:
+            // checkpointed PTEs are always read-only.
+        }
+        pt.hwSetAccessedDirty(va, isWrite);
+        return res;
+    }
+    const sim::SimTime faultStart = clock_.now();
+    res = handleFault(task, va, isWrite, contentOnWrite);
+    faultTime_ += clock_.now() - faultStart;
+    pt.hwSetAccessedDirty(va, isWrite);
+    return res;
+}
+
+AccessResult
+NodeOs::migrateFromCheckpoint(Task &task, mem::VirtAddr va, const Vma &vma,
+                              Pte ckptPte, bool isWrite,
+                              uint64_t contentOnWrite)
+{
+    // Copy the checkpointed page into a fresh local frame.
+    AccessResult res;
+    const uint64_t content = machine_.frame(ckptPte.frame()).content;
+    const mem::PhysAddr frame = localDram().alloc(
+        mem::FrameUse::Data, isWrite ? contentOnWrite : content);
+    Pte pte = Pte::make(frame, vma.writable());
+    if (isWrite)
+        pte.set(Pte::kDirty);
+    const auto setRes = task.mm().pageTable().setPte(va, pte);
+    clock_.advance(task.mm().backing()->migrateCost(machine_.costs()));
+    res.fault = FaultKind::CxlMigrate;
+    res.tier = mem::Tier::LocalDram;
+    res.leafCow = setRes.leafCow;
+    stats_.counter("fault.cxl_migrate").inc();
+    return res;
+}
+
+AccessResult
+NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
+                    uint64_t contentOnWrite)
+{
+    AccessResult res;
+    Vma *vma = resolveVma(task, va);
+    if (!vma) {
+        sim::fatal("segfault: task %s (pid %d) at %#llx",
+                   task.name().c_str(), task.pid(),
+                   (unsigned long long)va.raw);
+    }
+    if (isWrite && !vma->writable())
+        sim::fatal("write to read-only VMA %s", vma->name.c_str());
+
+    PageTable &pt = task.mm().pageTable();
+    const Pte pte = pt.lookup(va);
+    const sim::CostParams &costs = machine_.costs();
+
+    if (!pte.present()) {
+        // Not-present fault: checkpoint-backed, anonymous, or file.
+        if (const CheckpointBacking *backing = task.mm().backing()) {
+            if (auto ckpt = backing->checkpointPte(va)) {
+                switch (task.mm().policy()) {
+                  case TieringPolicy::MigrateOnAccess:
+                    return migrateFromCheckpoint(task, va, *vma, *ckpt,
+                                                 isWrite, contentOnWrite);
+                  case TieringPolicy::Hybrid:
+                    // A-bit set => estimated hot => bring it local.
+                    // Writes always need a private copy.
+                    if (isWrite || ckpt->accessed()) {
+                        return migrateFromCheckpoint(task, va, *vma, *ckpt,
+                                                     isWrite,
+                                                     contentOnWrite);
+                    }
+                    [[fallthrough]];
+                  case TieringPolicy::MigrateOnWrite: {
+                    // Map the CXL frame in place, read-only.
+                    Pte mapped = Pte::make(ckpt->frame(), false);
+                    mapped.set(Pte::kSoftCxl);
+                    if (ckpt->userHot())
+                        mapped.set(Pte::kSoftHot);
+                    const auto setRes = pt.setPte(va, mapped);
+                    clock_.advance(costs.faultTrap);
+                    stats_.counter("fault.cxl_map").inc();
+                    res.fault = FaultKind::CxlMapThrough;
+                    res.tier = mem::Tier::Cxl;
+                    res.leafCow = setRes.leafCow;
+                    if (isWrite) {
+                        // Immediately take the CoW path below.
+                        break;
+                    }
+                    return res;
+                  }
+                }
+            }
+        }
+        if (pt.lookup(va).present()) {
+            // Fall-through from hybrid/MoW map + write: handled below.
+        } else if (vma->kind == VmaKind::Anon ||
+                   vma->kind == VmaKind::SharedAnon) {
+            const mem::PhysAddr frame =
+                localDram().alloc(mem::FrameUse::Data, contentOnWrite);
+            Pte newPte = Pte::make(frame, vma->writable());
+            if (isWrite)
+                newPte.set(Pte::kDirty);
+            pt.setPte(va, newPte);
+            clock_.advance(costs.minorFault);
+            stats_.counter("fault.minor").inc();
+            res.fault = FaultKind::Minor;
+            res.tier = mem::Tier::LocalDram;
+            return res;
+        } else {
+            // Private file mapping: read the page through the FS into
+            // the page cache, map read-only; a write CoWs it next.
+            auto inode = vfs_->lookup(vma->filePath);
+            if (!inode)
+                sim::fatal("mapped file vanished: %s", vma->filePath.c_str());
+            const uint64_t pageIdx =
+                (va.raw - vma->start.raw) / kPageSize +
+                vma->fileOffset / kPageSize;
+            const mem::PhysAddr frame = localDram().alloc(
+                mem::FrameUse::FileCache, inode->pageContent(pageIdx));
+            Pte newPte = Pte::make(frame, false);
+            newPte.set(Pte::kSoftFile);
+            if (vma->writable())
+                newPte.set(Pte::kSoftCow);
+            pt.setPte(va, newPte);
+            clock_.advance(costs.majorFaultFs);
+            stats_.counter("fault.major").inc();
+            res.fault = FaultKind::Major;
+            res.tier = mem::Tier::LocalDram;
+            if (!isWrite)
+                return res;
+            // Write to a fresh file page: CoW it right away (below).
+        }
+    }
+
+    // Write to a present but non-writable translation: CoW.
+    const Pte cur = pt.lookup(va);
+    CXLF_ASSERT(cur.present());
+    if (!isWrite || cur.writable())
+        return res; // resolved by the not-present path above
+
+    if (cur.cxlCheckpoint()) {
+        // CoW from the CXL tier (paper Sec. 4.2): copy to local memory,
+        // keep the checkpoint pristine.
+        const mem::PhysAddr frame =
+            localDram().alloc(mem::FrameUse::Data, contentOnWrite);
+        Pte newPte = Pte::make(frame, true);
+        newPte.set(Pte::kDirty);
+        const auto setRes = pt.setPte(va, newPte);
+        clock_.advance(costs.cxlCowFault());
+        stats_.counter("fault.cow_cxl").inc();
+        if (setRes.leafCow)
+            stats_.counter("fault.leaf_cow").inc();
+        res.fault = FaultKind::CowCxl;
+        res.tier = mem::Tier::LocalDram;
+        res.leafCow = setRes.leafCow;
+        return res;
+    }
+
+    if (cur.cow() || cur.fileBacked()) {
+        mem::FrameAllocator &owner = machine_.ownerOf(cur.frame());
+        Pte newPte = cur;
+        if (owner.frame(cur.frame()).refcount == 1 &&
+            owner.frame(cur.frame()).use != mem::FrameUse::FileCache) {
+            // Sole owner: re-arm the mapping writable in place.
+            newPte.set(Pte::kWrite | Pte::kDirty);
+            newPte.clear(Pte::kSoftCow);
+            machine_.frame(cur.frame()).content = contentOnWrite;
+            pt.setPte(va, newPte);
+            clock_.advance(costs.faultTrap + costs.cowFaultLocal);
+        } else {
+            const mem::PhysAddr frame =
+                localDram().alloc(mem::FrameUse::Data, contentOnWrite);
+            newPte = Pte::make(frame, true);
+            newPte.set(Pte::kDirty);
+            // setPte drops our reference on the shared source frame.
+            pt.setPte(va, newPte);
+            clock_.advance(costs.localCowFault());
+        }
+        stats_.counter("fault.cow_local").inc();
+        res.fault = FaultKind::CowLocal;
+        res.tier = mem::Tier::LocalDram;
+        return res;
+    }
+
+    sim::fatal("protection fault: write at %#llx in task %s",
+               (unsigned long long)va.raw, task.name().c_str());
+}
+
+std::map<FaultKind, uint64_t>
+NodeOs::touchRange(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
+                   bool isWrite,
+                   const std::function<uint64_t(uint64_t)> &content)
+{
+    std::map<FaultKind, uint64_t> counts;
+    uint64_t pageIdx = 0;
+    for (mem::VirtAddr va = lo.pageBase(); va < hi;
+         va = va.plus(kPageSize), ++pageIdx) {
+        const uint64_t token = content ? content(pageIdx) : 0;
+        const AccessResult r = access(task, va, isWrite, token);
+        ++counts[r.fault];
+    }
+    return counts;
+}
+
+uint64_t
+NodeOs::read(Task &task, mem::VirtAddr va)
+{
+    access(task, va, false);
+    const Pte pte = task.mm().pageTable().lookup(va);
+    CXLF_ASSERT(pte.present());
+    return machine_.frame(pte.frame()).content;
+}
+
+void
+NodeOs::write(Task &task, mem::VirtAddr va, uint64_t content)
+{
+    access(task, va, true, content);
+}
+
+std::shared_ptr<Task>
+NodeOs::localFork(Task &parent, const std::string &childName)
+{
+    auto child = createTask(childName, &parent.namespaces());
+    child->cpu() = parent.cpu();
+
+    // Duplicate descriptors (same open files).
+    for (const auto &[fd, file] : parent.fds().files())
+        child->fds().installFile(file);
+    for (const auto &[fd, sock] : parent.fds().sockets())
+        child->fds().installSocket(sock);
+
+    // Duplicate the VMA tree.
+    parent.mm().vmas().forEach([&](const Vma &vma) {
+        child->mm().vmas().insert(vma);
+        clock_.advance(machine_.costs().vmaSetup);
+    });
+
+    // Duplicate page tables with CoW semantics. Sealed (checkpointed)
+    // leaves are re-attached; private leaves are copied and every
+    // present PTE on both sides becomes read-only + CoW.
+    PageTable &ppt = parent.mm().pageTable();
+    PageTable &cpt = child->mm().pageTable();
+    ppt.forEachLeaf([&](uint64_t baseVpn, TablePage &leaf) {
+        if (leaf.sealed()) {
+            cpt.attachLeaf(baseVpn, ppt.leafFor(baseVpn));
+            return;
+        }
+        clock_.advance(machine_.costs().dramCopy(kPageSize));
+        for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+            Pte &p = leaf.pte(i);
+            if (!p.present())
+                continue;
+            const mem::VirtAddr va =
+                mem::VirtAddr::fromPageNumber(baseVpn + i);
+            if (p.cxlCheckpoint()) {
+                // Checkpoint-owned frame: child shares the read-only
+                // CXL mapping; no refcount transfer.
+                cpt.setPte(va, p);
+                continue;
+            }
+            p.clear(Pte::kWrite);
+            p.set(Pte::kSoftCow);
+            machine_.getFrame(p.frame());
+            cpt.setPte(va, p);
+        }
+    });
+    // Child inherits the checkpoint backing, if any (its unattached
+    // ranges must keep resolving against the image).
+    if (auto backing = parent.mm().backingPtr())
+        child->mm().setBacking(std::move(backing), parent.mm().policy());
+    stats_.counter("fork.local").inc();
+    return child;
+}
+
+} // namespace cxlfork::os

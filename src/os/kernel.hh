@@ -1,0 +1,162 @@
+/**
+ * @file
+ * NodeOs: one standalone OS instance on one compute node.
+ *
+ * Owns the node's tasks and clock, implements page-fault handling
+ * (minor, major, local CoW, CXL CoW, CXL migrate-on-access, hybrid
+ * map-through), local fork, and the memory-touching entry points the
+ * FaaS invocation engine drives.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "mem/machine.hh"
+#include "namespaces.hh"
+#include "sim/clock.hh"
+#include "sim/stats.hh"
+#include "task.hh"
+#include "vfs.hh"
+
+namespace cxlfork::os {
+
+/** How an access was resolved. */
+enum class FaultKind : uint8_t {
+    None,          ///< Translation hit; no fault.
+    Minor,         ///< Fresh anonymous page from local memory.
+    Major,         ///< File-backed page read through the FS.
+    CowLocal,      ///< Copy-on-write from a local frame.
+    CowCxl,        ///< Copy-on-write from a checkpointed CXL frame.
+    CxlMigrate,    ///< Migrate-on-access copy from the checkpoint tier.
+    CxlMapThrough, ///< Hybrid: mapped the CXL frame in place (no copy).
+};
+
+const char *faultKindName(FaultKind k);
+
+/** Outcome of one memory access. */
+struct AccessResult
+{
+    FaultKind fault = FaultKind::None;
+    mem::Tier tier = mem::Tier::LocalDram; ///< Tier finally serving the page.
+    bool leafCow = false;                  ///< A sealed PT leaf was cloned.
+};
+
+/** One OS instance. */
+class NodeOs
+{
+  public:
+    NodeOs(mem::NodeId id, mem::Machine &machine, std::shared_ptr<Vfs> vfs,
+           NamespaceRegistry &nsRegistry);
+
+    NodeOs(const NodeOs &) = delete;
+    NodeOs &operator=(const NodeOs &) = delete;
+
+    mem::NodeId id() const { return id_; }
+    mem::Machine &machine() { return machine_; }
+    sim::SimClock &clock() { return clock_; }
+    Vfs &vfs() { return *vfs_; }
+    sim::StatSet &stats() { return stats_; }
+    NamespaceRegistry &nsRegistry() { return nsRegistry_; }
+
+    mem::FrameAllocator &localDram() { return machine_.nodeDram(id_); }
+
+    /** Create a task in the given (or host) namespaces. */
+    std::shared_ptr<Task> createTask(const std::string &name,
+                                     const NamespaceSet *ns = nullptr);
+
+    /** Tear a task down, releasing its memory. */
+    void exitTask(const std::shared_ptr<Task> &task);
+
+    std::shared_ptr<Task> findTask(int pid) const;
+    size_t taskCount() const { return tasks_.size(); }
+
+    /** Map anonymous memory (unpopulated). */
+    Vma &mapAnon(Task &task, uint64_t bytes, uint8_t perms,
+                 const std::string &name, SegClass seg = SegClass::None);
+
+    /** Privately map a file from the shared FS (unpopulated). */
+    Vma &mapFilePrivate(Task &task, const std::string &path, uint8_t perms,
+                        SegClass seg = SegClass::None);
+
+    /** Insert a fully-specified VMA (fixed placement). */
+    Vma &mapVma(Task &task, Vma vma);
+
+    /**
+     * Remove the mappings in [lo, hi): drops the VMAs (whole-VMA
+     * granularity) and releases the process-owned frames. Attached
+     * checkpointed PT leaves are detached or leaf-CoWed as needed.
+     */
+    void munmap(Task &task, mem::VirtAddr lo, mem::VirtAddr hi);
+
+    /**
+     * Change the protection of the VMAs fully contained in [lo, hi).
+     * Updating PTE permissions on a sealed (checkpointed) leaf clones
+     * it first — the paper's "in the rare case of an update, CXLfork
+     * copies the corresponding leaf to local memory" (Sec. 4.2.1).
+     * Write permission is never granted directly on CoW/CXL-backed
+     * pages; their writability keeps flowing through the fault path.
+     */
+    void mprotect(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
+                  uint8_t perms);
+
+    /**
+     * One memory access by the task at va. Faults as needed, maintains
+     * A/D bits, charges fault costs to the node clock. Does NOT charge
+     * the cache-hierarchy load latency — the invocation engine models
+     * that with the CacheModel.
+     *
+     * @param contentOnWrite New content token stored on a write.
+     */
+    AccessResult access(Task &task, mem::VirtAddr va, bool isWrite,
+                        uint64_t contentOnWrite = 0);
+
+    /** Touch every page in [lo, hi). Returns fault counts by kind. */
+    std::map<FaultKind, uint64_t>
+    touchRange(Task &task, mem::VirtAddr lo, mem::VirtAddr hi, bool isWrite,
+               const std::function<uint64_t(uint64_t pageIdx)> &content = {});
+
+    /**
+     * Total simulated time this node spent inside fault handling
+     * (minor, major, CoW, migrate). Used by the benches to report the
+     * Fig. 7 Restore / Page Faults / Execution breakdown.
+     */
+    sim::SimTime faultTime() const { return faultTime_; }
+
+    /** Content token currently visible at va (faults in if needed). */
+    uint64_t read(Task &task, mem::VirtAddr va);
+
+    /** Store a content token at va (CoW-faults as needed). */
+    void write(Task &task, mem::VirtAddr va, uint64_t content);
+
+    /**
+     * Classic same-node fork(): duplicate VMAs, share all frames
+     * copy-on-write, duplicate page tables (attached sealed leaves are
+     * re-attached, not copied).
+     */
+    std::shared_ptr<Task> localFork(Task &parent, const std::string &childName);
+
+  private:
+    AccessResult handleFault(Task &task, mem::VirtAddr va, bool isWrite,
+                             uint64_t contentOnWrite);
+    Vma *resolveVma(Task &task, mem::VirtAddr va);
+    AccessResult migrateFromCheckpoint(Task &task, mem::VirtAddr va,
+                                       const Vma &vma, Pte ckptPte,
+                                       bool isWrite, uint64_t contentOnWrite);
+
+    mem::NodeId id_;
+    mem::Machine &machine_;
+    sim::SimClock clock_;
+    std::shared_ptr<Vfs> vfs_;
+    NamespaceRegistry &nsRegistry_;
+    NamespaceSet hostNs_;
+    sim::StatSet stats_;
+    sim::SimTime faultTime_;
+    std::map<int, std::shared_ptr<Task>> tasks_;
+};
+
+} // namespace cxlfork::os

@@ -1,0 +1,41 @@
+#include "namespaces.hh"
+
+namespace cxlfork::os {
+
+std::shared_ptr<PidNamespace>
+NamespaceRegistry::makePidNs()
+{
+    auto ns = std::make_shared<PidNamespace>();
+    ns->id = nextId_++;
+    return ns;
+}
+
+std::shared_ptr<MountNamespace>
+NamespaceRegistry::makeMountNs(std::string root)
+{
+    auto ns = std::make_shared<MountNamespace>();
+    ns->id = nextId_++;
+    ns->root = std::move(root);
+    return ns;
+}
+
+std::shared_ptr<NetNamespace>
+NamespaceRegistry::makeNetNs(std::string bridge)
+{
+    auto ns = std::make_shared<NetNamespace>();
+    ns->id = nextId_++;
+    ns->bridge = std::move(bridge);
+    return ns;
+}
+
+NamespaceSet
+NamespaceRegistry::hostSet()
+{
+    NamespaceSet set;
+    set.pid = makePidNs();
+    set.mount = makeMountNs();
+    set.net = makeNetNs();
+    return set;
+}
+
+} // namespace cxlfork::os

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Page table entry layout (x86-64-like) for the simulated OS.
+ *
+ * Hardware bits: Present, Write, User, Accessed, Dirty. Software bits
+ * use the ignored ranges, exactly as CXLfork does in the paper:
+ *  - SoftCow: write-protected because of copy-on-write sharing.
+ *  - SoftCxl: maps a checkpointed frame on the CXL device; a write
+ *    must CoW the page into local memory (migrate-on-write).
+ *  - SoftHot: user-identified hot page (paper Sec. 4.3, "an unused PTE
+ *    bit in the checkpointed CXL page tables").
+ *  - SoftFile: backed by a private file mapping (affects fault cost).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "mem/types.hh"
+
+namespace cxlfork::os {
+
+/** A 64-bit page table entry. */
+class Pte
+{
+  public:
+    static constexpr uint64_t kPresent = 1ull << 0;
+    static constexpr uint64_t kWrite = 1ull << 1;
+    static constexpr uint64_t kUser = 1ull << 2;
+    static constexpr uint64_t kAccessed = 1ull << 5;
+    static constexpr uint64_t kDirty = 1ull << 6;
+    static constexpr uint64_t kSoftCow = 1ull << 9;
+    static constexpr uint64_t kSoftCxl = 1ull << 10;
+    static constexpr uint64_t kSoftHot = 1ull << 11;
+    static constexpr uint64_t kSoftFile = 1ull << 52;
+    static constexpr uint64_t kSoftRebased = 1ull << 53;
+    static constexpr uint64_t kFrameMask = 0x000ffffffffff000ull;
+
+    constexpr Pte() = default;
+    explicit constexpr Pte(uint64_t raw) : raw_(raw) {}
+
+    static Pte
+    make(mem::PhysAddr frame, bool writable)
+    {
+        uint64_t raw = (frame.raw & kFrameMask) | kPresent | kUser;
+        if (writable)
+            raw |= kWrite;
+        return Pte(raw);
+    }
+
+    constexpr uint64_t raw() const { return raw_; }
+
+    constexpr bool present() const { return raw_ & kPresent; }
+    constexpr bool writable() const { return raw_ & kWrite; }
+    constexpr bool accessed() const { return raw_ & kAccessed; }
+    constexpr bool dirty() const { return raw_ & kDirty; }
+    constexpr bool cow() const { return raw_ & kSoftCow; }
+    constexpr bool cxlCheckpoint() const { return raw_ & kSoftCxl; }
+    constexpr bool userHot() const { return raw_ & kSoftHot; }
+    constexpr bool fileBacked() const { return raw_ & kSoftFile; }
+
+    /** True while the frame field holds a CXL-device offset, not an
+     * absolute physical address (the checkpointed, machine-independent
+     * form produced by the rebase pass). */
+    constexpr bool rebased() const { return raw_ & kSoftRebased; }
+
+    constexpr mem::PhysAddr frame() const { return mem::PhysAddr{raw_ & kFrameMask}; }
+
+    void setFrame(mem::PhysAddr f) { raw_ = (raw_ & ~kFrameMask) | (f.raw & kFrameMask); }
+
+    void set(uint64_t bits) { raw_ |= bits; }
+    void clear(uint64_t bits) { raw_ &= ~bits; }
+
+    constexpr bool operator==(const Pte &) const = default;
+
+  private:
+    uint64_t raw_ = 0;
+};
+
+} // namespace cxlfork::os

@@ -1,0 +1,80 @@
+#include "vfs.hh"
+
+#include "sim/log.hh"
+
+namespace cxlfork::os {
+
+int
+FdTable::installFile(File f)
+{
+    const int fd = nextFd_++;
+    files_.emplace(fd, std::move(f));
+    return fd;
+}
+
+int
+FdTable::installSocket(Socket s)
+{
+    const int fd = nextFd_++;
+    sockets_.emplace(fd, std::move(s));
+    return fd;
+}
+
+const File *
+FdTable::file(int fd) const
+{
+    auto it = files_.find(fd);
+    return it == files_.end() ? nullptr : &it->second;
+}
+
+const Socket *
+FdTable::socket(int fd) const
+{
+    auto it = sockets_.find(fd);
+    return it == sockets_.end() ? nullptr : &it->second;
+}
+
+void
+FdTable::close(int fd)
+{
+    if (files_.erase(fd) == 0 && sockets_.erase(fd) == 0)
+        sim::fatal("close of unknown fd %d", fd);
+}
+
+std::shared_ptr<Inode>
+Vfs::create(const std::string &path, uint64_t sizeBytes, uint64_t contentSeed)
+{
+    auto inode = std::make_shared<Inode>();
+    inode->ino = nextIno_++;
+    inode->path = path;
+    inode->sizeBytes = sizeBytes;
+    inode->contentSeed = contentSeed ? contentSeed : inode->ino * 0x1234567ull;
+    inodes_[path] = inode;
+    return inode;
+}
+
+std::shared_ptr<Inode>
+Vfs::lookup(const std::string &path) const
+{
+    auto it = inodes_.find(path);
+    return it == inodes_.end() ? nullptr : it->second;
+}
+
+void
+Vfs::remove(const std::string &path)
+{
+    inodes_.erase(path);
+}
+
+std::vector<std::string>
+Vfs::list(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &[path, inode] : inodes_) {
+        if (path.rfind(prefix, 0) == 0)
+            out.push_back(path);
+    }
+    return out;
+}
+
+} // namespace cxlfork::os

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The cluster-shared virtual filesystem.
+ *
+ * All nodes run the same OS image with a shared (distributed) root
+ * filesystem (paper Sec. 4: "nodes ... use a shared (distributed) file
+ * system"), so one Vfs instance is shared by every NodeOs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "file.hh"
+
+namespace cxlfork::os {
+
+/** Path-indexed shared filesystem. */
+class Vfs
+{
+  public:
+    /** Create (or truncate) a regular file. */
+    std::shared_ptr<Inode> create(const std::string &path,
+                                  uint64_t sizeBytes,
+                                  uint64_t contentSeed = 0);
+
+    /** Lookup; nullptr when absent. */
+    std::shared_ptr<Inode> lookup(const std::string &path) const;
+
+    bool exists(const std::string &path) const { return lookup(path) != nullptr; }
+
+    void remove(const std::string &path);
+
+    size_t fileCount() const { return inodes_.size(); }
+
+    std::vector<std::string> list(const std::string &prefix) const;
+
+  private:
+    uint64_t nextIno_ = 1;
+    std::map<std::string, std::shared_ptr<Inode>> inodes_;
+};
+
+} // namespace cxlfork::os

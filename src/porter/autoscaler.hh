@@ -1,0 +1,189 @@
+/**
+ * @file
+ * CXLporter: the horizontal FaaS autoscaler (paper Sec. 5).
+ *
+ * An event-driven cluster simulation that dispatches an invocation
+ * trace against warm instances, ghost containers and rfork restores.
+ * It implements the paper's five operations: judiciously-timed
+ * checkpoints (after the 16th invocation), the checkpoint object
+ * store, the ghost-container pool, dynamic tiering-policy control
+ * (SLO + HighMem threshold + periodic A-bit reset), and dynamic
+ * keep-alive windows (shortened to 10 s under memory pressure).
+ *
+ * Request latencies use PerfProfiles measured through the page-level
+ * machinery; the cluster dynamics (queueing, eviction, memory
+ * pressure, burst amplification) are simulated here.
+ */
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "perf_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "trace.hh"
+
+namespace cxlfork::porter {
+
+/** Autoscaler configuration (one porter variant). */
+struct PorterConfig
+{
+    Mechanism mechanism = Mechanism::CxlFork;
+
+    /**
+     * CXLfork only: dynamically manage tiering (the paper's "CXLporter
+     * adjusts the policy based on past performance and memory
+     * pressure"). When false, the static policy below is always used
+     * (the CXLfork-MoW bars of Fig. 10).
+     */
+    bool dynamicTiering = true;
+    os::TieringPolicy staticPolicy = os::TieringPolicy::MigrateOnWrite;
+
+    uint32_t numNodes = 2;
+    uint32_t coresPerNode = 8;
+    uint64_t memPerNodeBytes = mem::gib(8);
+    double memoryScale = 1.0; ///< Fig. 10c: 1.0 / 0.5 / 0.25.
+
+    sim::SimTime keepAlive = sim::SimTime::sec(600);
+    sim::SimTime keepAlivePressured = sim::SimTime::sec(10);
+    double highMemFrac = 0.9;
+    double sloFactor = 1.25; ///< SLO = factor x warm local exec.
+    uint32_t ghostsPerFunction = 2;
+    uint32_t checkpointAfterInvocations = 16;
+    sim::SimTime controllerPeriod = sim::SimTime::sec(5);
+    sim::SimTime abitResetPeriod = sim::SimTime::sec(30);
+    sim::SimTime containerCreate = sim::SimTime::ms(130);
+    sim::SimTime ghostTrigger = sim::SimTime::us(300);
+
+    /**
+     * Shared CXL device capacity available for checkpoints. CXLporter
+     * reclaims checkpoints under CXL memory pressure (Sec. 5, "Object
+     * Store of Checkpoints").
+     */
+    uint64_t cxlCapacityBytes = mem::gib(16);
+};
+
+/** Results of one porter run. */
+struct PorterMetrics
+{
+    sim::Histogram latency; ///< End-to-end request latency (ns).
+    std::map<std::string, sim::Histogram> perFunction;
+    uint64_t requests = 0;
+    uint64_t warmHits = 0;
+    uint64_t restores = 0;
+    uint64_t coldStarts = 0;
+    uint64_t ghostHits = 0;
+    uint64_t evictions = 0;
+    uint64_t queuedForMemory = 0;
+    uint64_t queuedForCores = 0;
+    uint64_t tieringPromotions = 0;
+    uint64_t abitResets = 0;
+    uint64_t checkpointsTaken = 0;
+    uint64_t checkpointsReclaimed = 0;
+    uint64_t peakCxlBytes = 0;
+    uint64_t peakMemBytes = 0;
+    double completedRps = 0.0;
+
+    double p50Ms() const { return latency.p50() / 1e6; }
+    double p99Ms() const { return latency.p99() / 1e6; }
+};
+
+/** The CXLporter simulation. */
+class PorterSim
+{
+  public:
+    PorterSim(PorterConfig cfg, std::vector<faas::FunctionSpec> functions,
+              PerfModel &perf);
+
+    /** Run a trace to completion and return the metrics. */
+    PorterMetrics run(const std::vector<Request> &trace);
+
+  private:
+    struct Instance
+    {
+        uint32_t fnIdx = 0;
+        uint32_t node = 0;
+        bool busy = false;
+        sim::SimTime idleSince;
+        uint64_t memBytes = 0;
+        os::TieringPolicy policy = os::TieringPolicy::MigrateOnWrite;
+        uint64_t generation = 0; ///< Guards stale eviction timers.
+        bool live = true;
+    };
+
+    struct NodeState
+    {
+        uint64_t memCapacity = 0;
+        uint64_t memUsed = 0;
+        uint32_t busyCores = 0;
+        std::deque<uint64_t> coreQueue; ///< request ids waiting for a core
+    };
+
+    struct PendingRequest
+    {
+        Request req;
+        sim::SimTime enqueued;
+    };
+
+    struct CoreWaiter
+    {
+        Request req;
+        sim::SimTime arrival;
+        sim::SimTime duration;
+    };
+
+    struct FnState
+    {
+        uint64_t invocations = 0;
+        bool checkpointed = false;
+        uint64_t checkpointBytes = 0;   ///< On the CXL device.
+        sim::SimTime lastRestore;       ///< For LRU reclamation.
+        uint32_t ghostsAvailable = 0;
+        os::TieringPolicy restorePolicy =
+            os::TieringPolicy::MigrateOnWrite;
+        sim::Summary recentLatencyMs; ///< Since the last controller tick.
+    };
+
+    void arrive(const Request &req);
+    void dispatch(const Request &req, sim::SimTime arrival);
+    bool tryWarmHit(const Request &req, sim::SimTime arrival);
+    void spawnAndRun(const Request &req, sim::SimTime arrival);
+    void complete(uint64_t instanceId, const Request &req,
+                  sim::SimTime arrival, sim::SimTime execStart);
+    void scheduleEviction(uint64_t instanceId);
+    void evict(uint64_t instanceId, bool drainQueue = true);
+    uint64_t freeBytes(const NodeState &n) const
+    {
+        return n.memUsed >= n.memCapacity ? 0 : n.memCapacity - n.memUsed;
+    }
+    bool reclaimOnNode(uint32_t node, uint64_t needBytes);
+    uint32_t pickNode(uint64_t needBytes) const;
+    void controllerTick();
+    void drainMemQueue();
+    void takeCheckpoint(uint32_t fnIdx, uint32_t node);
+    double memPressure() const;
+    sim::SimTime keepAliveNow() const;
+
+    const PerfProfile &profileFor(uint32_t fnIdx, os::TieringPolicy policy);
+
+    PorterConfig cfg_;
+    std::vector<faas::FunctionSpec> functions_;
+    PerfModel &perf_;
+
+    sim::EventQueue events_;
+    std::vector<NodeState> nodes_;
+    std::vector<FnState> fnStates_;
+    std::map<uint64_t, Instance> instances_;
+    uint64_t nextInstanceId_ = 1;
+    std::deque<PendingRequest> memQueue_;
+    std::map<uint64_t, CoreWaiter> coreWaiters_;
+    sim::SimTime abitAccum_;
+    uint64_t cxlUsed_ = 0;
+    PorterMetrics metrics_;
+};
+
+} // namespace cxlfork::porter

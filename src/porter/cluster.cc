@@ -1,0 +1,18 @@
+#include "cluster.hh"
+
+namespace cxlfork::porter {
+
+Cluster::Cluster(const ClusterConfig &cfg)
+    : cfg_(cfg), machine_(std::make_unique<mem::Machine>(cfg.machine)),
+      fabric_(std::make_unique<cxl::CxlFabric>(*machine_)),
+      vfs_(std::make_shared<os::Vfs>())
+{
+    for (uint32_t i = 0; i < machine_->numNodes(); ++i) {
+        nodes_.push_back(
+            std::make_unique<os::NodeOs>(i, *machine_, vfs_, nsRegistry_));
+        containerMgrs_.push_back(
+            std::make_unique<faas::ContainerManager>(*nodes_.back()));
+    }
+}
+
+} // namespace cxlfork::porter

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A CXL-interconnected cluster: the machine, the fabric, N node OS
+ * instances, a shared root FS, and per-node container managers. This
+ * is the top-level context both the rfork benches and CXLporter run
+ * against.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cxl/fabric.hh"
+#include "faas/container.hh"
+#include "mem/machine.hh"
+#include "os/kernel.hh"
+
+namespace cxlfork::porter {
+
+/** Cluster construction parameters. */
+struct ClusterConfig
+{
+    mem::MachineConfig machine;
+    uint32_t coresPerNode = 8;
+};
+
+/** The running cluster. */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &cfg);
+
+    Cluster(const Cluster &) = delete;
+    Cluster &operator=(const Cluster &) = delete;
+
+    uint32_t numNodes() const { return uint32_t(nodes_.size()); }
+    uint32_t coresPerNode() const { return cfg_.coresPerNode; }
+
+    mem::Machine &machine() { return *machine_; }
+    cxl::CxlFabric &fabric() { return *fabric_; }
+    os::Vfs &vfs() { return *vfs_; }
+    os::NamespaceRegistry &nsRegistry() { return nsRegistry_; }
+
+    os::NodeOs &node(mem::NodeId n) { return *nodes_.at(n); }
+    faas::ContainerManager &containers(mem::NodeId n)
+    {
+        return *containerMgrs_.at(n);
+    }
+
+  private:
+    ClusterConfig cfg_;
+    std::unique_ptr<mem::Machine> machine_;
+    std::unique_ptr<cxl::CxlFabric> fabric_;
+    std::shared_ptr<os::Vfs> vfs_;
+    os::NamespaceRegistry nsRegistry_;
+    std::vector<std::unique_ptr<os::NodeOs>> nodes_;
+    std::vector<std::unique_ptr<faas::ContainerManager>> containerMgrs_;
+};
+
+} // namespace cxlfork::porter

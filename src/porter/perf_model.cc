@@ -1,0 +1,105 @@
+#include "perf_model.hh"
+
+#include "cluster.hh"
+#include "rfork/criu.hh"
+#include "rfork/cxlfork.hh"
+#include "rfork/mitosis.hh"
+#include "sim/log.hh"
+
+namespace cxlfork::porter {
+
+using faas::FunctionInstance;
+using faas::FunctionSpec;
+using sim::SimTime;
+
+const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::CriuCxl:
+        return "CRIU-CXL";
+      case Mechanism::MitosisCxl:
+        return "Mitosis-CXL";
+      case Mechanism::CxlFork:
+        return "CXLfork";
+    }
+    return "?";
+}
+
+const PerfProfile &
+PerfModel::profile(const FunctionSpec &spec, Mechanism mech,
+                   os::TieringPolicy policy)
+{
+    const ProfileKey key{spec.name, mech, policy};
+    auto it = cache_.find(key);
+    if (it == cache_.end())
+        it = cache_.emplace(key, measure(spec, mech, policy)).first;
+    return it->second;
+}
+
+PerfProfile
+PerfModel::measure(const FunctionSpec &spec, Mechanism mech,
+                   os::TieringPolicy policy) const
+{
+    // A scratch world big enough for the largest Table-1 function.
+    ClusterConfig cfg;
+    cfg.machine.numNodes = 2;
+    cfg.machine.dramPerNodeBytes = mem::gib(4);
+    cfg.machine.cxlCapacityBytes = mem::gib(4);
+    cfg.machine.costs = costs_;
+    Cluster cluster(cfg);
+    os::NodeOs &node0 = cluster.node(0);
+    os::NodeOs &node1 = cluster.node(1);
+
+    PerfProfile p;
+
+    // Cold start: full deployment plus first execution.
+    const SimTime t0 = node0.clock().now();
+    auto parent = FunctionInstance::deployCold(node0, spec);
+    p.coldStartLatency = node0.clock().now() - t0;
+    p.coldStartExec = parent->invoke().latency;
+    p.coldLocalBytes = parent->localBytes();
+
+    // Warm it up (JIT steady state) and capture local-speed warm exec.
+    parent->invoke();
+    p.warmLocalExec = parent->invoke().latency;
+
+    // Establish the steady access pattern before checkpointing
+    // (CXLporter clears A/D after the first invocation, Sec. 5).
+    parent->task().mm().pageTable().clearAccessedBits(/*alsoDirty=*/true);
+    parent->invoke();
+
+    std::unique_ptr<rfork::RemoteForkMechanism> rf;
+    switch (mech) {
+      case Mechanism::CriuCxl:
+        rf = std::make_unique<rfork::CriuCxl>(cluster.fabric());
+        break;
+      case Mechanism::MitosisCxl:
+        rf = std::make_unique<rfork::MitosisCxl>(cluster.fabric());
+        break;
+      case Mechanism::CxlFork:
+        rf = std::make_unique<rfork::CxlFork>(cluster.fabric());
+        break;
+    }
+
+    rfork::CheckpointStats cs;
+    auto handle = rf->checkpoint(node0, parent->task(), &cs);
+    p.checkpointLatency = cs.latency;
+    p.checkpointCxlBytes = handle->cxlBytes();
+    p.checkpointLocalBytes = handle->localBytes();
+
+    rfork::RestoreOptions opts;
+    opts.policy = policy;
+    rfork::RestoreStats rs;
+    auto childTask = rf->restore(handle, node1, opts, &rs);
+    p.restoreLatency = rs.latency;
+
+    auto child = FunctionInstance::adoptRestored(node1, spec, childTask);
+    p.coldExecLatency = child->invoke().latency;
+    p.localBytesAfterExec = child->localBytes();
+    p.warmExecLatency = child->invoke().latency;
+
+    return p;
+}
+
+} // namespace cxlfork::porter

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-function performance profiles.
+ *
+ * The rfork benches drive every page access through the simulated OS.
+ * The CXLporter cluster simulation replays thousands of requests, so
+ * it uses profiles measured *once* through that same page-granular
+ * machinery and then charged analytically (DESIGN.md Sec. 3 "two
+ * execution granularities").
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "faas/function.hh"
+#include "os/mm.hh"
+#include "sim/cost_model.hh"
+#include "sim/time.hh"
+
+namespace cxlfork::porter {
+
+/** Which remote-fork design a porter variant uses. */
+enum class Mechanism : uint8_t {
+    CriuCxl,
+    MitosisCxl,
+    CxlFork, ///< Tiering policy chosen per restore.
+};
+
+const char *mechanismName(Mechanism m);
+
+/** Measured behaviour of one (function, mechanism, policy) combo. */
+struct PerfProfile
+{
+    sim::SimTime restoreLatency;  ///< rfork restore on the target node.
+    sim::SimTime coldExecLatency; ///< First invocation after restore.
+    sim::SimTime warmExecLatency; ///< Steady-state invocation.
+    sim::SimTime warmLocalExec;   ///< Warm invocation, all data local.
+    uint64_t localBytesAfterExec = 0; ///< Node memory per instance.
+    uint64_t checkpointCxlBytes = 0;  ///< Device footprint (shared).
+    uint64_t checkpointLocalBytes = 0; ///< Pinned on the parent node
+                                       ///< (Mitosis shadow copies).
+    sim::SimTime checkpointLatency;
+    sim::SimTime coldStartLatency; ///< Full from-scratch deployment.
+    sim::SimTime coldStartExec;    ///< First invocation after cold start.
+    uint64_t coldLocalBytes = 0;   ///< Memory of a cold-started instance.
+};
+
+/** Profile key. */
+struct ProfileKey
+{
+    std::string function;
+    Mechanism mechanism;
+    os::TieringPolicy policy;
+
+    auto operator<=>(const ProfileKey &) const = default;
+};
+
+/**
+ * Measures and caches PerfProfiles on a scratch cluster sized for the
+ * largest function.
+ */
+class PerfModel
+{
+  public:
+    explicit PerfModel(sim::CostParams costs = {}) : costs_(costs) {}
+
+    /** Measure (or return cached) profile. */
+    const PerfProfile &profile(const faas::FunctionSpec &spec,
+                               Mechanism mech, os::TieringPolicy policy);
+
+  private:
+    PerfProfile measure(const faas::FunctionSpec &spec, Mechanism mech,
+                        os::TieringPolicy policy) const;
+
+    sim::CostParams costs_;
+    std::map<ProfileKey, PerfProfile> cache_;
+};
+
+} // namespace cxlfork::porter

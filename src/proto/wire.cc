@@ -1,0 +1,61 @@
+#include "wire.hh"
+
+#include "sim/log.hh"
+
+namespace cxlfork::proto {
+
+void
+Encoder::putVarint(uint64_t v)
+{
+    while (v >= 0x80) {
+        buf_.push_back(uint8_t(v) | 0x80);
+        v >>= 7;
+    }
+    buf_.push_back(uint8_t(v));
+}
+
+void
+Encoder::putString(const std::string &s)
+{
+    putVarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void
+Encoder::putBytes(const uint8_t *data, size_t n)
+{
+    putVarint(n);
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+uint64_t
+Decoder::getVarint()
+{
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+        if (pos_ >= buf_.size())
+            sim::fatal("wire: truncated varint");
+        const uint8_t b = buf_[pos_++];
+        v |= uint64_t(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+        if (shift > 63)
+            sim::fatal("wire: varint overflow");
+    }
+    return v;
+}
+
+std::string
+Decoder::getString()
+{
+    const uint64_t n = getVarint();
+    if (n > remaining())
+        sim::fatal("wire: truncated string");
+    std::string s(buf_.begin() + long(pos_), buf_.begin() + long(pos_ + n));
+    pos_ += n;
+    return s;
+}
+
+} // namespace cxlfork::proto

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A compact tag-length-value wire format: the stand-in for the
+ * Protocol Buffers serialization CRIU uses.
+ *
+ * Encoding is real (bytes are produced and parsed back), so round-trip
+ * tests are meaningful. Simulated *cost* is charged separately by the
+ * callers, because one encoded "page" carries an 8-byte content token
+ * standing in for 4 KB of data.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cxlfork::proto {
+
+/** Append-only encoder. */
+class Encoder
+{
+  public:
+    void putVarint(uint64_t v);
+    void putU64(uint64_t v) { putVarint(v); }
+    void putU32(uint32_t v) { putVarint(v); }
+    void putBool(bool v) { putVarint(v ? 1 : 0); }
+    void putString(const std::string &s);
+    void putBytes(const uint8_t *data, size_t n);
+
+    const std::vector<uint8_t> &buffer() const { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+    size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Sequential decoder over an encoded buffer. Throws on malformed input. */
+class Decoder
+{
+  public:
+    explicit Decoder(const std::vector<uint8_t> &buf) : buf_(buf) {}
+
+    uint64_t getVarint();
+    uint64_t getU64() { return getVarint(); }
+    uint32_t getU32() { return uint32_t(getVarint()); }
+    bool getBool() { return getVarint() != 0; }
+    std::string getString();
+
+    bool atEnd() const { return pos_ == buf_.size(); }
+    size_t remaining() const { return buf_.size() - pos_; }
+
+  private:
+    const std::vector<uint8_t> &buf_;
+    size_t pos_ = 0;
+};
+
+} // namespace cxlfork::proto

@@ -1,0 +1,129 @@
+#include "checkpoint_image.hh"
+
+#include "cxl/rebase.hh"
+#include "sim/log.hh"
+
+namespace cxlfork::rfork {
+
+using os::Pte;
+using os::TablePage;
+
+CheckpointImage::CheckpointImage(mem::Machine &machine, std::string name)
+    : machine_(machine), name_(std::move(name))
+{
+}
+
+CheckpointImage::~CheckpointImage()
+{
+    for (mem::PhysAddr f : dataFrames_)
+        machine_.cxl().decRef(f);
+    for (mem::PhysAddr f : metaFrames_)
+        machine_.cxl().decRef(f);
+    for (auto &[base, leaf] : leaves_) {
+        // The leaf's backing frame is one of our metadata frames only
+        // if it was registered; images register leaf backings
+        // explicitly via addMetaFrame, so nothing more to do here.
+        (void)base;
+        (void)leaf;
+    }
+}
+
+void
+CheckpointImage::addLeaf(uint64_t baseVpn, std::shared_ptr<TablePage> leaf)
+{
+    CXLF_ASSERT(!activated_);
+    CXLF_ASSERT(leaf->level() == 0);
+    CXLF_ASSERT(cxl::leafIsRebased(*leaf));
+    CXLF_ASSERT(leaf->sealed());
+    auto [it, ok] = leaves_.emplace(baseVpn, std::move(leaf));
+    if (!ok)
+        sim::panic("CheckpointImage: duplicate leaf at vpn %#llx",
+                   (unsigned long long)baseVpn);
+}
+
+void
+CheckpointImage::activate()
+{
+    CXLF_ASSERT(!activated_);
+    for (auto &[base, leaf] : leaves_)
+        cxl::derebaseLeaf(*leaf, machine_);
+    activated_ = true;
+}
+
+std::optional<Pte>
+CheckpointImage::checkpointPte(mem::VirtAddr va) const
+{
+    CXLF_ASSERT(activated_);
+    const uint64_t vpn = va.pageNumber();
+    const uint64_t base = vpn & ~uint64_t(TablePage::kEntries - 1);
+    auto it = leaves_.find(base);
+    if (it == leaves_.end())
+        return std::nullopt;
+    const Pte &p = it->second->pte(uint32_t(vpn - base));
+    if (!p.present())
+        return std::nullopt;
+    return p;
+}
+
+void
+CheckpointImage::forEachDirty(
+    const std::function<void(mem::VirtAddr, const Pte &)> &fn) const
+{
+    CXLF_ASSERT(activated_);
+    for (const auto &[base, leaf] : leaves_) {
+        for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+            const Pte &p = leaf->pte(i);
+            if (p.present() && p.dirty())
+                fn(mem::VirtAddr::fromPageNumber(base + i), p);
+        }
+    }
+}
+
+void
+CheckpointImage::resetAccessedBits()
+{
+    for (auto &[base, leaf] : leaves_) {
+        for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+            Pte &p = leaf->pte(i);
+            if (p.present())
+                p.clear(Pte::kAccessed);
+        }
+    }
+}
+
+void
+CheckpointImage::markUserHot(mem::VirtAddr va)
+{
+    const uint64_t vpn = va.pageNumber();
+    const uint64_t base = vpn & ~uint64_t(TablePage::kEntries - 1);
+    auto it = leaves_.find(base);
+    if (it == leaves_.end())
+        sim::fatal("markUserHot: %#llx not in checkpoint",
+                   (unsigned long long)va.raw);
+    Pte &p = it->second->pte(uint32_t(vpn - base));
+    if (!p.present())
+        sim::fatal("markUserHot: page not checkpointed");
+    p.set(Pte::kSoftHot);
+}
+
+uint64_t
+CheckpointImage::accessedPageCount() const
+{
+    uint64_t n = 0;
+    for (const auto &[base, leaf] : leaves_) {
+        for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+            const Pte &p = leaf->pte(i);
+            if (p.present() && p.accessed())
+                ++n;
+        }
+    }
+    return n;
+}
+
+uint64_t
+CheckpointImage::cxlBytes() const
+{
+    return (dataFrames_.size() + metaFrames_.size()) * mem::kPageSize;
+}
+
+} // namespace cxlfork::rfork

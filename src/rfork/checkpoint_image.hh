@@ -1,0 +1,129 @@
+/**
+ * @file
+ * CXLfork's checkpoint image: the process state, as-is, on CXL memory.
+ *
+ * Holds the decoupled private state (data pages, sealed page-table
+ * leaves with preserved A/D bits, the VMA leaf set, the CPU context)
+ * plus the lightly-serialized global state. Everything is backed by
+ * frames on the CXL device; internal references were rebased to device
+ * offsets at checkpoint time and de-rebased when the image was
+ * activated on this fabric mapping.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cxl/fabric.hh"
+#include "os/mm.hh"
+#include "os/task.hh"
+#include "proto/messages.hh"
+#include "rfork.hh"
+
+namespace cxlfork::rfork {
+
+/** The CXL-resident checkpoint of one process. */
+class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
+{
+  public:
+    CheckpointImage(mem::Machine &machine, std::string name);
+    ~CheckpointImage() override;
+
+    CheckpointImage(const CheckpointImage &) = delete;
+    CheckpointImage &operator=(const CheckpointImage &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    // --- Construction (used by CxlFork::checkpoint).
+
+    /** Add a checkpointed, sealed leaf in rebased (offset) form. */
+    void addLeaf(uint64_t baseVpn, std::shared_ptr<os::TablePage> leaf);
+
+    /** Record ownership of a CXL data frame (refcount held by us). */
+    void addDataFrame(mem::PhysAddr f) { dataFrames_.push_back(f); }
+
+    /** Record ownership of a CXL metadata frame. */
+    void addMetaFrame(mem::PhysAddr f) { metaFrames_.push_back(f); }
+
+    void setVmaSet(std::shared_ptr<const os::SharedVmaSet> set)
+    {
+        vmaSet_ = std::move(set);
+    }
+
+    void
+    setGlobalState(std::vector<uint8_t> encoded, uint64_t simulatedBytes,
+                   uint64_t records)
+    {
+        globalBlob_ = std::move(encoded);
+        globalSimBytes_ = simulatedBytes;
+        globalRecords_ = records;
+    }
+
+    void setCpu(const os::CpuContext &cpu) { cpu_ = cpu; }
+
+    /**
+     * De-rebase all leaves against this fabric mapping, making the
+     * image attachable. Must be called exactly once, after all leaves
+     * were added in rebased form.
+     */
+    void activate();
+    bool activated() const { return activated_; }
+
+    // --- Consumption (restore, fault handling, tiering control).
+
+    std::optional<os::Pte> checkpointPte(mem::VirtAddr va) const override;
+
+    const std::map<uint64_t, std::shared_ptr<os::TablePage>> &
+    leaves() const
+    {
+        return leaves_;
+    }
+
+    std::shared_ptr<const os::SharedVmaSet> vmaSet() const { return vmaSet_; }
+
+    const std::vector<uint8_t> &globalBlob() const { return globalBlob_; }
+    uint64_t globalSimBytes() const { return globalSimBytes_; }
+    uint64_t globalRecords() const { return globalRecords_; }
+
+    const os::CpuContext &cpu() const { return cpu_; }
+
+    /** Visit checkpointed PTEs whose Dirty bit is set (prefetch set). */
+    void forEachDirty(
+        const std::function<void(mem::VirtAddr, const os::Pte &)> &fn) const;
+
+    /**
+     * Reset all Accessed bits in the checkpointed page tables — the
+     * user-space interface CXLporter uses to re-estimate hot sets
+     * (paper Sec. 4.3 "Continuous Update of Access Patterns").
+     */
+    void resetAccessedBits();
+
+    /** Mark a page as user-identified hot (Sec. 4.3). */
+    void markUserHot(mem::VirtAddr va);
+
+    /** Count of checkpointed PTEs with the Accessed bit set. */
+    uint64_t accessedPageCount() const;
+
+    uint64_t pageCount() const { return dataFrames_.size(); }
+    uint64_t leafCount() const { return leaves_.size(); }
+
+    uint64_t cxlBytes() const override;
+    uint64_t localBytes() const override { return 0; }
+
+  private:
+    mem::Machine &machine_;
+    std::string name_;
+    bool activated_ = false;
+    std::map<uint64_t, std::shared_ptr<os::TablePage>> leaves_;
+    std::vector<mem::PhysAddr> dataFrames_;
+    std::vector<mem::PhysAddr> metaFrames_;
+    std::shared_ptr<const os::SharedVmaSet> vmaSet_;
+    std::vector<uint8_t> globalBlob_;
+    uint64_t globalSimBytes_ = 0;
+    uint64_t globalRecords_ = 0;
+    os::CpuContext cpu_;
+};
+
+} // namespace cxlfork::rfork

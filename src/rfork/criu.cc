@@ -1,0 +1,134 @@
+#include "criu.hh"
+
+#include "sim/log.hh"
+#include "state_capture.hh"
+
+namespace cxlfork::rfork {
+
+using mem::kPageSize;
+using os::Pte;
+using sim::SimTime;
+
+std::shared_ptr<CheckpointHandle>
+CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
+                    CheckpointStats *stats)
+{
+    const sim::CostParams &costs = fabric_.machine().costs();
+    sim::SimClock &clock = node.clock();
+    const SimTime start = clock.now();
+    CheckpointStats cs;
+
+    // Serialize everything: global state, CPU, VMAs, page map + data.
+    proto::CriuImageMsg image;
+    image.global = captureGlobalState(parent);
+    image.cpu.gpr = parent.cpu().gpr;
+    image.cpu.rip = parent.cpu().rip;
+    image.cpu.rsp = parent.cpu().rsp;
+    image.cpu.fpstate = parent.cpu().fpstate;
+    image.vmas = captureVmas(parent);
+
+    parent.mm().pageTable().forEachLeaf(
+        [&](uint64_t baseVpn, os::TablePage &leaf) {
+            for (uint32_t i = 0; i < os::TablePage::kEntries; ++i) {
+                const Pte &pte = leaf.pte(i);
+                if (!pte.present())
+                    continue;
+                proto::PageMsg p;
+                p.vpn = baseVpn + i;
+                p.content = fabric_.machine().frame(pte.frame()).content;
+                image.pages.push_back(p);
+            }
+        });
+
+    proto::Encoder enc;
+    image.encode(enc);
+    const uint64_t simBytes = image.simulatedBytes();
+    const uint64_t records = image.recordCount();
+    clock.advance(costs.serializeCost(simBytes) +
+                  costs.serializeRecord * double(records));
+
+    // Cache the image files in the shared in-CXL filesystem (the write
+    // cost is charged by SharedFs).
+    const std::string name = sim::format("criu/%s.%llu.img",
+                                         parent.name().c_str(),
+                                         (unsigned long long)nextImageId_++);
+    fabric_.sharedFs().write(name, enc.take(), simBytes, clock);
+
+    cs.latency = clock.now() - start;
+    cs.pages = image.pages.size();
+    cs.vmas = image.vmas.size();
+    cs.bytesToCxl = simBytes;
+    if (stats)
+        *stats = cs;
+    node.stats().counter("criu.checkpoint").inc();
+    return std::make_shared<CriuHandle>(name, simBytes,
+                                        image.pages.size(), records);
+}
+
+std::shared_ptr<os::Task>
+CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
+                 os::NodeOs &target, const RestoreOptions &opts,
+                 RestoreStats *stats)
+{
+    auto h = std::dynamic_pointer_cast<CriuHandle>(handle);
+    if (!h)
+        sim::fatal("handle is not a CRIU image");
+    const sim::CostParams &costs = fabric_.machine().costs();
+    sim::SimClock &clock = target.clock();
+    const SimTime start = clock.now();
+    RestoreStats rs;
+
+    const cxl::CxlFsFile *file = fabric_.sharedFs().open(h->fileName());
+    if (!file)
+        sim::fatal("CRIU image %s missing", h->fileName().c_str());
+
+    // Deserialize the whole image. The page payload dominates; the
+    // deserialize bandwidth models the combined parse + copy-to-local
+    // pass CRIU performs.
+    proto::Decoder dec(file->data);
+    proto::CriuImageMsg image = proto::CriuImageMsg::decode(dec);
+    clock.advance(costs.deserializeCost(h->simulatedBytes()) +
+                  costs.serializeRecord * double(h->records()));
+
+    auto task = target.createTask(image.global.taskName + "+criu",
+                                  opts.container);
+
+    // Rebuild the full VMA tree.
+    const SimTime memStart = clock.now();
+    for (const proto::VmaMsg &vm : image.vmas) {
+        task->mm().vmas().insert(fromMsg(vm));
+        clock.advance(costs.vmaSetup);
+        if (os::VmaKind(vm.kind) == os::VmaKind::FilePrivate)
+            clock.advance(costs.fileOpen);
+    }
+
+    // Copy every checkpointed page into local memory and map it.
+    for (const proto::PageMsg &pm : image.pages) {
+        const mem::VirtAddr va = mem::VirtAddr::fromPageNumber(pm.vpn);
+        const os::Vma *vma = task->mm().vmas().findLocal(va);
+        if (!vma)
+            sim::fatal("CRIU image page outside any VMA");
+        const mem::PhysAddr frame =
+            target.localDram().alloc(mem::FrameUse::Data, pm.content);
+        task->mm().pageTable().setPte(va, Pte::make(frame, vma->writable()));
+        ++rs.pagesCopied;
+    }
+    rs.memoryState = clock.now() - memStart;
+
+    // Redo global state and restore registers.
+    const SimTime globalStart = clock.now();
+    redoGlobalState(target, *task, image.global);
+    rs.globalState = clock.now() - globalStart;
+    task->cpu().gpr = image.cpu.gpr;
+    task->cpu().rip = image.cpu.rip;
+    task->cpu().rsp = image.cpu.rsp;
+    task->cpu().fpstate = image.cpu.fpstate;
+
+    rs.latency = clock.now() - start;
+    if (stats)
+        *stats = rs;
+    target.stats().counter("criu.restore").inc();
+    return task;
+}
+
+} // namespace cxlfork::rfork

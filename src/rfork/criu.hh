@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CRIU-CXL: the state-of-practice baseline (paper Sec. 2.3.1, 6.2).
+ *
+ * Checkpoint serializes the *entire* process state — OS metadata and
+ * every memory page — into image files with a protobuf-like encoding.
+ * The files are placed on an in-CXL-memory filesystem shared between
+ * nodes (the paper's favorable CRIU port: no file copies). Restore
+ * deserializes everything on the target node and copies all pages into
+ * local memory; parent and child share no state afterwards.
+ */
+
+#pragma once
+
+#include "cxl/fabric.hh"
+#include "rfork.hh"
+
+namespace cxlfork::rfork {
+
+/** Handle to a CRIU image file set on the shared CXL filesystem. */
+class CriuHandle : public CheckpointHandle
+{
+  public:
+    CriuHandle(std::string fileName, uint64_t simBytes, uint64_t pages,
+               uint64_t records)
+        : fileName_(std::move(fileName)), simBytes_(simBytes),
+          pages_(pages), records_(records)
+    {}
+
+    const std::string &fileName() const { return fileName_; }
+    uint64_t simulatedBytes() const { return simBytes_; }
+    uint64_t pages() const { return pages_; }
+    uint64_t records() const { return records_; }
+
+    uint64_t cxlBytes() const override { return simBytes_; }
+    uint64_t localBytes() const override { return 0; }
+
+  private:
+    std::string fileName_;
+    uint64_t simBytes_;
+    uint64_t pages_;
+    uint64_t records_;
+};
+
+/** The CRIU-CXL mechanism. */
+class CriuCxl : public RemoteForkMechanism
+{
+  public:
+    explicit CriuCxl(cxl::CxlFabric &fabric) : fabric_(fabric) {}
+
+    const char *name() const override { return "CRIU-CXL"; }
+
+    std::shared_ptr<CheckpointHandle>
+    checkpoint(os::NodeOs &node, os::Task &parent,
+               CheckpointStats *stats = nullptr) override;
+
+    std::shared_ptr<os::Task>
+    restore(const std::shared_ptr<CheckpointHandle> &handle,
+            os::NodeOs &target, const RestoreOptions &opts = {},
+            RestoreStats *stats = nullptr) override;
+
+  private:
+    cxl::CxlFabric &fabric_;
+    uint64_t nextImageId_ = 1;
+};
+
+} // namespace cxlfork::rfork

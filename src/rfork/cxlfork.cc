@@ -1,0 +1,237 @@
+#include "cxlfork.hh"
+
+#include "cxl/rebase.hh"
+#include "sim/log.hh"
+#include "state_capture.hh"
+
+namespace cxlfork::rfork {
+
+using mem::kPageSize;
+using os::Pte;
+using os::TablePage;
+using sim::SimTime;
+
+std::shared_ptr<CheckpointImage>
+CxlFork::image(const std::shared_ptr<CheckpointHandle> &handle)
+{
+    auto img = std::dynamic_pointer_cast<CheckpointImage>(handle);
+    if (!img)
+        sim::fatal("handle is not a CXLfork checkpoint image");
+    return img;
+}
+
+std::shared_ptr<CheckpointHandle>
+CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
+                    CheckpointStats *stats)
+{
+    mem::Machine &machine = fabric_.machine();
+    const sim::CostParams &costs = machine.costs();
+    sim::SimClock &clock = node.clock();
+    const SimTime start = clock.now();
+
+    auto img = std::make_shared<CheckpointImage>(machine, parent.name());
+    CheckpointStats cs;
+
+    // (1)-(5) Copy private state as-is to CXL with non-temporal stores:
+    // data pages plus the page-table leaves that index them. The
+    // checkpointed PTEs are rewritten to map the CXL replicas,
+    // write-protected, and keep the parent's A/D bits.
+    parent.mm().pageTable().forEachLeaf([&](uint64_t baseVpn,
+                                            TablePage &leaf) {
+        const mem::PhysAddr leafBacking =
+            machine.cxl().alloc(mem::FrameUse::PageTable);
+        img->addMetaFrame(leafBacking);
+        auto ckptLeaf =
+            std::make_shared<TablePage>(0, leafBacking, false);
+        uint32_t present = 0;
+        for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+            const Pte &src = leaf.pte(i);
+            if (!src.present())
+                continue;
+            ++present;
+            mem::PhysAddr replica;
+            if (cfg_.dedupUnmodified && src.cxlCheckpoint()) {
+                // Re-checkpoint of a restored clone: the page is still
+                // the (immutable) original on the device — share it.
+                replica = src.frame();
+                machine.cxl().incRef(replica);
+                img->addDataFrame(replica);
+            } else {
+                const uint64_t content =
+                    machine.frame(src.frame()).content;
+                replica = machine.cxl().alloc(mem::FrameUse::Data, content);
+                img->addDataFrame(replica);
+                clock.advance(costs.cxlWrite(kPageSize));
+                cs.bytesToCxl += kPageSize;
+            }
+            ++cs.pages;
+
+            Pte dst = Pte::make(replica, false);
+            dst.set(Pte::kSoftCxl);
+            // Preserve the access pattern and the file-backing note.
+            if (src.accessed())
+                dst.set(Pte::kAccessed);
+            if (src.dirty())
+                dst.set(Pte::kDirty);
+            if (src.fileBacked())
+                dst.set(Pte::kSoftFile);
+            if (src.userHot())
+                dst.set(Pte::kSoftHot);
+            ckptLeaf->pte(i) = dst;
+        }
+        if (present == 0)
+            return; // nothing mapped under this leaf
+        // The leaf page itself is copied to CXL...
+        clock.advance(costs.cxlWrite(kPageSize));
+        cs.bytesToCxl += kPageSize;
+        ++cs.leaves;
+        // ...then rebased: internal pointers become device offsets
+        // (Sec. 4.1 step 7), and the leaf is sealed against in-place
+        // OS modification.
+        cxl::rebaseLeaf(*ckptLeaf, machine);
+        clock.advance(costs.pteWrite * present);
+        ckptLeaf->seal();
+        img->addLeaf(baseVpn, std::move(ckptLeaf));
+    });
+
+    // VMA records are checkpointed as-is (native memory copies).
+    // Shared anonymous mappings are the documented unsupported case
+    // (Sec. 4.1): their pages belong to several processes at once and
+    // cannot be decoupled with this process's checkpoint.
+    std::vector<os::Vma> vmaRecords;
+    parent.mm().vmas().forEach([&](const os::Vma &v) {
+        if (v.kind == os::VmaKind::SharedAnon) {
+            sim::fatal("CXLfork: shared anonymous mapping %s is not "
+                       "checkpointable (paper Sec. 4.1)",
+                       v.name.c_str());
+        }
+        vmaRecords.push_back(v);
+    });
+    auto vmaSet = std::make_shared<os::SharedVmaSet>(std::move(vmaRecords));
+    cs.vmas = vmaSet->size();
+    const uint64_t vmaBytes = vmaSet->footprintBytes();
+    for (uint64_t i = 0; i < mem::pagesFor(vmaBytes); ++i)
+        img->addMetaFrame(machine.cxl().alloc(mem::FrameUse::Metadata));
+    clock.advance(costs.cxlWrite(vmaBytes));
+    cs.bytesToCxl += vmaBytes;
+    img->setVmaSet(std::move(vmaSet));
+
+    // Global state is the only part that is serialized (Sec. 4.1
+    // "Global State"): file paths/permissions, sockets, mounts, PID ns.
+    proto::GlobalStateMsg global = captureGlobalState(parent);
+    proto::Encoder enc;
+    global.encode(enc);
+    const uint64_t globalBytes = global.simulatedBytes();
+    for (uint64_t i = 0; i < mem::pagesFor(globalBytes); ++i)
+        img->addMetaFrame(machine.cxl().alloc(mem::FrameUse::Metadata));
+    clock.advance(costs.serializeCost(globalBytes) +
+                  costs.serializeRecord * double(global.recordCount()) +
+                  costs.cxlWrite(globalBytes));
+    cs.bytesToCxl += globalBytes;
+    img->setGlobalState(enc.take(), globalBytes, global.recordCount());
+
+    // CPU register context, copied as-is.
+    img->setCpu(parent.cpu());
+    for (uint64_t i = 0; i < mem::pagesFor(proto::CpuMsg::simulatedBytes());
+         ++i) {
+        img->addMetaFrame(machine.cxl().alloc(mem::FrameUse::Metadata));
+    }
+    clock.advance(costs.cxlWrite(proto::CpuMsg::simulatedBytes()));
+    cs.bytesToCxl += proto::CpuMsg::simulatedBytes();
+
+    // Make the image attachable on this fabric mapping.
+    img->activate();
+
+    cs.latency = clock.now() - start;
+    if (stats)
+        *stats = cs;
+    node.stats().counter("cxlfork.checkpoint").inc();
+    return img;
+}
+
+std::shared_ptr<os::Task>
+CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
+                 os::NodeOs &target, const RestoreOptions &opts,
+                 RestoreStats *stats)
+{
+    auto img = image(handle);
+    mem::Machine &machine = fabric_.machine();
+    const sim::CostParams &costs = machine.costs();
+    sim::SimClock &clock = target.clock();
+    const SimTime start = clock.now();
+    RestoreStats rs;
+
+    // (1) A new process on the new node calls CXLfork-restore.
+    auto task = target.createTask(img->name() + "+clone", opts.container);
+
+    // (2)-(3) Re-construct the virtual memory using the checkpointed
+    // metadata: attach the VMA leaf set and, under migrate-on-write,
+    // the checkpointed page-table leaves — almost constant time.
+    const SimTime memStart = clock.now();
+    task->mm().vmas().attachShared(img->vmaSet());
+    clock.advance(costs.vmaSetup); // one pointer install
+
+    if (opts.policy == os::TieringPolicy::MigrateOnWrite) {
+        if (cfg_.attachLeaves) {
+            for (const auto &[baseVpn, leaf] : img->leaves()) {
+                task->mm().pageTable().attachLeaf(baseVpn, leaf);
+                ++rs.leavesAttached;
+            }
+        } else {
+            // Ablation: re-construct the page table by copying every
+            // checkpointed leaf to local memory.
+            for (const auto &[baseVpn, leaf] : img->leaves()) {
+                for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+                    const Pte &p = leaf->pte(i);
+                    if (p.present()) {
+                        task->mm().pageTable().setPte(
+                            mem::VirtAddr::fromPageNumber(baseVpn + i), p);
+                    }
+                }
+                clock.advance(costs.cxlRead(kPageSize));
+            }
+        }
+    }
+    task->mm().setBacking(img, opts.policy);
+    rs.memoryState = clock.now() - memStart;
+
+    // Global state: deserialize the light blob and redo operations.
+    const SimTime globalStart = clock.now();
+    proto::Decoder dec(img->globalBlob());
+    proto::GlobalStateMsg global = proto::GlobalStateMsg::decode(dec);
+    clock.advance(costs.deserializeCost(img->globalSimBytes()) +
+                  costs.serializeRecord * double(img->globalRecords()));
+    redoGlobalState(target, *task, global);
+    rs.globalState = clock.now() - globalStart;
+
+    // Resume from the checkpointed hardware context.
+    task->cpu() = img->cpu();
+    clock.advance(costs.cxlRead(proto::CpuMsg::simulatedBytes()));
+
+    // Opportunistic dirty-page prefetch (Sec. 4.2.1): pages the parent
+    // wrote are overwhelmingly rewritten by children; pulling them now
+    // avoids CXL CoW faults and their TLB shootdowns later.
+    if (opts.policy == os::TieringPolicy::MigrateOnWrite &&
+        opts.prefetchDirty) {
+        const SimTime copyStart = clock.now();
+        img->forEachDirty([&](mem::VirtAddr va, const Pte &ckpt) {
+            const uint64_t content = machine.frame(ckpt.frame()).content;
+            const mem::PhysAddr local =
+                target.localDram().alloc(mem::FrameUse::Data, content);
+            Pte fresh = Pte::make(local, true);
+            fresh.set(Pte::kDirty);
+            task->mm().pageTable().setPte(va, fresh);
+            clock.advance(costs.cxlRead(kPageSize));
+            ++rs.pagesCopied;
+        });
+        rs.dataCopy = clock.now() - copyStart;
+    }
+
+    rs.latency = clock.now() - start;
+    if (stats)
+        *stats = rs;
+    target.stats().counter("cxlfork.restore").inc();
+    return task;
+}
+
+} // namespace cxlfork::rfork

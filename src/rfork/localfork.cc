@@ -1,0 +1,46 @@
+#include "localfork.hh"
+
+#include "sim/log.hh"
+
+namespace cxlfork::rfork {
+
+std::shared_ptr<CheckpointHandle>
+LocalFork::checkpoint(os::NodeOs &node, os::Task &parent,
+                      CheckpointStats *stats)
+{
+    // fork() has no checkpoint phase: the live parent is the state.
+    if (stats)
+        *stats = CheckpointStats{};
+    auto task = node.findTask(parent.pid());
+    if (!task)
+        sim::fatal("LocalFork: parent pid %d not on node %u", parent.pid(),
+                   node.id());
+    return std::make_shared<LocalForkHandle>(std::move(task), &node);
+}
+
+std::shared_ptr<os::Task>
+LocalFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
+                   os::NodeOs &target, const RestoreOptions &opts,
+                   RestoreStats *stats)
+{
+    auto h = std::dynamic_pointer_cast<LocalForkHandle>(handle);
+    if (!h)
+        sim::fatal("handle is not a LocalFork handle");
+    if (h->node() != &target) {
+        sim::fatal("LocalFork cannot cross nodes (parent on node %u, "
+                   "restore requested on node %u)",
+                   h->node()->id(), target.id());
+    }
+    (void)opts;
+    const sim::SimTime start = target.clock().now();
+    auto child =
+        target.localFork(*h->parent(), h->parent()->name() + "+fork");
+    if (stats) {
+        *stats = RestoreStats{};
+        stats->latency = target.clock().now() - start;
+        stats->memoryState = stats->latency;
+    }
+    return child;
+}
+
+} // namespace cxlfork::rfork

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The remote-fork mechanism interface shared by CXLfork and the
+ * baselines (CRIU-CXL, Mitosis-CXL, LocalFork).
+ *
+ * All mechanisms follow the paper's checkpoint-once / restore-many
+ * pattern: checkpoint(parent) produces a handle; restore(handle,
+ * targetNode) clones the process there. Latencies are measured on the
+ * acting node's simulated clock and also returned as breakdowns.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "os/kernel.hh"
+#include "sim/time.hh"
+
+namespace cxlfork::rfork {
+
+/** Opaque mechanism-specific checkpoint handle. */
+class CheckpointHandle
+{
+  public:
+    virtual ~CheckpointHandle() = default;
+
+    /** Bytes the checkpoint holds on the shared CXL device. */
+    virtual uint64_t cxlBytes() const = 0;
+
+    /** Bytes the checkpoint pins in some node's local memory. */
+    virtual uint64_t localBytes() const = 0;
+};
+
+/** Checkpoint-side measurements. */
+struct CheckpointStats
+{
+    sim::SimTime latency;
+    uint64_t pages = 0;       ///< Data pages captured.
+    uint64_t leaves = 0;      ///< Page-table leaves captured.
+    uint64_t vmas = 0;        ///< VMA records captured.
+    uint64_t bytesToCxl = 0;  ///< Copied/serialized onto the device.
+    uint64_t bytesLocal = 0;  ///< Shadow-copied into local memory.
+};
+
+/** Restore-side options. */
+struct RestoreOptions
+{
+    os::TieringPolicy policy = os::TieringPolicy::MigrateOnWrite;
+
+    /**
+     * Namespaces of the (ghost) container the clone lands in; nullptr
+     * restores into fresh namespaces (paper Sec. 4.2: network/cgroup
+     * state is inherited from the caller on the new node).
+     */
+    const os::NamespaceSet *container = nullptr;
+
+    /** Opportunistically prefetch checkpoint-dirty pages (Sec. 4.2.1). */
+    bool prefetchDirty = true;
+};
+
+/** Restore-side measurements. */
+struct RestoreStats
+{
+    sim::SimTime latency;       ///< Total restore time.
+    sim::SimTime memoryState;   ///< Address space + page tables.
+    sim::SimTime globalState;   ///< Files/sockets/namespaces redo.
+    sim::SimTime dataCopy;      ///< Bulk page copies (CRIU) / prefetch.
+    uint64_t pagesCopied = 0;
+    uint64_t leavesAttached = 0;
+};
+
+/** A remote fork mechanism. */
+class RemoteForkMechanism
+{
+  public:
+    virtual ~RemoteForkMechanism() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Capture the parent's state. Charged to the parent node's clock.
+     */
+    virtual std::shared_ptr<CheckpointHandle>
+    checkpoint(os::NodeOs &node, os::Task &parent,
+               CheckpointStats *stats = nullptr) = 0;
+
+    /**
+     * Clone the checkpointed process onto the target node. Charged to
+     * the target node's clock.
+     */
+    virtual std::shared_ptr<os::Task>
+    restore(const std::shared_ptr<CheckpointHandle> &handle,
+            os::NodeOs &target, const RestoreOptions &opts = {},
+            RestoreStats *stats = nullptr) = 0;
+};
+
+} // namespace cxlfork::rfork

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared capture/redo helpers for process global state.
+ *
+ * Every mechanism must re-instantiate global OS state (open files,
+ * sockets, mount points, PID namespace) on the target node by
+ * *redoing* operations there (paper Sec. 4.2). These helpers build the
+ * serializable description from a live task and replay it into a
+ * restored task.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "os/kernel.hh"
+#include "proto/messages.hh"
+
+namespace cxlfork::rfork {
+
+/** Snapshot the global/reconfigurable state of a live task. */
+proto::GlobalStateMsg captureGlobalState(const os::Task &task);
+
+/** Snapshot the VMA records of a live task. */
+std::vector<proto::VmaMsg> captureVmas(const os::Task &task);
+
+/** Convert between the wire and OS VMA representations. */
+proto::VmaMsg toMsg(const os::Vma &vma);
+os::Vma fromMsg(const proto::VmaMsg &msg);
+
+/**
+ * Redo global state on the target node: reopen files by checkpointed
+ * path/permissions, reconnect sockets, restore mount points into the
+ * task's mount namespace. Charges per-operation costs to the node
+ * clock. Files must exist in the shared root FS (container-image
+ * assumption).
+ */
+void redoGlobalState(os::NodeOs &node, os::Task &task,
+                     const proto::GlobalStateMsg &msg);
+
+} // namespace cxlfork::rfork

@@ -1,0 +1,24 @@
+#include "clock.hh"
+
+#include "log.hh"
+
+namespace cxlfork::sim {
+
+void
+SimClock::advance(SimTime d)
+{
+    if (d < SimTime::zero())
+        panic("SimClock::advance with negative duration %f ns", d.toNs());
+    now_ += d;
+}
+
+void
+SimClock::advanceTo(SimTime t)
+{
+    if (t < now_)
+        panic("SimClock::advanceTo moving backwards (%f < %f ns)",
+              t.toNs(), now_.toNs());
+    now_ = t;
+}
+
+} // namespace cxlfork::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The calibrated cost model for the simulated machine.
+ *
+ * Every latency the library charges flows through CostParams. Defaults
+ * come from the paper's own measurements on the Sapphire Rapids +
+ * Agilex platform (CXL round trip 391 ns, CXL CoW fault 2.5 us of which
+ * ~1.3 us data movement and ~0.5 us TLB shootdown, local minor fault
+ * <1 us, container creation ~130 ms). The Fig. 9 sensitivity study is a
+ * sweep over cxlLatency.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "time.hh"
+
+namespace cxlfork::sim {
+
+using namespace time_literals;
+
+/** Parameters of the simulated hardware and OS cost model. */
+struct CostParams
+{
+    // --- Memory access round-trip latencies (core to tier and back).
+    SimTime dramLatency = 100_ns;  ///< Node-local DDR5.
+    SimTime cxlLatency = 391_ns;   ///< CXL-attached device (paper: 391 ns).
+
+    /**
+     * Memory-level parallelism of the core's miss handling: sustained
+     * miss streams overlap, so the *throughput* cost of one LLC miss
+     * is latency / memMlp. Out-of-order cores sustain ~8-16
+     * outstanding misses.
+     */
+    double memMlp = 8.0;
+
+    // --- Copy bandwidths for bulk memcpy-style movement.
+    double dramBwGBs = 20.0;       ///< Local-to-local copy bandwidth.
+    double cxlReadBwGBs = 10.0;    ///< CXL-to-local copy bandwidth.
+    double cxlWriteBwGBs = 8.0;   ///< Local-to-CXL (non-temporal stores).
+
+    // --- Page fault cost structure (paper Sec. 4.2.1).
+    SimTime faultTrap = 400_ns;      ///< Trap + walk + bookkeeping floor.
+    SimTime minorFault = 800_ns;     ///< Anonymous page from local memory.
+    SimTime cowFaultLocal = 1000_ns; ///< Local CoW, excluding the copy.
+    SimTime cxlCowOverhead = 700_ns; ///< CXL CoW on top of copy + TLB.
+    SimTime tlbShootdown = 500_ns;   ///< Remote TLB invalidation round.
+    SimTime majorFaultFs = 6_us;     ///< File-backed fault through the FS.
+    SimTime migrateSetup = 1600_ns;  ///< Migrate-on-access extra work:
+                                     ///< frame allocation, PTE install,
+                                     ///< LRU/cgroup accounting.
+
+    // --- OS object manipulation costs.
+    SimTime vmaSetup = 500_ns;       ///< Allocate + link one VMA.
+    SimTime ptPageAlloc = 300_ns;    ///< Allocate + zero one table page.
+    SimTime pteWrite = 5_ns;         ///< Set one PTE during bulk ops.
+    SimTime fileOpen = 2_us;         ///< Path lookup + fd install.
+    SimTime taskCreate = 50_us;      ///< clone() skeleton w/o memory work.
+    SimTime namespaceSetup = 30_us;  ///< Attach PID/mount namespaces.
+
+    // --- Serialization (protobuf stand-in; CRIU path).
+    double serializeBwGBs = 1.0;     ///< Encode throughput.
+    double deserializeBwGBs = 1.5;   ///< Decode throughput.
+    SimTime serializeRecord = 150_ns; ///< Per-record framing cost.
+
+    // --- Containers (paper Sec. 5, Fig. 6).
+    SimTime containerCreate = 130_ms;     ///< Full Docker-style creation.
+    SimTime ghostTrigger = 300_us;        ///< Poke a ghost container socket.
+    uint64_t ghostFootprintBytes = 512ull << 10; ///< 512 KB bare container.
+
+    // --- Geometry.
+    uint64_t pageSize = 4096;
+    uint64_t cachelineSize = 64;
+
+    /** Bulk copy cost at a given bandwidth in GB/s. */
+    static SimTime
+    copyCost(uint64_t bytes, double gbPerSec)
+    {
+        return SimTime::ns(double(bytes) / gbPerSec);
+    }
+
+    SimTime dramCopy(uint64_t bytes) const { return copyCost(bytes, dramBwGBs); }
+    SimTime cxlRead(uint64_t bytes) const { return copyCost(bytes, cxlReadBwGBs); }
+    SimTime cxlWrite(uint64_t bytes) const { return copyCost(bytes, cxlWriteBwGBs); }
+
+    /** Copy one page from CXL into local memory (the CoW data move). */
+    SimTime
+    cxlPageCopy() const
+    {
+        return cxlRead(pageSize) + cxlLatency;
+    }
+
+    /**
+     * Full cost of a CoW fault whose source page lives on CXL
+     * (paper: ~2.5 us = overhead + ~1.3 us copy + ~0.5 us shootdown).
+     */
+    SimTime
+    cxlCowFault() const
+    {
+        return faultTrap + cxlCowOverhead + cxlPageCopy() + tlbShootdown;
+    }
+
+    /** Full cost of a local CoW fault. */
+    SimTime
+    localCowFault() const
+    {
+        return faultTrap + cowFaultLocal + dramCopy(pageSize) + tlbShootdown;
+    }
+
+    /** Migrate-on-access CXL fault (remote paging with a local copy). */
+    SimTime
+    cxlAccessFault() const
+    {
+        return faultTrap + cxlCowOverhead + migrateSetup + cxlPageCopy();
+    }
+
+    SimTime serializeCost(uint64_t bytes) const { return copyCost(bytes, serializeBwGBs); }
+    SimTime deserializeCost(uint64_t bytes) const { return copyCost(bytes, deserializeBwGBs); }
+
+    /** Throughput cost of n overlapping LLC misses to a tier. */
+    SimTime
+    missStreamCost(uint64_t misses, SimTime tierLatency) const
+    {
+        return tierLatency * (double(misses) / memMlp);
+    }
+};
+
+} // namespace cxlfork::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A discrete event queue for the cluster-level (CXLporter) simulation.
+ *
+ * Events are (time, sequence, callback) triples; ties break by insertion
+ * order so runs are deterministic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "time.hh"
+
+namespace cxlfork::sim {
+
+/** Deterministic discrete event scheduler. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule a callback at absolute simulated time t (>= now). */
+    void schedule(SimTime t, Callback cb);
+
+    /** Schedule a callback after a delay relative to now. */
+    void scheduleAfter(SimTime delay, Callback cb) { schedule(now_ + delay, std::move(cb)); }
+
+    /** Current simulated time (time of the last dispatched event). */
+    SimTime now() const { return now_; }
+
+    bool empty() const { return heap_.empty(); }
+    size_t pending() const { return heap_.size(); }
+
+    /** Dispatch the single earliest event. Returns false if none. */
+    bool step();
+
+    /** Run until the queue drains or time exceeds the horizon. */
+    void run(SimTime horizon = SimTime::sec(1e18));
+
+  private:
+    struct Item
+    {
+        SimTime when;
+        uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return b.when < a.when;
+            return b.seq < a.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+    SimTime now_;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace cxlfork::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal leveled logging plus panic()/fatal() in the gem5 tradition.
+ *
+ * panic() marks a simulator bug (aborts); fatal() marks a user /
+ * configuration error (throws FatalError so tests can assert on it).
+ */
+
+#pragma once
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace cxlfork::sim {
+
+/** Thrown by fatal(): the simulation cannot continue due to caller error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what) : std::runtime_error(what) {}
+};
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Quiet = 3 };
+
+/** Global log threshold; messages below it are suppressed. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** printf-style formatting helper. */
+std::string vformat(const char *fmt, std::va_list ap);
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void logAt(LogLevel level, const char *prefix, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define CXLF_DEBUG(...) \
+    ::cxlfork::sim::logAt(::cxlfork::sim::LogLevel::Debug, "debug", __VA_ARGS__)
+#define CXLF_INFO(...) \
+    ::cxlfork::sim::logAt(::cxlfork::sim::LogLevel::Info, "info", __VA_ARGS__)
+#define CXLF_WARN(...) \
+    ::cxlfork::sim::logAt(::cxlfork::sim::LogLevel::Warn, "warn", __VA_ARGS__)
+
+/**
+ * Report an unrecoverable internal error (a bug in this library) and abort.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable caller error (bad configuration or misuse of the
+ * API) by throwing FatalError.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the invariant holds. */
+#define CXLF_ASSERT(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::cxlfork::sim::panic("assertion failed at %s:%d: %s",      \
+                                  __FILE__, __LINE__, #cond);           \
+        }                                                               \
+    } while (0)
+
+} // namespace cxlfork::sim

@@ -1,0 +1,77 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cxlfork::sim {
+
+void
+Table::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : std::string();
+            os << (i ? "  " : "") << c
+               << std::string(widths[i] - c.size(), ' ');
+        }
+        return os.str();
+    };
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+
+    std::ostringstream os;
+    os << "\n== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        os << renderRow(header_) << "\n";
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        os << renderRow(r) << "\n";
+    for (const auto &n : notes_)
+        os << "  * " << n << "\n";
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace cxlfork::sim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses, so each bench
+ * prints the same rows/series the paper's figures report.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cxlfork::sim {
+
+/** Column-aligned ASCII table with a title and optional footnotes. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void setHeader(std::vector<std::string> cells);
+    void addRow(std::vector<std::string> cells);
+    void addNote(std::string note) { notes_.push_back(std::move(note)); }
+
+    /** Format helper: fixed-point double cell. */
+    static std::string num(double v, int precision = 2);
+
+    std::string toString() const;
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace cxlfork::sim

@@ -1,0 +1,24 @@
+#include "time.hh"
+
+#include <cstdio>
+
+namespace cxlfork::sim {
+
+std::string
+SimTime::toString() const
+{
+    char buf[64];
+    const double v = ns_;
+    if (std::fabs(v) < 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.1fns", v);
+    } else if (std::fabs(v) < 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2fus", v / 1e3);
+    } else if (std::fabs(v) < 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3fs", v / 1e9);
+    }
+    return buf;
+}
+
+} // namespace cxlfork::sim

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "cxl/fabric.hh"
+#include "cxl/object_store.hh"
+#include "sim/log.hh"
+
+namespace cxlfork::cxl {
+namespace {
+
+TEST(SharedFs, WriteOpenRemove)
+{
+    mem::Machine machine{mem::MachineConfig{}};
+    SharedFs fs(machine);
+    sim::SimClock clock;
+
+    std::vector<uint8_t> data{1, 2, 3};
+    fs.write("criu/a.img", data, mem::mib(1), clock);
+    EXPECT_EQ(fs.fileCount(), 1u);
+    EXPECT_EQ(fs.usedBytes(), mem::mib(1));
+    // Writing 1 MB over the fabric costs simulated time.
+    EXPECT_GT(clock.now().toUs(), 10.0);
+
+    const CxlFsFile *f = fs.open("criu/a.img");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->data, data);
+    EXPECT_EQ(f->simulatedBytes, mem::mib(1));
+    EXPECT_EQ(fs.open("missing"), nullptr);
+
+    fs.remove("criu/a.img");
+    EXPECT_EQ(fs.fileCount(), 0u);
+    EXPECT_EQ(fs.usedBytes(), 0u);
+    EXPECT_EQ(machine.cxl().usedFrames(), 0u);
+}
+
+TEST(SharedFs, FilesConsumeDeviceCapacity)
+{
+    mem::MachineConfig cfg;
+    cfg.cxlCapacityBytes = mem::mib(2);
+    mem::Machine machine{cfg};
+    SharedFs fs(machine);
+    sim::SimClock clock;
+    fs.write("a", {}, mem::mib(1), clock);
+    EXPECT_THROW(fs.write("b", {}, mem::mib(2), clock), sim::FatalError);
+}
+
+TEST(SharedFs, OverwriteReplacesAndFreesOldFrames)
+{
+    mem::Machine machine{mem::MachineConfig{}};
+    SharedFs fs(machine);
+    sim::SimClock clock;
+    fs.write("a", {1}, mem::mib(4), clock);
+    fs.write("a", {2}, mem::mib(1), clock);
+    EXPECT_EQ(fs.usedBytes(), mem::mib(1));
+    EXPECT_EQ(fs.open("a")->data, std::vector<uint8_t>{2});
+}
+
+TEST(ObjectStore, PutLookupGet)
+{
+    ObjectStore<int> store;
+    auto obj = std::make_shared<int>(7);
+    const Cid cid = store.put("alice", "bert", obj);
+    EXPECT_EQ(store.lookup("alice", "bert"), cid);
+    EXPECT_EQ(*store.get(cid), 7);
+    EXPECT_FALSE(store.lookup("alice", "other").has_value());
+    EXPECT_EQ(store.get(999), nullptr);
+}
+
+TEST(ObjectStore, LatestWinsPerTuple)
+{
+    ObjectStore<int> store;
+    store.put("u", "f", std::make_shared<int>(1));
+    const Cid c2 = store.put("u", "f", std::make_shared<int>(2));
+    EXPECT_EQ(store.lookup("u", "f"), c2);
+    EXPECT_EQ(*store.get(*store.lookup("u", "f")), 2);
+}
+
+TEST(ObjectStore, ReclaimInvalidatesLookup)
+{
+    ObjectStore<int> store;
+    const Cid cid = store.put("u", "f", std::make_shared<int>(1));
+    store.reclaim(cid);
+    EXPECT_FALSE(store.lookup("u", "f").has_value());
+    EXPECT_EQ(store.get(cid), nullptr);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ObjectStore, TuplesAreIndependent)
+{
+    ObjectStore<int> store;
+    store.put("u1", "f", std::make_shared<int>(1));
+    store.put("u2", "f", std::make_shared<int>(2));
+    EXPECT_EQ(*store.get(*store.lookup("u1", "f")), 1);
+    EXPECT_EQ(*store.get(*store.lookup("u2", "f")), 2);
+    EXPECT_EQ(store.cids().size(), 2u);
+}
+
+TEST(Fabric, TracksDeviceUsage)
+{
+    mem::Machine machine{mem::MachineConfig{}};
+    CxlFabric fabric(machine);
+    EXPECT_EQ(fabric.usedBytes(), 0u);
+    machine.cxl().alloc(mem::FrameUse::Data);
+    EXPECT_EQ(fabric.usedBytes(), mem::kPageSize);
+    EXPECT_EQ(fabric.freeBytes(),
+              machine.cxl().capacityBytes() - mem::kPageSize);
+}
+
+} // namespace
+} // namespace cxlfork::cxl

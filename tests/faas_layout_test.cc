@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Function layout and invocation-engine behaviour: wrapped iteration,
+ * input-rotation coverage (the Fig. 1 methodology), code-segment
+ * execution, and cache-warm transitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "faas/workloads.hh"
+#include "test_util.hh"
+
+namespace cxlfork::faas {
+namespace {
+
+using mem::kPageSize;
+using os::SegClass;
+using test::World;
+
+FunctionSpec
+smallSpec()
+{
+    FunctionSpec s;
+    s.name = "layout";
+    s.footprintBytes = mem::mib(8);
+    s.workingSetBytes = mem::mib(2);
+    s.wsReuse = 4;
+    s.computeTime = sim::SimTime::ms(2);
+    s.stateInitTime = sim::SimTime::ms(10);
+    s.vmaCount = 16;
+    s.seed = 77;
+    return s;
+}
+
+TEST(FunctionLayoutWrapped, WrapsAroundSegmentEnd)
+{
+    const FunctionLayout l = FunctionLayout::compute(smallSpec());
+    const uint64_t total = l.pagesOf(SegClass::ReadOnly);
+    ASSERT_GT(total, 8u);
+
+    std::vector<uint64_t> seen;
+    l.forEachPageWrapped(SegClass::ReadOnly, total - 3, 6,
+                         [&](mem::VirtAddr, uint64_t idx) {
+                             seen.push_back(idx);
+                         });
+    ASSERT_EQ(seen.size(), 6u);
+    // Three tail pages and three wrapped head pages, in segment order.
+    std::set<uint64_t> expect{total - 3, total - 2, total - 1, 0, 1, 2};
+    EXPECT_EQ(std::set<uint64_t>(seen.begin(), seen.end()), expect);
+}
+
+TEST(FunctionLayoutWrapped, CountClampedToSegment)
+{
+    const FunctionLayout l = FunctionLayout::compute(smallSpec());
+    const uint64_t total = l.pagesOf(SegClass::ReadWrite);
+    uint64_t n = 0;
+    l.forEachPageWrapped(SegClass::ReadWrite, 0, total * 10,
+                         [&](mem::VirtAddr, uint64_t) { ++n; });
+    EXPECT_EQ(n, total);
+}
+
+TEST(FunctionLayoutWrapped, EmptyClassIsNoop)
+{
+    FunctionSpec s = smallSpec();
+    const FunctionLayout l = FunctionLayout::compute(s);
+    uint64_t n = 0;
+    l.forEachPageWrapped(SegClass::None, 0, 10,
+                         [&](mem::VirtAddr, uint64_t) { ++n; });
+    EXPECT_EQ(n, 0u);
+}
+
+TEST(FunctionSpec, CodeBytesBounded)
+{
+    FunctionSpec s = smallSpec();
+    EXPECT_LE(s.codeBytes(), mem::mib(3));
+    EXPECT_LE(s.codeBytes(), s.initBytes());
+    EXPECT_EQ((*findWorkload("Bert")).codeBytes(), mem::mib(3));
+}
+
+class RotationTest : public ::testing::Test
+{
+  protected:
+    RotationTest() : world(test::smallConfig()) {}
+
+    World world;
+};
+
+TEST_F(RotationTest, RepeatedInvocationsCoverMostReadOnlyData)
+{
+    // The Fig. 1 methodology: 128 invocations with rotating inputs
+    // must touch (nearly) all of the read-only segment.
+    auto inst = FunctionInstance::deployCold(world.node(0), smallSpec());
+    inst->task().mm().pageTable().clearAccessedBits(true);
+    for (int i = 0; i < 128; ++i)
+        inst->invoke();
+
+    uint64_t roTouched = 0;
+    const FunctionLayout &l = inst->layout();
+    const uint64_t roTotal = l.pagesOf(SegClass::ReadOnly);
+    l.forEachPage(SegClass::ReadOnly, roTotal,
+                  [&](mem::VirtAddr va, uint64_t) {
+                      if (inst->task().mm().pageTable().lookup(va).accessed())
+                          ++roTouched;
+                  });
+    EXPECT_GT(double(roTouched), 0.9 * double(roTotal));
+}
+
+TEST_F(RotationTest, SingleInvocationTouchesOnlyWorkingSet)
+{
+    auto inst = FunctionInstance::deployCold(world.node(0), smallSpec());
+    inst->task().mm().pageTable().clearAccessedBits(true);
+    inst->invoke();
+
+    uint64_t roTouched = 0;
+    const FunctionLayout &l = inst->layout();
+    const uint64_t roTotal = l.pagesOf(SegClass::ReadOnly);
+    l.forEachPage(SegClass::ReadOnly, roTotal,
+                  [&](mem::VirtAddr va, uint64_t) {
+                      if (inst->task().mm().pageTable().lookup(va).accessed())
+                          ++roTouched;
+                  });
+    const uint64_t wsPages = mem::pagesFor(smallSpec().effectiveWorkingSet());
+    EXPECT_LE(roTouched, wsPages);
+    EXPECT_LT(roTouched, roTotal);
+}
+
+TEST_F(RotationTest, CodeSegmentIsExecutedEveryInvocation)
+{
+    auto inst = FunctionInstance::deployCold(world.node(0), smallSpec());
+    inst->task().mm().pageTable().clearAccessedBits(true);
+    inst->invoke();
+    // The head of the Init segment (library text) carries A bits.
+    const FunctionLayout &l = inst->layout();
+    const uint64_t codePages = mem::pagesFor(smallSpec().codeBytes());
+    uint64_t marked = 0;
+    l.forEachPage(SegClass::Init, codePages,
+                  [&](mem::VirtAddr va, uint64_t) {
+                      if (inst->task().mm().pageTable().lookup(va).accessed())
+                          ++marked;
+                  });
+    EXPECT_EQ(marked, codePages);
+}
+
+TEST_F(RotationTest, RwPagesDirtyEveryInvocation)
+{
+    auto inst = FunctionInstance::deployCold(world.node(0), smallSpec());
+    inst->task().mm().pageTable().clearAccessedBits(true);
+    inst->invoke();
+    const FunctionLayout &l = inst->layout();
+    uint64_t dirty = 0;
+    const uint64_t rwTotal = l.pagesOf(SegClass::ReadWrite);
+    l.forEachPage(SegClass::ReadWrite, rwTotal,
+                  [&](mem::VirtAddr va, uint64_t) {
+                      if (inst->task().mm().pageTable().lookup(va).dirty())
+                          ++dirty;
+                  });
+    EXPECT_EQ(dirty, rwTotal)
+        << ">95% of parent-written pages are rewritten (paper 4.2.1); "
+           "in this model children rewrite all of them";
+}
+
+TEST_F(RotationTest, WarmInvocationIsCheaperThanCold)
+{
+    auto inst = FunctionInstance::deployCold(world.node(0), smallSpec());
+    const auto cold = inst->invoke();
+    const auto warm1 = inst->invoke();
+    const auto warm2 = inst->invoke();
+    EXPECT_LT(warm1.latency, cold.latency);
+    // Steady state: successive warm invocations cost the same.
+    EXPECT_NEAR(warm2.latency.toMs(), warm1.latency.toMs(), 0.5);
+}
+
+} // namespace
+} // namespace cxlfork::faas

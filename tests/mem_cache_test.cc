@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace cxlfork::mem {
+namespace {
+
+TEST(CacheModel, FittingWorkingSetHasZeroSteadyMisses)
+{
+    CacheModel llc(mib(64));
+    EXPECT_DOUBLE_EQ(llc.steadyMissRate(mib(4)), 0.0);
+    EXPECT_DOUBLE_EQ(llc.steadyMissRate(0), 0.0);
+}
+
+TEST(CacheModel, SpillingWorkingSetMissesProportionally)
+{
+    CacheModel llc(mib(64), 1.0);
+    EXPECT_NEAR(llc.steadyMissRate(mib(128)), 0.5, 1e-9);
+    EXPECT_NEAR(llc.steadyMissRate(mib(640)), 0.9, 1e-9);
+}
+
+TEST(CacheModel, EffectivenessShrinksCapacity)
+{
+    CacheModel llc(mib(64), 0.9);
+    // 60 MB fits raw capacity but not the effective one.
+    EXPECT_GT(llc.steadyMissRate(mib(60)), 0.0);
+}
+
+TEST(CacheModel, ColdMissesAreOnePerLine)
+{
+    EXPECT_EQ(CacheModel::coldMisses(kCachelineSize * 10), 10u);
+    EXPECT_EQ(CacheModel::coldMisses(1), 1u);
+    EXPECT_EQ(CacheModel::coldMisses(0), 0u);
+}
+
+TEST(CacheModel, MissesForColdPlusSteady)
+{
+    CacheModel llc(mib(1), 1.0);
+    const uint64_t ws = mib(2); // 50% steady miss rate
+    const uint64_t lines = ws / kCachelineSize;
+    // Exactly one cold sweep: all misses.
+    EXPECT_EQ(llc.missesFor(ws, lines), lines);
+    // Two sweeps: cold + half the warm accesses.
+    EXPECT_EQ(llc.missesFor(ws, 2 * lines), lines + lines / 2);
+}
+
+TEST(CacheModel, MissesMonotoneInWorkingSet)
+{
+    CacheModel llc(mib(8));
+    const uint64_t loads = 10'000'000;
+    uint64_t prev = 0;
+    for (uint64_t ws = mib(1); ws <= mib(64); ws *= 2) {
+        const uint64_t m = llc.missesFor(ws, loads);
+        EXPECT_GE(m, prev) << "ws=" << ws;
+        prev = m;
+    }
+}
+
+} // namespace
+} // namespace cxlfork::mem

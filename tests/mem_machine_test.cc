@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "mem/machine.hh"
+#include "sim/log.hh"
+
+namespace cxlfork::mem {
+namespace {
+
+TEST(Machine, TiersAreDisjointAndResolvable)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 2;
+    cfg.dramPerNodeBytes = mib(64);
+    cfg.cxlCapacityBytes = mib(128);
+    Machine m(cfg);
+
+    const PhysAddr a = m.nodeDram(0).alloc(FrameUse::Data);
+    const PhysAddr b = m.nodeDram(1).alloc(FrameUse::Data);
+    const PhysAddr c = m.cxl().alloc(FrameUse::Data);
+
+    EXPECT_EQ(m.tierOf(a), Tier::LocalDram);
+    EXPECT_EQ(m.tierOf(b), Tier::LocalDram);
+    EXPECT_EQ(m.tierOf(c), Tier::Cxl);
+    EXPECT_NE(a.raw, b.raw);
+    EXPECT_EQ(&m.ownerOf(a), &m.nodeDram(0));
+    EXPECT_EQ(&m.ownerOf(b), &m.nodeDram(1));
+    EXPECT_EQ(&m.ownerOf(c), &m.cxl());
+}
+
+TEST(Machine, AccessLatencyByTier)
+{
+    Machine m(MachineConfig{});
+    const PhysAddr local = m.nodeDram(0).alloc(FrameUse::Data);
+    const PhysAddr cxl = m.cxl().alloc(FrameUse::Data);
+    EXPECT_EQ(m.accessLatency(local), m.costs().dramLatency);
+    EXPECT_EQ(m.accessLatency(cxl), m.costs().cxlLatency);
+    EXPECT_GT(m.accessLatency(cxl), m.accessLatency(local));
+}
+
+TEST(Machine, CxlOffsetRoundTrip)
+{
+    Machine m(MachineConfig{});
+    const PhysAddr f = m.cxl().alloc(FrameUse::Data);
+    const uint64_t off = m.cxlOffsetOf(f);
+    EXPECT_LT(off, m.cxl().capacityBytes());
+    EXPECT_EQ(m.cxlAddrOf(off), f);
+}
+
+TEST(Machine, GetPutFrameAdjustRefcounts)
+{
+    Machine m(MachineConfig{});
+    const PhysAddr f = m.cxl().alloc(FrameUse::Data, 55);
+    m.getFrame(f);
+    EXPECT_EQ(m.frame(f).refcount, 2u);
+    m.putFrame(f);
+    EXPECT_EQ(m.frame(f).refcount, 1u);
+    m.putFrame(f);
+    EXPECT_EQ(m.cxl().usedFrames(), 0u);
+}
+
+TEST(Machine, ZeroNodesRejected)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 0;
+    EXPECT_THROW(Machine m(cfg), sim::FatalError);
+}
+
+TEST(Machine, LlcPerNode)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 3;
+    cfg.llcBytes = mib(32);
+    Machine m(cfg);
+    EXPECT_EQ(m.numNodes(), 3u);
+    for (NodeId n = 0; n < 3; ++n)
+        EXPECT_EQ(m.llc(n).capacityBytes(), mib(32));
+}
+
+} // namespace
+} // namespace cxlfork::mem

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "mem/machine.hh"
+#include "os/page_table.hh"
+#include "sim/clock.hh"
+
+namespace cxlfork::os {
+namespace {
+
+using mem::kPageSize;
+using mem::PhysAddr;
+using mem::VirtAddr;
+
+class PageTableTest : public ::testing::Test
+{
+  protected:
+    PageTableTest()
+        : machine_(mem::MachineConfig{}),
+          pt_(machine_, machine_.nodeDram(0), clock_)
+    {}
+
+    PhysAddr dataFrame(uint64_t content = 0)
+    {
+        return machine_.nodeDram(0).alloc(mem::FrameUse::Data, content);
+    }
+
+    mem::Machine machine_;
+    sim::SimClock clock_;
+    PageTable pt_;
+};
+
+TEST_F(PageTableTest, LookupMissIsEmpty)
+{
+    EXPECT_FALSE(pt_.lookup(VirtAddr{0x7000}).present());
+}
+
+TEST_F(PageTableTest, SetAndLookup)
+{
+    const VirtAddr va{0x5555'0000'3000ull};
+    const PhysAddr f = dataFrame(99);
+    pt_.setPte(va, Pte::make(f, true));
+    const Pte p = pt_.lookup(va);
+    ASSERT_TRUE(p.present());
+    EXPECT_TRUE(p.writable());
+    EXPECT_EQ(p.frame(), f);
+    // Neighbouring page unaffected.
+    EXPECT_FALSE(pt_.lookup(va.plus(kPageSize)).present());
+}
+
+TEST_F(PageTableTest, SparseAddressesAllocateSeparateSubtrees)
+{
+    pt_.setPte(VirtAddr{0x1000}, Pte::make(dataFrame(), false));
+    pt_.setPte(VirtAddr{0x7fff'ffff'f000ull}, Pte::make(dataFrame(), false));
+    // Root + 3 interior levels per distinct path + 2 leaves; at least 7
+    // owned pages (root counted once).
+    EXPECT_GE(pt_.ownedTablePages(), 7u);
+    EXPECT_TRUE(pt_.lookup(VirtAddr{0x1000}).present());
+    EXPECT_TRUE(pt_.lookup(VirtAddr{0x7fff'ffff'f000ull}).present());
+}
+
+TEST_F(PageTableTest, ChargesForTablePagesAndPteWrites)
+{
+    const auto before = clock_.now();
+    pt_.setPte(VirtAddr{0x4000}, Pte::make(dataFrame(), true));
+    EXPECT_GT(clock_.now(), before);
+}
+
+TEST_F(PageTableTest, ForEachPresentVisitsRange)
+{
+    for (int i = 0; i < 10; ++i) {
+        pt_.setPte(VirtAddr{uint64_t(i) * kPageSize},
+                   Pte::make(dataFrame(uint64_t(i)), false));
+    }
+    int visited = 0;
+    pt_.forEachPresent(VirtAddr{2 * kPageSize}, VirtAddr{7 * kPageSize},
+                       [&](VirtAddr va, Pte &p) {
+                           EXPECT_TRUE(p.present());
+                           EXPECT_GE(va.raw, 2 * kPageSize);
+                           EXPECT_LT(va.raw, 7 * kPageSize);
+                           ++visited;
+                       });
+    EXPECT_EQ(visited, 5);
+}
+
+TEST_F(PageTableTest, UnmapReleasesOwnedFrames)
+{
+    for (int i = 0; i < 4; ++i) {
+        pt_.setPte(VirtAddr{uint64_t(i) * kPageSize},
+                   Pte::make(dataFrame(), true));
+    }
+    pt_.unmapRange(VirtAddr{0}, VirtAddr{4 * kPageSize});
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(pt_.lookup(VirtAddr{uint64_t(i) * kPageSize}).present());
+    // Data frames were freed; only the table pages (root + interiors +
+    // leaf, all owned by the page table) remain allocated.
+    EXPECT_EQ(machine_.nodeDram(0).usedFrames(), pt_.ownedTablePages());
+}
+
+TEST_F(PageTableTest, UnmapKeepsCheckpointOwnedFrames)
+{
+    const PhysAddr cxlFrame = machine_.cxl().alloc(mem::FrameUse::Data, 5);
+    Pte p = Pte::make(cxlFrame, false);
+    p.set(Pte::kSoftCxl);
+    pt_.setPte(VirtAddr{0x9000}, p);
+    pt_.unmapRange(VirtAddr{0x9000}, VirtAddr{0xa000});
+    // The checkpoint frame must survive (owned by the image).
+    EXPECT_EQ(machine_.cxl().usedFrames(), 1u);
+}
+
+TEST_F(PageTableTest, AttachedSealedLeafServesLookups)
+{
+    // Build a sealed leaf mapping CXL frames.
+    auto leaf = std::make_shared<TablePage>(
+        0, machine_.cxl().alloc(mem::FrameUse::PageTable), false);
+    const PhysAddr f = machine_.cxl().alloc(mem::FrameUse::Data, 77);
+    Pte entry = Pte::make(f, false);
+    entry.set(Pte::kSoftCxl);
+    leaf->pte(3) = entry;
+    leaf->seal();
+
+    const uint64_t baseVpn = (0x5555'0000'0000ull >> 12) & ~511ull;
+    pt_.attachLeaf(baseVpn, leaf);
+    EXPECT_EQ(pt_.attachedLeafCount(), 1u);
+
+    const VirtAddr va = VirtAddr::fromPageNumber(baseVpn + 3);
+    const Pte got = pt_.lookup(va);
+    ASSERT_TRUE(got.present());
+    EXPECT_EQ(got.frame(), f);
+}
+
+TEST_F(PageTableTest, WriteToSealedLeafTriggersLeafCow)
+{
+    auto leaf = std::make_shared<TablePage>(
+        0, machine_.cxl().alloc(mem::FrameUse::PageTable), false);
+    const PhysAddr f = machine_.cxl().alloc(mem::FrameUse::Data, 1);
+    Pte entry = Pte::make(f, false);
+    entry.set(Pte::kSoftCxl);
+    leaf->pte(0) = entry;
+    leaf->pte(1) = entry; // second mapping of the same checkpoint frame
+    machine_.cxl().incRef(f);
+    leaf->seal();
+
+    const uint64_t baseVpn = 512 * 7;
+    pt_.attachLeaf(baseVpn, leaf);
+
+    // An OS-level PTE store must not modify the sealed leaf in place.
+    const VirtAddr va = VirtAddr::fromPageNumber(baseVpn);
+    const auto res = pt_.setPte(va, Pte::make(dataFrame(42), true));
+    EXPECT_TRUE(res.leafCow);
+    EXPECT_EQ(pt_.leafCowCount(), 1u);
+    // Sealed leaf unchanged...
+    EXPECT_EQ(leaf->pte(0).frame(), f);
+    EXPECT_FALSE(leaf->pte(0).writable());
+    // ...while the table now serves the new mapping, and the untouched
+    // neighbour entry was carried over.
+    EXPECT_TRUE(pt_.lookup(va).writable());
+    EXPECT_EQ(pt_.lookup(VirtAddr::fromPageNumber(baseVpn + 1)).frame(), f);
+}
+
+TEST_F(PageTableTest, HwAccessedDirtyOnSealedLeafIsAllowed)
+{
+    auto leaf = std::make_shared<TablePage>(
+        0, machine_.cxl().alloc(mem::FrameUse::PageTable), false);
+    Pte entry = Pte::make(machine_.cxl().alloc(mem::FrameUse::Data), false);
+    entry.set(Pte::kSoftCxl);
+    leaf->pte(9) = entry;
+    leaf->seal();
+    const uint64_t baseVpn = 512 * 3;
+    pt_.attachLeaf(baseVpn, leaf);
+
+    const VirtAddr va = VirtAddr::fromPageNumber(baseVpn + 9);
+    pt_.hwSetAccessedDirty(va, false);
+    EXPECT_TRUE(leaf->pte(9).accessed());
+    EXPECT_FALSE(leaf->pte(9).dirty());
+}
+
+TEST_F(PageTableTest, ClearAccessedBits)
+{
+    const VirtAddr va{0x3000};
+    pt_.setPte(va, Pte::make(dataFrame(), true));
+    pt_.hwSetAccessedDirty(va, true);
+    EXPECT_TRUE(pt_.lookup(va).accessed());
+    pt_.clearAccessedBits();
+    EXPECT_FALSE(pt_.lookup(va).accessed());
+    EXPECT_TRUE(pt_.lookup(va).dirty()) << "D bits must survive A reset";
+}
+
+TEST_F(PageTableTest, ResidencySplitsByTier)
+{
+    pt_.setPte(VirtAddr{0x1000}, Pte::make(dataFrame(), true));
+    Pte cxlPte = Pte::make(machine_.cxl().alloc(mem::FrameUse::Data), false);
+    cxlPte.set(Pte::kSoftCxl);
+    pt_.setPte(VirtAddr{0x2000}, cxlPte);
+    const auto r = pt_.residency();
+    EXPECT_EQ(r.localPages, 1u);
+    EXPECT_EQ(r.cxlPages, 1u);
+}
+
+TEST_F(PageTableTest, DestructorReleasesEverythingOwned)
+{
+    const uint64_t before = machine_.nodeDram(0).usedFrames();
+    {
+        PageTable pt(machine_, machine_.nodeDram(0), clock_);
+        for (int i = 0; i < 100; ++i) {
+            pt.setPte(VirtAddr{uint64_t(i) * kPageSize},
+                      Pte::make(dataFrame(), true));
+        }
+    }
+    EXPECT_EQ(machine_.nodeDram(0).usedFrames(), before);
+}
+
+TEST_F(PageTableTest, AttachIntoPopulatedSlotPanics)
+{
+    pt_.setPte(VirtAddr{0}, Pte::make(dataFrame(), true));
+    auto leaf = std::make_shared<TablePage>(
+        0, machine_.cxl().alloc(mem::FrameUse::PageTable), false);
+    leaf->seal();
+    EXPECT_DEATH(pt_.attachLeaf(0, leaf), "populated");
+}
+
+TEST_F(PageTableTest, PartialUnmapOfSealedLeafCowsIt)
+{
+    auto leaf = std::make_shared<TablePage>(
+        0, machine_.cxl().alloc(mem::FrameUse::PageTable), false);
+    for (uint32_t i = 0; i < 4; ++i) {
+        Pte e = Pte::make(machine_.cxl().alloc(mem::FrameUse::Data, i),
+                          false);
+        e.set(Pte::kSoftCxl);
+        leaf->pte(i) = e;
+    }
+    leaf->seal();
+    const uint64_t baseVpn = 512 * 11;
+    pt_.attachLeaf(baseVpn, leaf);
+
+    pt_.unmapRange(VirtAddr::fromPageNumber(baseVpn),
+                   VirtAddr::fromPageNumber(baseVpn + 2));
+    EXPECT_EQ(pt_.leafCowCount(), 1u);
+    EXPECT_FALSE(pt_.lookup(VirtAddr::fromPageNumber(baseVpn)).present());
+    EXPECT_TRUE(
+        pt_.lookup(VirtAddr::fromPageNumber(baseVpn + 3)).present());
+    // Sealed leaf pristine.
+    EXPECT_TRUE(leaf->pte(0).present());
+}
+
+TEST_F(PageTableTest, FullUnmapOfSealedLeafDetaches)
+{
+    auto leaf = std::make_shared<TablePage>(
+        0, machine_.cxl().alloc(mem::FrameUse::PageTable), false);
+    Pte e = Pte::make(machine_.cxl().alloc(mem::FrameUse::Data), false);
+    e.set(Pte::kSoftCxl);
+    leaf->pte(0) = e;
+    leaf->seal();
+    const uint64_t baseVpn = 512 * 13;
+    pt_.attachLeaf(baseVpn, leaf);
+    pt_.unmapRange(VirtAddr::fromPageNumber(baseVpn),
+                   VirtAddr::fromPageNumber(baseVpn + 512));
+    EXPECT_EQ(pt_.attachedLeafCount(), 0u);
+    EXPECT_EQ(pt_.leafCowCount(), 0u);
+    EXPECT_FALSE(pt_.lookup(VirtAddr::fromPageNumber(baseVpn)).present());
+}
+
+} // namespace
+} // namespace cxlfork::os

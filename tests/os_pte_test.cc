@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "os/pte.hh"
+
+namespace cxlfork::os {
+namespace {
+
+TEST(Pte, DefaultIsNotPresent)
+{
+    Pte p;
+    EXPECT_FALSE(p.present());
+    EXPECT_EQ(p.raw(), 0u);
+}
+
+TEST(Pte, MakeSetsFrameAndPermissions)
+{
+    const mem::PhysAddr f{0x1234'5000};
+    Pte ro = Pte::make(f, false);
+    EXPECT_TRUE(ro.present());
+    EXPECT_FALSE(ro.writable());
+    EXPECT_EQ(ro.frame(), f);
+
+    Pte rw = Pte::make(f, true);
+    EXPECT_TRUE(rw.writable());
+}
+
+TEST(Pte, FrameFieldIsolatedFromFlags)
+{
+    const mem::PhysAddr f{0xdeadb000};
+    Pte p = Pte::make(f, true);
+    p.set(Pte::kAccessed | Pte::kDirty | Pte::kSoftCxl | Pte::kSoftHot);
+    EXPECT_EQ(p.frame(), f);
+    EXPECT_TRUE(p.accessed());
+    EXPECT_TRUE(p.dirty());
+    EXPECT_TRUE(p.cxlCheckpoint());
+    EXPECT_TRUE(p.userHot());
+
+    const mem::PhysAddr g{0xbeef0000};
+    p.setFrame(g);
+    EXPECT_EQ(p.frame(), g);
+    EXPECT_TRUE(p.accessed());
+    EXPECT_TRUE(p.cxlCheckpoint());
+}
+
+TEST(Pte, ClearBits)
+{
+    Pte p = Pte::make(mem::PhysAddr{0x1000}, true);
+    p.set(Pte::kSoftCow | Pte::kAccessed);
+    p.clear(Pte::kSoftCow);
+    EXPECT_FALSE(p.cow());
+    EXPECT_TRUE(p.accessed());
+}
+
+TEST(Pte, SoftwareBitsDoNotCollideWithFrameMask)
+{
+    for (uint64_t bit : {Pte::kSoftCow, Pte::kSoftCxl, Pte::kSoftHot,
+                         Pte::kSoftFile, Pte::kSoftRebased}) {
+        EXPECT_EQ(bit & Pte::kFrameMask, 0u) << "bit " << bit;
+    }
+}
+
+TEST(Pte, RebasedFlag)
+{
+    Pte p = Pte::make(mem::PhysAddr{0x2000}, false);
+    EXPECT_FALSE(p.rebased());
+    p.set(Pte::kSoftRebased);
+    EXPECT_TRUE(p.rebased());
+}
+
+TEST(Pte, HighPhysicalAddressesFit)
+{
+    // CXL device addresses live at 1<<44 in this simulation.
+    const mem::PhysAddr f{(1ull << 44) + 0x3000};
+    Pte p = Pte::make(f, false);
+    EXPECT_EQ(p.frame(), f);
+}
+
+} // namespace
+} // namespace cxlfork::os

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * CXLporter feature tests: checkpoint reclamation under CXL pressure,
+ * dynamic tiering promotion, keep-alive shortening under memory
+ * pressure, ghost-pool refill, and fabric contention derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bandwidth.hh"
+#include "porter/autoscaler.hh"
+#include "porter/trace.hh"
+
+namespace cxlfork::porter {
+namespace {
+
+using faas::FunctionSpec;
+using sim::SimTime;
+
+FunctionSpec
+spec(const std::string &name, uint64_t mib, double computeMs = 10,
+     uint64_t wsMib = 1)
+{
+    FunctionSpec s;
+    s.name = name;
+    s.footprintBytes = mem::mib(mib);
+    s.workingSetBytes = mem::mib(wsMib);
+    s.wsReuse = 4;
+    s.computeTime = SimTime::ms(computeMs);
+    s.stateInitTime = SimTime::ms(100);
+    s.vmaCount = 12;
+    s.seed = std::hash<std::string>()(name);
+    return s;
+}
+
+std::vector<Request>
+trace(const std::vector<std::string> &fns, double rps, double secs,
+      uint64_t seed = 11)
+{
+    TraceConfig c;
+    c.totalRps = rps;
+    c.duration = SimTime::sec(secs);
+    c.seed = seed;
+    return TraceGenerator(fns, c).generate();
+}
+
+class PorterFeatureTest : public ::testing::Test
+{
+  protected:
+    PerfModel perf;
+};
+
+TEST_F(PorterFeatureTest, CheckpointReclamationUnderCxlPressure)
+{
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CxlFork;
+    cfg.checkpointAfterInvocations = 2;
+    // Room for roughly one 24 MB checkpoint at a time.
+    cfg.cxlCapacityBytes = mem::mib(40);
+    PorterSim sim(cfg, {spec("a", 24), spec("b", 24), spec("c", 24)},
+                  perf);
+    const auto m = sim.run(trace({"a", "b", "c"}, 30, 15));
+    EXPECT_GT(m.checkpointsTaken, 3u)
+        << "reclaimed functions must re-checkpoint";
+    EXPECT_GT(m.checkpointsReclaimed, 0u);
+    EXPECT_LE(m.peakCxlBytes, mem::mib(40));
+    EXPECT_EQ(m.latency.count(), m.requests);
+}
+
+TEST_F(PorterFeatureTest, NoReclamationWithAmpleCxl)
+{
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CxlFork;
+    cfg.checkpointAfterInvocations = 2;
+    PorterSim sim(cfg, {spec("a", 24), spec("b", 24)}, perf);
+    const auto m = sim.run(trace({"a", "b"}, 20, 10));
+    EXPECT_EQ(m.checkpointsReclaimed, 0u);
+    EXPECT_EQ(m.checkpointsTaken, 2u);
+}
+
+TEST_F(PorterFeatureTest, DynamicTieringPromotesSlowFunctions)
+{
+    // A function whose working set spills the LLC: MoW warm exec is
+    // notably slower than local, so the controller promotes it.
+    FunctionSpec heavy = spec("heavy", 256, 50, 160);
+    heavy.roFrac = 0.6;
+    heavy.initFrac = 0.35;
+    heavy.rwFrac = 0.05;
+
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CxlFork;
+    cfg.dynamicTiering = true;
+    cfg.checkpointAfterInvocations = 2;
+    cfg.controllerPeriod = SimTime::sec(1);
+    cfg.sloFactor = 1.1;
+    PorterSim sim(cfg, {heavy}, perf);
+    const auto m = sim.run(trace({"heavy"}, 15, 12));
+    EXPECT_GT(m.tieringPromotions, 0u);
+}
+
+TEST_F(PorterFeatureTest, StaticMoWNeverPromotes)
+{
+    FunctionSpec heavy = spec("heavy", 256, 50, 160);
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CxlFork;
+    cfg.dynamicTiering = false;
+    cfg.sloFactor = 1.0;
+    PorterSim sim(cfg, {heavy}, perf);
+    const auto m = sim.run(trace({"heavy"}, 10, 8));
+    EXPECT_EQ(m.tieringPromotions, 0u);
+}
+
+TEST_F(PorterFeatureTest, GhostPoolRefillsInBackground)
+{
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CxlFork;
+    cfg.checkpointAfterInvocations = 1;
+    cfg.ghostsPerFunction = 1;
+    cfg.keepAlive = SimTime::sec(1); // force repeated restores
+    PorterSim sim(cfg, {spec("a", 16)}, perf);
+    const auto m = sim.run(trace({"a"}, 15, 20));
+    EXPECT_GT(m.ghostHits, 1u)
+        << "a refilled pool must serve more hits than its initial size";
+}
+
+TEST_F(PorterFeatureTest, BaselinesNeverPromoteOrReclaimGhosts)
+{
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CriuCxl;
+    cfg.checkpointAfterInvocations = 2;
+    PorterSim sim(cfg, {spec("a", 24)}, perf);
+    const auto m = sim.run(trace({"a"}, 20, 10));
+    EXPECT_EQ(m.tieringPromotions, 0u);
+    EXPECT_EQ(m.ghostHits, 0u);
+}
+
+TEST_F(PorterFeatureTest, QueueingCountersPopulateUnderOverload)
+{
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CriuCxl;
+    cfg.coresPerNode = 1;
+    cfg.numNodes = 1;
+    cfg.memPerNodeBytes = mem::mib(96);
+    cfg.checkpointAfterInvocations = 2;
+    PorterSim sim(cfg, {spec("a", 24, 50), spec("b", 24, 50)}, perf);
+    const auto m = sim.run(trace({"a", "b"}, 30, 8));
+    EXPECT_GT(m.queuedForCores, 0u);
+    EXPECT_EQ(m.latency.count(), m.requests)
+        << "queued requests must still complete";
+}
+
+TEST(FabricContention, DeratesBandwidthAndInflatesLatency)
+{
+    mem::FabricContentionModel model;
+    sim::CostParams base;
+    const auto one = model.contend(base, 1);
+    EXPECT_DOUBLE_EQ(one.cxlReadBwGBs, base.cxlReadBwGBs);
+    EXPECT_EQ(one.cxlLatency, base.cxlLatency);
+
+    const auto four = model.contend(base, 4);
+    EXPECT_LT(four.cxlReadBwGBs, base.cxlReadBwGBs / 3.9);
+    EXPECT_GT(four.cxlLatency, base.cxlLatency);
+
+    const auto eight = model.contend(base, 8);
+    EXPECT_LT(eight.cxlReadBwGBs, four.cxlReadBwGBs);
+    EXPECT_GT(eight.cxlLatency, four.cxlLatency);
+    // Local memory untouched.
+    EXPECT_EQ(eight.dramLatency, base.dramLatency);
+    EXPECT_DOUBLE_EQ(eight.dramBwGBs, base.dramBwGBs);
+}
+
+} // namespace
+} // namespace cxlfork::porter

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Model-based property test: the 4-level PageTable against a simple
+ * reference map, under random sequences of map / unmap / A-D flips /
+ * leaf attachments, across many seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "mem/machine.hh"
+#include "os/page_table.hh"
+#include "sim/clock.hh"
+#include "sim/rng.hh"
+
+namespace cxlfork::os {
+namespace {
+
+using mem::kPageSize;
+using mem::PhysAddr;
+using mem::VirtAddr;
+
+class PageTableModelFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(PageTableModelFuzz, MatchesReferenceModel)
+{
+    mem::MachineConfig cfg;
+    cfg.dramPerNodeBytes = mem::mib(256);
+    cfg.cxlCapacityBytes = mem::mib(256);
+    mem::Machine machine(cfg);
+    sim::SimClock clock;
+    PageTable pt(machine, machine.nodeDram(0), clock);
+    sim::Rng rng(GetParam());
+
+    // Reference: vpn -> raw PTE. Frames come from the CXL tier and are
+    // marked checkpoint-owned so unmap never releases them (keeps the
+    // reference model trivial).
+    std::unordered_map<uint64_t, uint64_t> model;
+    auto randomVpn = [&] {
+        // Cluster vpns so leaves get shared and split.
+        const uint64_t region = rng.index(4);
+        return region * (1ull << 24) + rng.index(2048);
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+        const double dice = rng.uniform();
+        if (dice < 0.5) {
+            // Map (or remap) a page.
+            const uint64_t vpn = randomVpn();
+            Pte p = Pte::make(machine.cxl().alloc(mem::FrameUse::Data,
+                                                  rng.raw()),
+                              rng.chance(0.5));
+            p.set(Pte::kSoftCxl);
+            if (rng.chance(0.3))
+                p.set(Pte::kAccessed);
+            pt.setPte(VirtAddr::fromPageNumber(vpn), p);
+            model[vpn] = p.raw();
+        } else if (dice < 0.75) {
+            // Unmap a random small range.
+            const uint64_t vpn = randomVpn();
+            const uint64_t len = 1 + rng.index(64);
+            pt.unmapRange(VirtAddr::fromPageNumber(vpn),
+                          VirtAddr::fromPageNumber(vpn + len));
+            for (uint64_t v = vpn; v < vpn + len; ++v)
+                model.erase(v);
+        } else if (dice < 0.9) {
+            // Hardware A/D update on a random mapped page.
+            if (!model.empty()) {
+                auto it = model.begin();
+                std::advance(it, long(rng.index(model.size())));
+                const bool write = Pte(it->second).writable() &&
+                                   rng.chance(0.5);
+                pt.hwSetAccessedDirty(VirtAddr::fromPageNumber(it->first),
+                                      write);
+                Pte p(it->second);
+                p.set(Pte::kAccessed);
+                if (write)
+                    p.set(Pte::kDirty);
+                it->second = p.raw();
+            }
+        } else {
+            // Clear all A bits.
+            pt.clearAccessedBits();
+            for (auto &[vpn, raw] : model) {
+                Pte p(raw);
+                p.clear(Pte::kAccessed);
+                raw = p.raw();
+            }
+        }
+    }
+
+    // Full equivalence check.
+    uint64_t present = 0;
+    pt.forEachLeaf([&](uint64_t baseVpn, TablePage &leaf) {
+        for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+            const Pte &p = leaf.pte(i);
+            if (!p.present())
+                continue;
+            ++present;
+            auto it = model.find(baseVpn + i);
+            ASSERT_NE(it, model.end())
+                << "stray mapping at vpn " << baseVpn + i;
+            EXPECT_EQ(p.raw(), it->second) << "vpn " << baseVpn + i;
+        }
+    });
+    EXPECT_EQ(present, model.size());
+
+    // Every modeled mapping resolves through lookup too.
+    for (const auto &[vpn, raw] : model) {
+        EXPECT_EQ(pt.lookup(VirtAddr::fromPageNumber(vpn)).raw(), raw);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageTableModelFuzz,
+                         ::testing::Range<uint64_t>(1000, 1012));
+
+/** Residency stays consistent with a tier count under random ops. */
+class ResidencyFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(ResidencyFuzz, ResidencyMatchesManualCount)
+{
+    mem::MachineConfig cfg;
+    cfg.dramPerNodeBytes = mem::mib(64);
+    cfg.cxlCapacityBytes = mem::mib(64);
+    mem::Machine machine(cfg);
+    sim::SimClock clock;
+    PageTable pt(machine, machine.nodeDram(0), clock);
+    sim::Rng rng(GetParam());
+
+    uint64_t local = 0, cxl = 0;
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t vpn = rng.index(4096);
+        if (pt.lookup(mem::VirtAddr::fromPageNumber(vpn)).present())
+            continue;
+        Pte p;
+        if (rng.chance(0.5)) {
+            p = Pte::make(machine.nodeDram(0).alloc(mem::FrameUse::Data),
+                          true);
+            ++local;
+        } else {
+            p = Pte::make(machine.cxl().alloc(mem::FrameUse::Data), false);
+            p.set(Pte::kSoftCxl);
+            ++cxl;
+        }
+        pt.setPte(mem::VirtAddr::fromPageNumber(vpn), p);
+    }
+    const auto r = pt.residency();
+    EXPECT_EQ(r.localPages, local);
+    EXPECT_EQ(r.cxlPages, cxl);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResidencyFuzz,
+                         ::testing::Range<uint64_t>(2000, 2008));
+
+} // namespace
+} // namespace cxlfork::os

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Property tests on the remote-fork invariant that matters most: for a
+ * randomly-constructed process, under every mechanism and every tiering
+ * policy, a restored clone observes *exactly* the parent's memory
+ * image, and divergence after writes is strictly private.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rfork/criu.hh"
+#include "rfork/cxlfork.hh"
+#include "rfork/mitosis.hh"
+#include "sim/rng.hh"
+#include "test_util.hh"
+
+namespace cxlfork::rfork {
+namespace {
+
+using mem::kPageSize;
+using mem::VirtAddr;
+using test::World;
+
+/** A randomly-shaped process: several VMAs, sparse population. */
+struct RandomProcess
+{
+    std::shared_ptr<os::Task> task;
+    // Every populated page and its expected content.
+    std::vector<std::pair<VirtAddr, uint64_t>> pages;
+};
+
+RandomProcess
+makeRandomProcess(World &world, sim::Rng &rng)
+{
+    os::NodeOs &node = world.node(0);
+    RandomProcess proc;
+    proc.task = node.createTask("fuzz");
+
+    const uint32_t nVmas = 2 + uint32_t(rng.index(6));
+    for (uint32_t v = 0; v < nVmas; ++v) {
+        const uint64_t pages = 1 + rng.index(96);
+        const bool fileBacked = rng.chance(0.3);
+        if (fileBacked) {
+            const std::string path =
+                sim::format("/fuzz/lib%llu_%llu.so",
+                            (unsigned long long)rng.raw() % 1000,
+                            (unsigned long long)v);
+            world.vfs->create(path, pages * kPageSize, rng.raw());
+            os::Vma &vma = node.mapFilePrivate(
+                *proc.task, path, os::kVmaRead | os::kVmaExec);
+            // Touch a random subset (clean file pages).
+            auto inode = world.vfs->lookup(path);
+            for (uint64_t i = 0; i < pages; ++i) {
+                if (!rng.chance(0.7))
+                    continue;
+                const VirtAddr va = vma.start.plus(i * kPageSize);
+                node.access(*proc.task, va, false);
+                proc.pages.emplace_back(va, inode->pageContent(i));
+            }
+        } else {
+            os::Vma &vma =
+                node.mapAnon(*proc.task, pages * kPageSize,
+                             os::kVmaRead | os::kVmaWrite, "fuzz-anon");
+            for (uint64_t i = 0; i < pages; ++i) {
+                if (!rng.chance(0.8))
+                    continue;
+                const VirtAddr va = vma.start.plus(i * kPageSize);
+                const uint64_t content = rng.raw();
+                node.write(*proc.task, va, content);
+                proc.pages.emplace_back(va, content);
+            }
+        }
+    }
+    // Random fds and registers.
+    proc.task->fds().installSocket(os::Socket{"fuzz:1"});
+    for (auto &r : proc.task->cpu().gpr)
+        r = rng.raw();
+    proc.task->cpu().rip = rng.raw();
+    return proc;
+}
+
+struct Combo
+{
+    const char *mech;
+    os::TieringPolicy policy;
+    bool prefetch;
+    uint64_t seed;
+};
+
+class RforkFuzz : public ::testing::TestWithParam<Combo>
+{
+  protected:
+    std::unique_ptr<RemoteForkMechanism>
+    makeMech(World &world, const std::string &name)
+    {
+        if (name == "cxlfork")
+            return std::make_unique<CxlFork>(*world.fabric);
+        if (name == "criu")
+            return std::make_unique<CriuCxl>(*world.fabric);
+        return std::make_unique<MitosisCxl>(*world.fabric);
+    }
+};
+
+TEST_P(RforkFuzz, CloneObservesParentImageExactly)
+{
+    const Combo combo = GetParam();
+    World world(test::smallConfig());
+    sim::Rng rng(combo.seed);
+    RandomProcess parent = makeRandomProcess(world, rng);
+    auto mech = makeMech(world, combo.mech);
+
+    auto handle = mech->checkpoint(world.node(0), *parent.task);
+    RestoreOptions opts;
+    opts.policy = combo.policy;
+    opts.prefetchDirty = combo.prefetch;
+    auto child = mech->restore(handle, world.node(1), opts);
+
+    // The clone reads exactly the parent's image, in random order.
+    auto shuffled = parent.pages;
+    rng.shuffle(shuffled);
+    for (const auto &[va, content] : shuffled) {
+        ASSERT_EQ(world.node(1).read(*child, va), content)
+            << combo.mech << " va=" << std::hex << va.raw;
+    }
+    EXPECT_EQ(child->cpu().gpr, parent.task->cpu().gpr);
+    EXPECT_EQ(child->fds().socketCount(), 1u);
+
+    // Divergence is private in both directions.
+    if (!parent.pages.empty()) {
+        const auto &[va, content] = parent.pages.front();
+        const os::Vma *vma = child->mm().vmas().findLocal(va);
+        const bool writable = vma && vma->writable();
+        if (writable) {
+            world.node(1).write(*child, va, 0xd1d1);
+            EXPECT_EQ(world.node(0).read(*parent.task, va), content);
+            auto child2 = mech->restore(handle, world.node(0), opts);
+            EXPECT_EQ(world.node(0).read(*child2, va), content);
+        }
+    }
+}
+
+std::vector<Combo>
+combos()
+{
+    std::vector<Combo> out;
+    uint64_t seed = 31337;
+    for (const char *mech : {"cxlfork", "criu", "mitosis"}) {
+        for (uint64_t i = 0; i < 4; ++i) {
+            out.push_back({mech, os::TieringPolicy::MigrateOnWrite,
+                           i % 2 == 0, seed++});
+        }
+    }
+    // CXLfork additionally sweeps the tiering policies.
+    for (os::TieringPolicy p : {os::TieringPolicy::MigrateOnAccess,
+                                os::TieringPolicy::Hybrid}) {
+        for (uint64_t i = 0; i < 3; ++i)
+            out.push_back({"cxlfork", p, false, seed++});
+    }
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, RforkFuzz,
+                         ::testing::ValuesIn(combos()));
+
+/** Checkpoint chains: re-checkpoint a restored clone. */
+class RechkptFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RechkptFuzz, CheckpointOfRestoredCloneIsFaithful)
+{
+    World world(test::smallConfig());
+    sim::Rng rng(GetParam());
+    RandomProcess gen0 = makeRandomProcess(world, rng);
+    CxlFork fork(*world.fabric);
+
+    auto h1 = fork.checkpoint(world.node(0), *gen0.task);
+    auto gen1 = fork.restore(h1, world.node(1));
+    // The clone mutates a few of its pages.
+    std::vector<std::pair<mem::VirtAddr, uint64_t>> expect = gen0.pages;
+    for (auto &[va, content] : expect) {
+        const os::Vma *vma = gen1->mm().vmas().findLocal(va);
+        if (!vma) {
+            auto idx = gen1->mm().vmas().findShared(va);
+            // Materialization happens on fault; force it via a read.
+            world.node(1).read(*gen1, va);
+            (void)idx;
+            vma = gen1->mm().vmas().findLocal(va);
+        }
+        if (vma && vma->writable() && rng.chance(0.3)) {
+            content = rng.raw();
+            world.node(1).write(*gen1, va, content);
+        }
+    }
+
+    // Second-generation checkpoint and restore back on node 0.
+    auto h2 = fork.checkpoint(world.node(1), *gen1);
+    auto gen2 = fork.restore(h2, world.node(0));
+    for (const auto &[va, content] : expect)
+        ASSERT_EQ(world.node(0).read(*gen2, va), content);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RechkptFuzz,
+                         ::testing::Range<uint64_t>(500, 508));
+
+} // namespace
+} // namespace cxlfork::rfork

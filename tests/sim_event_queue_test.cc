@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace cxlfork::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3_ms, [&] { order.push_back(3); });
+    q.schedule(1_ms, [&] { order.push_back(1); });
+    q.schedule(2_ms, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 3_ms);
+}
+
+TEST(EventQueue, TieBreaksByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1_ms, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1_ms, [&] {
+        ++fired;
+        q.scheduleAfter(1_ms, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 2_ms);
+}
+
+TEST(EventQueue, HorizonStopsDispatch)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1_ms, [&] { ++fired; });
+    q.schedule(10_ms, [&] { ++fired; });
+    q.run(5_ms);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(5_ms, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(1_ms, [] {}), "past");
+}
+
+} // namespace
+} // namespace cxlfork::sim

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/rng.hh"
+
+namespace cxlfork::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.raw() == b.raw();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(10.0, 20.0);
+        ASSERT_GE(v, 10.0);
+        ASSERT_LT(v, 20.0);
+    }
+}
+
+TEST(Rng, IndexInBounds)
+{
+    Rng r(9);
+    std::vector<int> hits(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++hits[r.index(5)];
+    for (int h : hits)
+        EXPECT_GT(h, 800) << "each bucket should be hit roughly equally";
+}
+
+TEST(Rng, IntRangeInclusive)
+{
+    Rng r(3);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int64_t v = r.intRange(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        sawLo |= v == -2;
+        sawHi |= v == 2;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(11);
+    int yes = 0;
+    for (int i = 0; i < 10000; ++i)
+        yes += r.chance(0.25);
+    EXPECT_NEAR(double(yes) / 10000, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / 20000, 5.0, 0.25);
+}
+
+TEST(Rng, ParetoBoundedBelowByScale)
+{
+    Rng r(17);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng r(19);
+    std::vector<int> v(50);
+    std::iota(v.begin(), v.end(), 0);
+    auto original = v;
+    r.shuffle(v);
+    EXPECT_NE(v, original) << "50 elements should not stay in place";
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(23);
+    Rng c1 = parent.split();
+    Rng c2 = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c1.raw() == c2.raw();
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace cxlfork::sim

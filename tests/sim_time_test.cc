@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock.hh"
+#include "sim/cost_model.hh"
+#include "sim/time.hh"
+
+namespace cxlfork::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(SimTime, UnitConversions)
+{
+    EXPECT_DOUBLE_EQ(SimTime::us(1).toNs(), 1000.0);
+    EXPECT_DOUBLE_EQ(SimTime::ms(2).toUs(), 2000.0);
+    EXPECT_DOUBLE_EQ(SimTime::sec(3).toMs(), 3000.0);
+    EXPECT_DOUBLE_EQ((1500_ns).toUs(), 1.5);
+}
+
+TEST(SimTime, Arithmetic)
+{
+    const SimTime a = 100_ns;
+    const SimTime b = 50_ns;
+    EXPECT_EQ((a + b).toNs(), 150.0);
+    EXPECT_EQ((a - b).toNs(), 50.0);
+    EXPECT_EQ((a * 3).toNs(), 300.0);
+    EXPECT_EQ((3.0 * a).toNs(), 300.0);
+    EXPECT_EQ((a / 2).toNs(), 50.0);
+    EXPECT_DOUBLE_EQ(a / b, 2.0);
+}
+
+TEST(SimTime, Comparisons)
+{
+    EXPECT_LT(1_us, 1_ms);
+    EXPECT_GT(1_s, 999_ms);
+    EXPECT_EQ(1000_ns, 1_us);
+    EXPECT_TRUE(SimTime::zero().isZero());
+    EXPECT_FALSE((1_ns).isZero());
+}
+
+TEST(SimTime, ToStringPicksUnits)
+{
+    EXPECT_EQ((500_ns).toString(), "500.0ns");
+    EXPECT_EQ((2500_ns).toString(), "2.50us");
+    EXPECT_EQ((130_ms).toString(), "130.00ms");
+    EXPECT_EQ((2_s).toString(), "2.000s");
+}
+
+TEST(SimClock, AdvanceAccumulates)
+{
+    SimClock c;
+    EXPECT_TRUE(c.now().isZero());
+    c.advance(10_ns);
+    c.advance(5_ns);
+    EXPECT_EQ(c.now(), 15_ns);
+    c.reset();
+    EXPECT_TRUE(c.now().isZero());
+}
+
+TEST(SimClock, AdvanceToMovesForwardOnly)
+{
+    SimClock c;
+    c.advanceTo(1_ms);
+    EXPECT_EQ(c.now(), 1_ms);
+    EXPECT_DEATH(c.advanceTo(1_us), "backwards");
+}
+
+TEST(SimClock, NegativeAdvanceIsABug)
+{
+    SimClock c;
+    EXPECT_DEATH(c.advance(SimTime::zero() - 1_ns), "negative");
+}
+
+TEST(ClockSpan, MeasuresElapsed)
+{
+    SimClock c;
+    ClockSpan span(c);
+    c.advance(42_us);
+    EXPECT_EQ(span.elapsed(), 42_us);
+}
+
+TEST(CostParams, CopyCostMatchesBandwidth)
+{
+    CostParams p;
+    // 20 GB/s => 1 GB takes 50 ms.
+    EXPECT_NEAR(p.dramCopy(1ull << 30).toMs(), 53.687 / 1.0737, 5.0);
+    // Doubling bytes doubles cost.
+    EXPECT_DOUBLE_EQ(p.cxlRead(8192).toNs(), 2 * p.cxlRead(4096).toNs());
+}
+
+TEST(CostParams, CxlCowFaultMatchesPaperBreakdown)
+{
+    CostParams p;
+    // Paper Sec. 4.2.1: ~2.5 us total, ~1.3 us data movement, ~0.5 us
+    // TLB shootdown.
+    EXPECT_NEAR(p.cxlCowFault().toUs(), 2.5, 0.6);
+    EXPECT_NEAR((p.cxlPageCopy()).toUs(), 0.8, 0.5);
+    EXPECT_EQ(p.tlbShootdown.toNs(), 500.0);
+    // A local minor fault is under 1 us.
+    EXPECT_LT(p.minorFault.toUs(), 1.0);
+    // CXL CoW is notably more expensive than local CoW.
+    EXPECT_GT(p.cxlCowFault(), p.localCowFault());
+}
+
+} // namespace
+} // namespace cxlfork::sim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared fixtures: a small two-node CXL world for unit tests.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "cxl/fabric.hh"
+#include "mem/machine.hh"
+#include "os/kernel.hh"
+
+namespace cxlfork::test {
+
+/** A machine + fabric + N node OS instances + shared root FS. */
+struct World
+{
+    explicit World(mem::MachineConfig cfg = {})
+        : machine(std::make_unique<mem::Machine>(cfg)),
+          fabric(std::make_unique<cxl::CxlFabric>(*machine)),
+          vfs(std::make_shared<os::Vfs>())
+    {
+        for (uint32_t i = 0; i < machine->numNodes(); ++i) {
+            nodes.push_back(std::make_unique<os::NodeOs>(i, *machine, vfs,
+                                                         nsRegistry));
+        }
+    }
+
+    os::NodeOs &node(uint32_t i) { return *nodes.at(i); }
+
+    std::unique_ptr<mem::Machine> machine;
+    std::unique_ptr<cxl::CxlFabric> fabric;
+    std::shared_ptr<os::Vfs> vfs;
+    os::NamespaceRegistry nsRegistry;
+    std::vector<std::unique_ptr<os::NodeOs>> nodes;
+};
+
+/** A smaller config to keep unit tests fast. */
+inline mem::MachineConfig
+smallConfig()
+{
+    mem::MachineConfig cfg;
+    cfg.numNodes = 2;
+    cfg.dramPerNodeBytes = mem::mib(512);
+    cfg.cxlCapacityBytes = mem::gib(1);
+    cfg.llcBytes = mem::mib(8);
+    return cfg;
+}
+
+} // namespace cxlfork::test
