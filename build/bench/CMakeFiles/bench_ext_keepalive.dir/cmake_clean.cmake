@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_keepalive.dir/bench_ext_keepalive.cc.o"
+  "CMakeFiles/bench_ext_keepalive.dir/bench_ext_keepalive.cc.o.d"
+  "bench_ext_keepalive"
+  "bench_ext_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

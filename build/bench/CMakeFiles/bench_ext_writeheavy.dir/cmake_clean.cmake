@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_writeheavy.dir/bench_ext_writeheavy.cc.o"
+  "CMakeFiles/bench_ext_writeheavy.dir/bench_ext_writeheavy.cc.o.d"
+  "bench_ext_writeheavy"
+  "bench_ext_writeheavy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_writeheavy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_porter.dir/bench_fig10_porter.cc.o"
+  "CMakeFiles/bench_fig10_porter.dir/bench_fig10_porter.cc.o.d"
+  "bench_fig10_porter"
+  "bench_fig10_porter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_porter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

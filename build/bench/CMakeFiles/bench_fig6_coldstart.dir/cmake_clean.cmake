@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_coldstart.dir/bench_fig6_coldstart.cc.o"
+  "CMakeFiles/bench_fig6_coldstart.dir/bench_fig6_coldstart.cc.o.d"
+  "bench_fig6_coldstart"
+  "bench_fig6_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rfork.dir/bench_fig7_rfork.cc.o"
+  "CMakeFiles/bench_fig7_rfork.dir/bench_fig7_rfork.cc.o.d"
+  "bench_fig7_rfork"
+  "bench_fig7_rfork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rfork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

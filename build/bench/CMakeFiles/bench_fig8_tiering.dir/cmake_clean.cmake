@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tiering.dir/bench_fig8_tiering.cc.o"
+  "CMakeFiles/bench_fig8_tiering.dir/bench_fig8_tiering.cc.o.d"
+  "bench_fig8_tiering"
+  "bench_fig8_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/cxlfork_bench_util.dir/bench_util.cc.o.d"
+  "libcxlfork_bench_util.a"
+  "libcxlfork_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_dedup.dir/cluster_dedup.cpp.o"
+  "CMakeFiles/cluster_dedup.dir/cluster_dedup.cpp.o.d"
+  "cluster_dedup"
+  "cluster_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tiering_explorer.cpp" "examples/CMakeFiles/tiering_explorer.dir/tiering_explorer.cpp.o" "gcc" "examples/CMakeFiles/tiering_explorer.dir/tiering_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/porter/CMakeFiles/cxlfork_porter.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfork/CMakeFiles/cxlfork_rfork.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/cxlfork_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/cxlfork_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cxlfork_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cxlfork_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlfork_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlfork_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiering_explorer.dir/tiering_explorer.cpp.o"
+  "CMakeFiles/tiering_explorer.dir/tiering_explorer.cpp.o.d"
+  "tiering_explorer"
+  "tiering_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiering_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cxl/rebase.cc" "src/cxl/CMakeFiles/cxlfork_cxl.dir/rebase.cc.o" "gcc" "src/cxl/CMakeFiles/cxlfork_cxl.dir/rebase.cc.o.d"
+  "/root/repo/src/cxl/shared_fs.cc" "src/cxl/CMakeFiles/cxlfork_cxl.dir/shared_fs.cc.o" "gcc" "src/cxl/CMakeFiles/cxlfork_cxl.dir/shared_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/cxlfork_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlfork_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlfork_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

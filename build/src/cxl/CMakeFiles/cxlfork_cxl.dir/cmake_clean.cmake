@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_cxl.dir/rebase.cc.o"
+  "CMakeFiles/cxlfork_cxl.dir/rebase.cc.o.d"
+  "CMakeFiles/cxlfork_cxl.dir/shared_fs.cc.o"
+  "CMakeFiles/cxlfork_cxl.dir/shared_fs.cc.o.d"
+  "libcxlfork_cxl.a"
+  "libcxlfork_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

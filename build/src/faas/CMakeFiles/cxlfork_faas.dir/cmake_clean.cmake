@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_faas.dir/container.cc.o"
+  "CMakeFiles/cxlfork_faas.dir/container.cc.o.d"
+  "CMakeFiles/cxlfork_faas.dir/function.cc.o"
+  "CMakeFiles/cxlfork_faas.dir/function.cc.o.d"
+  "CMakeFiles/cxlfork_faas.dir/workloads.cc.o"
+  "CMakeFiles/cxlfork_faas.dir/workloads.cc.o.d"
+  "libcxlfork_faas.a"
+  "libcxlfork_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

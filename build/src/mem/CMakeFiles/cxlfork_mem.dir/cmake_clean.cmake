@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/cxlfork_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/cxlfork_mem.dir/machine.cc.o"
+  "CMakeFiles/cxlfork_mem.dir/machine.cc.o.d"
+  "libcxlfork_mem.a"
+  "libcxlfork_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/cxlfork_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/cxlfork_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/namespaces.cc" "src/os/CMakeFiles/cxlfork_os.dir/namespaces.cc.o" "gcc" "src/os/CMakeFiles/cxlfork_os.dir/namespaces.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/os/CMakeFiles/cxlfork_os.dir/page_table.cc.o" "gcc" "src/os/CMakeFiles/cxlfork_os.dir/page_table.cc.o.d"
+  "/root/repo/src/os/vfs.cc" "src/os/CMakeFiles/cxlfork_os.dir/vfs.cc.o" "gcc" "src/os/CMakeFiles/cxlfork_os.dir/vfs.cc.o.d"
+  "/root/repo/src/os/vma.cc" "src/os/CMakeFiles/cxlfork_os.dir/vma.cc.o" "gcc" "src/os/CMakeFiles/cxlfork_os.dir/vma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cxlfork_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlfork_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

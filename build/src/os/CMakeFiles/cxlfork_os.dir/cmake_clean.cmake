@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_os.dir/kernel.cc.o"
+  "CMakeFiles/cxlfork_os.dir/kernel.cc.o.d"
+  "CMakeFiles/cxlfork_os.dir/namespaces.cc.o"
+  "CMakeFiles/cxlfork_os.dir/namespaces.cc.o.d"
+  "CMakeFiles/cxlfork_os.dir/page_table.cc.o"
+  "CMakeFiles/cxlfork_os.dir/page_table.cc.o.d"
+  "CMakeFiles/cxlfork_os.dir/vfs.cc.o"
+  "CMakeFiles/cxlfork_os.dir/vfs.cc.o.d"
+  "CMakeFiles/cxlfork_os.dir/vma.cc.o"
+  "CMakeFiles/cxlfork_os.dir/vma.cc.o.d"
+  "libcxlfork_os.a"
+  "libcxlfork_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_porter.dir/autoscaler.cc.o"
+  "CMakeFiles/cxlfork_porter.dir/autoscaler.cc.o.d"
+  "CMakeFiles/cxlfork_porter.dir/cluster.cc.o"
+  "CMakeFiles/cxlfork_porter.dir/cluster.cc.o.d"
+  "CMakeFiles/cxlfork_porter.dir/perf_model.cc.o"
+  "CMakeFiles/cxlfork_porter.dir/perf_model.cc.o.d"
+  "CMakeFiles/cxlfork_porter.dir/trace.cc.o"
+  "CMakeFiles/cxlfork_porter.dir/trace.cc.o.d"
+  "libcxlfork_porter.a"
+  "libcxlfork_porter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_porter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_proto.dir/messages.cc.o"
+  "CMakeFiles/cxlfork_proto.dir/messages.cc.o.d"
+  "CMakeFiles/cxlfork_proto.dir/wire.cc.o"
+  "CMakeFiles/cxlfork_proto.dir/wire.cc.o.d"
+  "libcxlfork_proto.a"
+  "libcxlfork_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

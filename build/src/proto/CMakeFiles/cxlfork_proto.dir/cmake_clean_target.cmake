@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcxlfork_proto.a"
+)

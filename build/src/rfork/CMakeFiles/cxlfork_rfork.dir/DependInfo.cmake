@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfork/checkpoint_image.cc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/checkpoint_image.cc.o" "gcc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/checkpoint_image.cc.o.d"
+  "/root/repo/src/rfork/criu.cc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/criu.cc.o" "gcc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/criu.cc.o.d"
+  "/root/repo/src/rfork/cxlfork.cc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/cxlfork.cc.o" "gcc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/cxlfork.cc.o.d"
+  "/root/repo/src/rfork/localfork.cc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/localfork.cc.o" "gcc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/localfork.cc.o.d"
+  "/root/repo/src/rfork/mitosis.cc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/mitosis.cc.o" "gcc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/mitosis.cc.o.d"
+  "/root/repo/src/rfork/state_capture.cc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/state_capture.cc.o" "gcc" "src/rfork/CMakeFiles/cxlfork_rfork.dir/state_capture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cxl/CMakeFiles/cxlfork_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cxlfork_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/cxlfork_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cxlfork_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cxlfork_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_rfork.dir/checkpoint_image.cc.o"
+  "CMakeFiles/cxlfork_rfork.dir/checkpoint_image.cc.o.d"
+  "CMakeFiles/cxlfork_rfork.dir/criu.cc.o"
+  "CMakeFiles/cxlfork_rfork.dir/criu.cc.o.d"
+  "CMakeFiles/cxlfork_rfork.dir/cxlfork.cc.o"
+  "CMakeFiles/cxlfork_rfork.dir/cxlfork.cc.o.d"
+  "CMakeFiles/cxlfork_rfork.dir/localfork.cc.o"
+  "CMakeFiles/cxlfork_rfork.dir/localfork.cc.o.d"
+  "CMakeFiles/cxlfork_rfork.dir/mitosis.cc.o"
+  "CMakeFiles/cxlfork_rfork.dir/mitosis.cc.o.d"
+  "CMakeFiles/cxlfork_rfork.dir/state_capture.cc.o"
+  "CMakeFiles/cxlfork_rfork.dir/state_capture.cc.o.d"
+  "libcxlfork_rfork.a"
+  "libcxlfork_rfork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_rfork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

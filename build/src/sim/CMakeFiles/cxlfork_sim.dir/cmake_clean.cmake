@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_sim.dir/clock.cc.o"
+  "CMakeFiles/cxlfork_sim.dir/clock.cc.o.d"
+  "CMakeFiles/cxlfork_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cxlfork_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/cxlfork_sim.dir/log.cc.o"
+  "CMakeFiles/cxlfork_sim.dir/log.cc.o.d"
+  "CMakeFiles/cxlfork_sim.dir/stats.cc.o"
+  "CMakeFiles/cxlfork_sim.dir/stats.cc.o.d"
+  "CMakeFiles/cxlfork_sim.dir/table.cc.o"
+  "CMakeFiles/cxlfork_sim.dir/table.cc.o.d"
+  "CMakeFiles/cxlfork_sim.dir/time.cc.o"
+  "CMakeFiles/cxlfork_sim.dir/time.cc.o.d"
+  "libcxlfork_sim.a"
+  "libcxlfork_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

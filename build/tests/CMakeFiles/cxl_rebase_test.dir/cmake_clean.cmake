@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxl_rebase_test.dir/cxl_rebase_test.cc.o"
+  "CMakeFiles/cxl_rebase_test.dir/cxl_rebase_test.cc.o.d"
+  "cxl_rebase_test"
+  "cxl_rebase_test.pdb"
+  "cxl_rebase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxl_rebase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

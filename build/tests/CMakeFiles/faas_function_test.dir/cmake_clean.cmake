@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_function_test.dir/faas_function_test.cc.o"
+  "CMakeFiles/faas_function_test.dir/faas_function_test.cc.o.d"
+  "faas_function_test"
+  "faas_function_test.pdb"
+  "faas_function_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_layout_test.dir/faas_layout_test.cc.o"
+  "CMakeFiles/faas_layout_test.dir/faas_layout_test.cc.o.d"
+  "faas_layout_test"
+  "faas_layout_test.pdb"
+  "faas_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_faas_test.dir/integration_faas_test.cc.o"
+  "CMakeFiles/integration_faas_test.dir/integration_faas_test.cc.o.d"
+  "integration_faas_test"
+  "integration_faas_test.pdb"
+  "integration_faas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_faas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

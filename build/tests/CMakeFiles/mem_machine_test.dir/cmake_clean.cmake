@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_machine_test.dir/mem_machine_test.cc.o"
+  "CMakeFiles/mem_machine_test.dir/mem_machine_test.cc.o.d"
+  "mem_machine_test"
+  "mem_machine_test.pdb"
+  "mem_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_fault_test.dir/os_fault_test.cc.o"
+  "CMakeFiles/os_fault_test.dir/os_fault_test.cc.o.d"
+  "os_fault_test"
+  "os_fault_test.pdb"
+  "os_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

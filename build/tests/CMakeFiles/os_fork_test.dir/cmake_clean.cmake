@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_fork_test.dir/os_fork_test.cc.o"
+  "CMakeFiles/os_fork_test.dir/os_fork_test.cc.o.d"
+  "os_fork_test"
+  "os_fork_test.pdb"
+  "os_fork_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_fork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_syscall_test.dir/os_syscall_test.cc.o"
+  "CMakeFiles/os_syscall_test.dir/os_syscall_test.cc.o.d"
+  "os_syscall_test"
+  "os_syscall_test.pdb"
+  "os_syscall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_syscall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_vma_test.dir/os_vma_test.cc.o"
+  "CMakeFiles/os_vma_test.dir/os_vma_test.cc.o.d"
+  "os_vma_test"
+  "os_vma_test.pdb"
+  "os_vma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_vma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

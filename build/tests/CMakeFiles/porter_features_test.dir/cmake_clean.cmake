@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porter_features_test.dir/porter_features_test.cc.o"
+  "CMakeFiles/porter_features_test.dir/porter_features_test.cc.o.d"
+  "porter_features_test"
+  "porter_features_test.pdb"
+  "porter_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porter_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

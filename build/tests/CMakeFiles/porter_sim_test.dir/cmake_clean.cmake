@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porter_sim_test.dir/porter_sim_test.cc.o"
+  "CMakeFiles/porter_sim_test.dir/porter_sim_test.cc.o.d"
+  "porter_sim_test"
+  "porter_sim_test.pdb"
+  "porter_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porter_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porter_trace_test.dir/porter_trace_test.cc.o"
+  "CMakeFiles/porter_trace_test.dir/porter_trace_test.cc.o.d"
+  "porter_trace_test"
+  "porter_trace_test.pdb"
+  "porter_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porter_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

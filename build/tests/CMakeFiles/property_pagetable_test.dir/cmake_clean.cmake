@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_pagetable_test.dir/property_pagetable_test.cc.o"
+  "CMakeFiles/property_pagetable_test.dir/property_pagetable_test.cc.o.d"
+  "property_pagetable_test"
+  "property_pagetable_test.pdb"
+  "property_pagetable_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_pagetable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

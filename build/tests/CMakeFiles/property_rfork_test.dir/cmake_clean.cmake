@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_rfork_test.dir/property_rfork_test.cc.o"
+  "CMakeFiles/property_rfork_test.dir/property_rfork_test.cc.o.d"
+  "property_rfork_test"
+  "property_rfork_test.pdb"
+  "property_rfork_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_rfork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_wire_test.dir/proto_wire_test.cc.o"
+  "CMakeFiles/proto_wire_test.dir/proto_wire_test.cc.o.d"
+  "proto_wire_test"
+  "proto_wire_test.pdb"
+  "proto_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfork_baselines_test.dir/rfork_baselines_test.cc.o"
+  "CMakeFiles/rfork_baselines_test.dir/rfork_baselines_test.cc.o.d"
+  "rfork_baselines_test"
+  "rfork_baselines_test.pdb"
+  "rfork_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfork_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfork_cxlfork_test.dir/rfork_cxlfork_test.cc.o"
+  "CMakeFiles/rfork_cxlfork_test.dir/rfork_cxlfork_test.cc.o.d"
+  "rfork_cxlfork_test"
+  "rfork_cxlfork_test.pdb"
+  "rfork_cxlfork_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfork_cxlfork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

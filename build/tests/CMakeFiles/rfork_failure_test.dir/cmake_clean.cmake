@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfork_failure_test.dir/rfork_failure_test.cc.o"
+  "CMakeFiles/rfork_failure_test.dir/rfork_failure_test.cc.o.d"
+  "rfork_failure_test"
+  "rfork_failure_test.pdb"
+  "rfork_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfork_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

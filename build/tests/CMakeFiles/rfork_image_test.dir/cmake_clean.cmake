@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfork_image_test.dir/rfork_image_test.cc.o"
+  "CMakeFiles/rfork_image_test.dir/rfork_image_test.cc.o.d"
+  "rfork_image_test"
+  "rfork_image_test.pdb"
+  "rfork_image_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfork_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfork_tiering_test.dir/rfork_tiering_test.cc.o"
+  "CMakeFiles/rfork_tiering_test.dir/rfork_tiering_test.cc.o.d"
+  "rfork_tiering_test"
+  "rfork_tiering_test.pdb"
+  "rfork_tiering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfork_tiering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cxlfork_cli.dir/cxlfork_cli.cc.o"
+  "CMakeFiles/cxlfork_cli.dir/cxlfork_cli.cc.o.d"
+  "cxlfork"
+  "cxlfork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cxlfork_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
