@@ -1,5 +1,6 @@
 #include "shared_fs.hh"
 
+#include "sim/crc32.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::cxl {
@@ -14,17 +15,38 @@ const CxlFsFile &
 SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
                 uint64_t simulatedBytes, sim::SimClock &clock)
 {
-    remove(name);
     CxlFsFile file;
     file.name = name;
     file.data = std::move(encoded);
     file.simulatedBytes = simulatedBytes;
+    file.crc = sim::crc32(file.data.data(), file.data.size());
     const uint64_t pages = mem::pagesFor(simulatedBytes);
     file.frames.reserve(pages);
-    for (uint64_t i = 0; i < pages; ++i)
-        file.frames.push_back(machine_.cxl().alloc(mem::FrameUse::FileCache));
+    // Allocate the backing before dropping any previous version: a
+    // failed overwrite must leave the old file readable.
+    try {
+        for (uint64_t i = 0; i < pages; ++i) {
+            file.frames.push_back(
+                machine_.cxl().alloc(mem::FrameUse::FileCache));
+        }
+        machine_.cxlTransaction(clock, "shared-fs write");
+    } catch (...) {
+        for (mem::PhysAddr f : file.frames)
+            machine_.cxl().decRef(f);
+        throw;
+    }
     clock.advance(machine_.costs().cxlWrite(simulatedBytes));
     usedBytes_ += pages * mem::kPageSize;
+
+    // Injected torn write: the stores raced a failure and one byte of
+    // the on-device image differs from what the CRC was computed over.
+    if (machine_.faults().drawTornWrite() && !file.data.empty()) {
+        const uint64_t victim =
+            machine_.faults().pickVictim(file.data.size() * 8);
+        file.data[victim / 8] ^= uint8_t(1u << (victim % 8));
+    }
+
+    remove(name);
     auto [it, ok] = files_.emplace(name, std::move(file));
     CXLF_ASSERT(ok);
     return it->second;
@@ -35,6 +57,26 @@ SharedFs::open(const std::string &name) const
 {
     auto it = files_.find(name);
     return it == files_.end() ? nullptr : &it->second;
+}
+
+bool
+SharedFs::verify(const std::string &name) const
+{
+    const CxlFsFile *file = open(name);
+    if (!file)
+        return false;
+    return sim::crc32(file->data.data(), file->data.size()) == file->crc;
+}
+
+void
+SharedFs::corruptBit(const std::string &name, uint64_t bit)
+{
+    auto it = files_.find(name);
+    if (it == files_.end() || it->second.data.empty())
+        return;
+    std::vector<uint8_t> &d = it->second.data;
+    bit %= d.size() * 8;
+    d[bit / 8] ^= uint8_t(1u << (bit % 8));
 }
 
 void

@@ -29,6 +29,7 @@ struct CxlFsFile
     std::vector<uint8_t> data;  ///< Real encoded bytes (token-compressed).
     uint64_t simulatedBytes = 0; ///< Size the file would have for real.
     std::vector<mem::PhysAddr> frames; ///< CXL frames backing it.
+    uint32_t crc = 0;           ///< CRC-32 of data, sealed at write time.
 };
 
 /** The shared checkpoint-file store. */
@@ -45,7 +46,13 @@ class SharedFs
     /**
      * Write a file: allocates CXL frames for its simulated size and
      * charges the writing node's clock for the non-temporal stores.
-     * Overwrites any previous file of the same name.
+     * Overwrites any previous file of the same name. Seals a CRC-32 of
+     * the encoded bytes so readers can detect torn writes.
+     *
+     * Exception-safe: on device exhaustion (sim::CapacityError) or an
+     * injected transient escalation, already-allocated frames are
+     * released and the previous file of the same name, if any, is left
+     * intact.
      */
     const CxlFsFile &write(const std::string &name,
                            std::vector<uint8_t> encoded,
@@ -53,6 +60,12 @@ class SharedFs
 
     /** Open for reading; nullptr when absent. No cost (mapped access). */
     const CxlFsFile *open(const std::string &name) const;
+
+    /** Recompute the CRC of a stored file against its sealed value. */
+    bool verify(const std::string &name) const;
+
+    /** Flip one payload bit of a stored file (torn-write test hook). */
+    void corruptBit(const std::string &name, uint64_t bit);
 
     /** Remove a file, releasing its CXL frames. */
     void remove(const std::string &name);

@@ -29,6 +29,7 @@ struct Frame
     uint64_t content = 0;   ///< Token standing in for the page's bytes.
     uint32_t refcount = 0;  ///< Sharers (CoW sharing, CXL cross-node sharing).
     FrameUse use = FrameUse::Free;
+    bool poisoned = false;  ///< Device-reported poison: reads machine-check.
 
     bool allocated() const { return use != FrameUse::Free; }
 };

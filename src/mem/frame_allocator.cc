@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/error.hh"
+#include "sim/fault_injector.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::mem {
@@ -41,8 +43,9 @@ FrameAllocator::alloc(FrameUse use, uint64_t content)
     if (use == FrameUse::Free)
         sim::panic("allocating a frame as Free");
     if (freeList_.empty()) {
-        sim::fatal("tier %s out of memory (%llu frames in use)",
-                   name_.c_str(), (unsigned long long)usedFrames_);
+        throw sim::CapacityError(sim::format(
+            "tier %s out of memory (%llu frames in use)", name_.c_str(),
+            (unsigned long long)usedFrames_));
     }
     const uint64_t idx = freeList_.back();
     freeList_.pop_back();
@@ -50,6 +53,7 @@ FrameAllocator::alloc(FrameUse use, uint64_t content)
     f.use = use;
     f.refcount = 1;
     f.content = content;
+    f.poisoned = tier_ == Tier::Cxl && injector_ && injector_->drawPoison();
     ++usedFrames_;
     peakUsedFrames_ = std::max(peakUsedFrames_, usedFrames_);
     return PhysAddr{base_.raw + idx * kPageSize};
@@ -82,6 +86,7 @@ FrameAllocator::decRef(PhysAddr addr)
         return false;
     f.use = FrameUse::Free;
     f.content = 0;
+    f.poisoned = false;
     --usedFrames_;
     freeList_.push_back(indexOf(addr));
     return true;

@@ -13,6 +13,10 @@
 #include "frame.hh"
 #include "types.hh"
 
+namespace cxlfork::sim {
+class FaultInjector;
+} // namespace cxlfork::sim
+
 namespace cxlfork::mem {
 
 /**
@@ -34,9 +38,22 @@ class FrameAllocator
     /**
      * Allocate one frame.
      * @return the frame's physical address, refcount 1.
-     * @throws sim::FatalError if the tier is exhausted.
+     * @throws sim::CapacityError (a sim::FatalError) if the tier is
+     *         exhausted; the allocator state is untouched, so callers
+     *         may free memory and retry.
      */
     PhysAddr alloc(FrameUse use, uint64_t content = 0);
+
+    /**
+     * Attach the machine's fault injector: allocations on the CXL tier
+     * then draw the frame-poison stream. Nullptr detaches.
+     */
+    void setFaultInjector(sim::FaultInjector *inj) { injector_ = inj; }
+
+    /** Mark an allocated frame poisoned (tests / targeted injection). */
+    void poison(PhysAddr addr) { frame(addr).poisoned = true; }
+
+    bool isPoisoned(PhysAddr addr) const { return frame(addr).poisoned; }
 
     /** True if at least n more frames can be allocated. */
     bool canAlloc(uint64_t n = 1) const { return freeFrames() >= n; }
@@ -84,6 +101,7 @@ class FrameAllocator
     uint64_t peakUsedFrames_ = 0;
     std::vector<Frame> frames_;
     std::vector<uint64_t> freeList_;
+    sim::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace cxlfork::mem

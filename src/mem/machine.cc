@@ -1,5 +1,6 @@
 #include "machine.hh"
 
+#include "sim/error.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::mem {
@@ -14,7 +15,8 @@ constexpr uint64_t kCxlBase = 1ull << 44;
 
 } // namespace
 
-Machine::Machine(const MachineConfig &cfg) : costs_(cfg.costs)
+Machine::Machine(const MachineConfig &cfg)
+    : costs_(cfg.costs), injector_(cfg.faults)
 {
     if (cfg.numNodes == 0)
         sim::fatal("machine needs at least one node");
@@ -28,6 +30,48 @@ Machine::Machine(const MachineConfig &cfg) : costs_(cfg.costs)
     }
     cxl_ = std::make_unique<FrameAllocator>(
         "cxl-device", Tier::Cxl, PhysAddr{kCxlBase}, cfg.cxlCapacityBytes);
+    cxl_->setFaultInjector(&injector_);
+}
+
+void
+Machine::setFaultConfig(const sim::FaultConfig &cfg)
+{
+    injector_.setConfig(cfg);
+}
+
+void
+Machine::cxlTransaction(sim::SimClock &clock, const char *site)
+{
+    if (!injector_.armed())
+        return;
+    const sim::FaultConfig &cfg = injector_.config();
+    for (uint32_t attempt = 1; injector_.drawTransient(); ++attempt) {
+        if (attempt > cfg.maxRetries) {
+            ++injector_.stats().transientsEscalated;
+            throw sim::TransientFaultError(sim::format(
+                "CXL transaction at %s failed %u times (budget %u)", site,
+                attempt, cfg.maxRetries));
+        }
+        // Retry after backoff, in simulated time; the next draw decides
+        // whether the retry itself fails.
+        clock.advance(injector_.backoffFor(attempt));
+        ++injector_.stats().transientsRetried;
+    }
+}
+
+uint64_t
+Machine::readFrameChecked(PhysAddr addr, sim::SimClock &clock,
+                          const char *site)
+{
+    const Frame &f = frame(addr);
+    if (f.poisoned) {
+        throw sim::PoisonedFrameError(sim::format(
+            "poisoned frame %#llx read at %s (data lost)",
+            (unsigned long long)addr.raw, site));
+    }
+    if (tierOf(addr) == Tier::Cxl)
+        cxlTransaction(clock, site);
+    return f.content;
 }
 
 Tier

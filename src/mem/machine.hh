@@ -16,7 +16,9 @@
 
 #include "cache.hh"
 #include "frame_allocator.hh"
+#include "sim/clock.hh"
 #include "sim/cost_model.hh"
+#include "sim/fault_injector.hh"
 #include "sim/log.hh"
 #include "types.hh"
 
@@ -30,6 +32,7 @@ struct MachineConfig
     uint64_t cxlCapacityBytes = gib(16);  ///< Paper: 16 GB DDR4 DIMM.
     uint64_t llcBytes = mib(64);          ///< Paper: 64 MB L3 per socket.
     sim::CostParams costs;
+    sim::FaultConfig faults;              ///< All rates zero by default.
 };
 
 /** The N-node CXL-interconnected machine. */
@@ -54,6 +57,30 @@ class Machine
 
     const sim::CostParams &costs() const { return costs_; }
     sim::CostParams &mutableCosts() { return costs_; }
+
+    /** The machine-wide fault injector (device-level failure model). */
+    sim::FaultInjector &faults() { return injector_; }
+    const sim::FaultInjector &faults() const { return injector_; }
+
+    /** Reconfigure injection; re-arms the CXL allocator's poison hook. */
+    void setFaultConfig(const sim::FaultConfig &cfg);
+
+    /**
+     * Model one CXL transaction (a page copy or bulk store) under
+     * injection: transient errors are retried up to the configured
+     * budget with exponential backoff charged to `clock`. Throws
+     * sim::TransientFaultError once the budget is exhausted. A no-op
+     * when injection is disarmed.
+     */
+    void cxlTransaction(sim::SimClock &clock, const char *site);
+
+    /**
+     * Read a frame's content token through the failure model: poisoned
+     * frames machine-check (sim::PoisonedFrameError); CXL-tier reads
+     * additionally pass through cxlTransaction.
+     */
+    uint64_t readFrameChecked(PhysAddr addr, sim::SimClock &clock,
+                              const char *site);
 
     /** Which tier an address lives on. */
     Tier tierOf(PhysAddr addr) const;
@@ -95,6 +122,7 @@ class Machine
 
   private:
     sim::CostParams costs_;
+    sim::FaultInjector injector_;
     std::vector<std::unique_ptr<FrameAllocator>> nodeDram_;
     std::unique_ptr<FrameAllocator> cxl_;
     std::vector<CacheModel> llc_;

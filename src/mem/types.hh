@@ -69,6 +69,12 @@ pagesFor(uint64_t bytes)
 }
 
 constexpr uint64_t
+kib(uint64_t v)
+{
+    return v << 10;
+}
+
+constexpr uint64_t
 mib(uint64_t v)
 {
     return v << 20;

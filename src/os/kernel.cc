@@ -1,11 +1,41 @@
 #include "kernel.hh"
 
+#include "sim/error.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::os {
 
 using mem::kPageSize;
 using sim::SimTime;
+
+namespace {
+
+/**
+ * Owns a freshly allocated frame across the PTE install. setPte() can
+ * itself allocate (leaf pages, leaf CoW) and throw sim::CapacityError;
+ * without the guard the data frame would leak and the fault would not
+ * be cleanly retryable.
+ */
+struct FrameGuard
+{
+    mem::FrameAllocator &owner;
+    mem::PhysAddr frame;
+    bool armed = true;
+
+    FrameGuard(mem::FrameAllocator &o, mem::PhysAddr f) : owner(o), frame(f)
+    {}
+    ~FrameGuard()
+    {
+        if (armed)
+            owner.decRef(frame);
+    }
+    FrameGuard(const FrameGuard &) = delete;
+    FrameGuard &operator=(const FrameGuard &) = delete;
+
+    void release() { armed = false; }
+};
+
+} // namespace
 
 const char *
 faultKindName(FaultKind k)
@@ -245,7 +275,16 @@ NodeOs::access(Task &task, mem::VirtAddr va, bool isWrite,
         return res;
     }
     const sim::SimTime faultStart = clock_.now();
-    res = handleFault(task, va, isWrite, contentOnWrite);
+    try {
+        res = handleFault(task, va, isWrite, contentOnWrite);
+    } catch (...) {
+        // A failed fault (poisoned frame, dead Mitosis parent, transient
+        // escalation, exhaustion) still spent its handler time; account
+        // it so retries don't under-report, and leave the translation
+        // untouched so the access can simply be replayed.
+        faultTime_ += clock_.now() - faultStart;
+        throw;
+    }
     faultTime_ += clock_.now() - faultStart;
     pt.hwSetAccessedDirty(va, isWrite);
     return res;
@@ -256,15 +295,21 @@ NodeOs::migrateFromCheckpoint(Task &task, mem::VirtAddr va, const Vma &vma,
                               Pte ckptPte, bool isWrite,
                               uint64_t contentOnWrite)
 {
-    // Copy the checkpointed page into a fresh local frame.
+    // Copy the checkpointed page into a fresh local frame. The source
+    // read is checked first (poison / transient CXL faults throw before
+    // anything is allocated or installed).
     AccessResult res;
-    const uint64_t content = machine_.frame(ckptPte.frame()).content;
+    const uint64_t content =
+        machine_.readFrameChecked(ckptPte.frame(), clock_,
+                                  "checkpoint migrate");
     const mem::PhysAddr frame = localDram().alloc(
         mem::FrameUse::Data, isWrite ? contentOnWrite : content);
+    FrameGuard guard(localDram(), frame);
     Pte pte = Pte::make(frame, vma.writable());
     if (isWrite)
         pte.set(Pte::kDirty);
     const auto setRes = task.mm().pageTable().setPte(va, pte);
+    guard.release();
     clock_.advance(task.mm().backing()->migrateCost(machine_.costs()));
     res.fault = FaultKind::CxlMigrate;
     res.tier = mem::Tier::LocalDram;
@@ -335,10 +380,12 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
                    vma->kind == VmaKind::SharedAnon) {
             const mem::PhysAddr frame =
                 localDram().alloc(mem::FrameUse::Data, contentOnWrite);
+            FrameGuard guard(localDram(), frame);
             Pte newPte = Pte::make(frame, vma->writable());
             if (isWrite)
                 newPte.set(Pte::kDirty);
             pt.setPte(va, newPte);
+            guard.release();
             clock_.advance(costs.minorFault);
             stats_.counter("fault.minor").inc();
             res.fault = FaultKind::Minor;
@@ -355,11 +402,13 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
                 vma->fileOffset / kPageSize;
             const mem::PhysAddr frame = localDram().alloc(
                 mem::FrameUse::FileCache, inode->pageContent(pageIdx));
+            FrameGuard guard(localDram(), frame);
             Pte newPte = Pte::make(frame, false);
             newPte.set(Pte::kSoftFile);
             if (vma->writable())
                 newPte.set(Pte::kSoftCow);
             pt.setPte(va, newPte);
+            guard.release();
             clock_.advance(costs.majorFaultFs);
             stats_.counter("fault.major").inc();
             res.fault = FaultKind::Major;
@@ -378,12 +427,17 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
 
     if (cur.cxlCheckpoint()) {
         // CoW from the CXL tier (paper Sec. 4.2): copy to local memory,
-        // keep the checkpoint pristine.
+        // keep the checkpoint pristine. The copy reads the device page
+        // first, so a poisoned or transiently failing source throws
+        // before any local state changes.
+        machine_.readFrameChecked(cur.frame(), clock_, "cxl cow copy");
         const mem::PhysAddr frame =
             localDram().alloc(mem::FrameUse::Data, contentOnWrite);
+        FrameGuard guard(localDram(), frame);
         Pte newPte = Pte::make(frame, true);
         newPte.set(Pte::kDirty);
         const auto setRes = pt.setPte(va, newPte);
+        guard.release();
         clock_.advance(costs.cxlCowFault());
         stats_.counter("fault.cow_cxl").inc();
         if (setRes.leafCow)
@@ -408,10 +462,12 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
         } else {
             const mem::PhysAddr frame =
                 localDram().alloc(mem::FrameUse::Data, contentOnWrite);
+            FrameGuard guard(localDram(), frame);
             newPte = Pte::make(frame, true);
             newPte.set(Pte::kDirty);
             // setPte drops our reference on the shared source frame.
             pt.setPte(va, newPte);
+            guard.release();
             clock_.advance(costs.localCowFault());
         }
         stats_.counter("fault.cow_local").inc();
@@ -446,7 +502,7 @@ NodeOs::read(Task &task, mem::VirtAddr va)
     access(task, va, false);
     const Pte pte = task.mm().pageTable().lookup(va);
     CXLF_ASSERT(pte.present());
-    return machine_.frame(pte.frame()).content;
+    return machine_.readFrameChecked(pte.frame(), clock_, "read");
 }
 
 void

@@ -1,6 +1,7 @@
 #include "autoscaler.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/log.hh"
 
@@ -17,10 +18,15 @@ constexpr uint64_t kShellBytes = 512ull << 10; // bare container shell
 PorterSim::PorterSim(PorterConfig cfg,
                      std::vector<faas::FunctionSpec> functions,
                      PerfModel &perf)
-    : cfg_(std::move(cfg)), functions_(std::move(functions)), perf_(perf)
+    : cfg_(std::move(cfg)), functions_(std::move(functions)), perf_(perf),
+      faultRng_(cfg_.faults.seed)
 {
     if (functions_.empty())
         sim::fatal("PorterSim needs at least one function");
+    if (cfg_.faults.nodeMtbf > SimTime::zero() &&
+        !(cfg_.faults.nodeRecovery > SimTime::zero())) {
+        sim::fatal("node crashes need a positive recovery time");
+    }
     nodes_.resize(cfg_.numNodes);
     for (NodeState &n : nodes_) {
         n.memCapacity =
@@ -77,6 +83,7 @@ PorterSim::run(const std::vector<Request> &trace)
         events_.schedule(trace.front().arrival + cfg_.controllerPeriod,
                          [this] { controllerTick(); });
     }
+    scheduleCrashes(trace);
     events_.run();
 
     if (!trace.empty()) {
@@ -88,6 +95,84 @@ PorterSim::run(const std::vector<Request> &trace)
     for (const NodeState &n : nodes_)
         metrics_.peakMemBytes = std::max(metrics_.peakMemBytes, n.memUsed);
     return metrics_;
+}
+
+void
+PorterSim::scheduleCrashes(const std::vector<Request> &trace)
+{
+    if (!(cfg_.faults.nodeMtbf > SimTime::zero()) || trace.empty())
+        return;
+    // Crash/recovery events are bounded by the trace horizon so the
+    // event queue always drains; crashes after the last arrival would
+    // only delay completions nobody measures.
+    const SimTime begin = trace.front().arrival;
+    SimTime horizon = begin;
+    for (const Request &req : trace)
+        horizon = std::max(horizon, req.arrival);
+    auto expDraw = [&] {
+        // Exponential inter-crash gap; clamp the tail draw so a
+        // pathological uniform() == 0 cannot stall the schedule.
+        const double u = std::max(faultRng_.uniform(), 1e-12);
+        return cfg_.faults.nodeMtbf * -std::log(u);
+    };
+    for (uint32_t i = 0; i < nodes_.size(); ++i) {
+        SimTime t = begin + expDraw();
+        while (t < horizon) {
+            events_.schedule(t, [this, i] { crashNode(i); });
+            const SimTime rec = t + cfg_.faults.nodeRecovery;
+            events_.schedule(rec, [this, i] { recoverNode(i); });
+            t = rec + expDraw();
+        }
+    }
+}
+
+void
+PorterSim::crashNode(uint32_t node)
+{
+    NodeState &ns = nodes_[node];
+    if (!ns.up)
+        return;
+    ns.up = false;
+    ++metrics_.nodeCrashes;
+
+    // Every container on the node dies with it. In-flight work is not
+    // cancelled here: its completion event fires at the original time,
+    // finds the instance gone, and fails over (detection by timeout).
+    for (auto it = instances_.begin(); it != instances_.end();) {
+        if (it->second.node == node) {
+            ++metrics_.lostInstances;
+            it = instances_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    ns.memUsed = 0;
+    ns.busyCores = 0;
+
+    // Requests parked on the node's core queue restart elsewhere now.
+    std::deque<uint64_t> waiters = std::move(ns.coreQueue);
+    ns.coreQueue.clear();
+    for (uint64_t waiterId : waiters) {
+        auto w = coreWaiters_.find(waiterId);
+        if (w == coreWaiters_.end())
+            continue;
+        const CoreWaiter waiter = w->second;
+        coreWaiters_.erase(w);
+        ++metrics_.restoreFailovers;
+        dispatch(waiter.req, waiter.arrival);
+    }
+}
+
+void
+PorterSim::recoverNode(uint32_t node)
+{
+    NodeState &ns = nodes_[node];
+    if (ns.up)
+        return;
+    ns.up = true;
+    ++metrics_.nodeRecoveries;
+    // Fresh capacity: requests stuck waiting for memory can place now.
+    drainMemQueue();
 }
 
 void
@@ -173,16 +258,50 @@ PorterSim::spawnAndRun(const Request &req, SimTime arrival)
     }
     const PerfProfile &prof = profileFor(fnIdx, policy);
 
-    SimTime spawnCost;
+    // Degradation ladder (failure model): a restore that finds its
+    // checkpoint torn reclaims it and degrades to a cold start; a
+    // restore hitting transient CXL faults retries with backoff and
+    // only degrades once the retry budget is spent.
+    bool viaRestore = fn.checkpointed;
+    SimTime retryTime;
+    if (viaRestore && cfg_.faults.corruptRestoreRate > 0.0 &&
+        faultRng_.chance(cfg_.faults.corruptRestoreRate)) {
+        cxlUsed_ -= fn.checkpointBytes;
+        fn.checkpointed = false;
+        fn.checkpointBytes = 0;
+        ++metrics_.corruptRestores;
+        ++metrics_.degradedColdStarts;
+        viaRestore = false;
+    }
+    bool viaGhost = viaRestore && fn.ghostsAvailable > 0;
+    if (viaRestore && cfg_.faults.transientRestoreRate > 0.0) {
+        SimTime backoff = cfg_.faults.restoreRetryBackoff;
+        uint32_t attempt = 0;
+        while (faultRng_.chance(cfg_.faults.transientRestoreRate)) {
+            if (attempt >= cfg_.faults.maxRestoreRetries) {
+                // Budget spent; the checkpoint itself is intact, so
+                // only this request falls back to a cold start.
+                ++metrics_.degradedColdStarts;
+                viaRestore = false;
+                viaGhost = false;
+                break;
+            }
+            ++attempt;
+            ++metrics_.restoreRetries;
+            retryTime += backoff;
+            backoff = backoff * cfg_.faults.retryBackoffMultiplier;
+        }
+    }
+
+    SimTime spawnCost = retryTime;
     uint64_t memNeed = 0;
-    const bool viaGhost = fn.checkpointed && fn.ghostsAvailable > 0;
-    if (fn.checkpointed) {
-        spawnCost = viaGhost ? cfg_.ghostTrigger : cfg_.containerCreate;
+    if (viaRestore) {
+        spawnCost += viaGhost ? cfg_.ghostTrigger : cfg_.containerCreate;
         spawnCost += prof.restoreLatency + prof.coldExecLatency;
         memNeed = prof.localBytesAfterExec + kShellBytes;
     } else {
-        spawnCost = cfg_.containerCreate + prof.coldStartLatency +
-                    prof.coldStartExec;
+        spawnCost += cfg_.containerCreate + prof.coldStartLatency +
+                     prof.coldStartExec;
         memNeed = prof.coldLocalBytes + kShellBytes;
     }
 
@@ -195,7 +314,7 @@ PorterSim::spawnAndRun(const Request &req, SimTime arrival)
         memQueue_.push_back({req, arrival});
         return;
     }
-    if (fn.checkpointed) {
+    if (viaRestore) {
         ++metrics_.restores;
         fn.lastRestore = events_.now();
         if (viaGhost) {
@@ -244,7 +363,16 @@ PorterSim::complete(uint64_t instanceId, const Request &req,
 {
     (void)execStart;
     auto it = instances_.find(instanceId);
-    CXLF_ASSERT(it != instances_.end());
+    if (it == instances_.end()) {
+        // The instance's node crashed while this request was in
+        // flight. The crash already zeroed that node's accounting;
+        // fail the request over — re-dispatch against the surviving
+        // nodes, keeping the original arrival so the wasted attempt
+        // shows up in its latency.
+        ++metrics_.restoreFailovers;
+        dispatch(req, arrival);
+        return;
+    }
     Instance &inst = it->second;
     NodeState &node = nodes_[inst.node];
 
@@ -405,6 +533,8 @@ PorterSim::pickNode(uint64_t needBytes) const
     uint64_t bestFree = 0;
     for (uint32_t i = 0; i < nodes_.size(); ++i) {
         const NodeState &n = nodes_[i];
+        if (!n.up)
+            continue;
         // Free now plus what idle instances could release.
         const uint64_t freeNow = freeBytes(n);
         uint64_t reclaimable = freeNow;

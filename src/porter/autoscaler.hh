@@ -24,10 +24,39 @@
 
 #include "perf_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "trace.hh"
 
 namespace cxlfork::porter {
+
+/**
+ * Cluster-level failure injection (all disabled by default). The
+ * autoscaler layer is analytic, so it draws from its own seeded stream
+ * rather than the page-level FaultInjector: crashes take whole nodes
+ * (and every container on them) down for nodeRecovery, restores can
+ * hit transient CXL faults (retried with backoff, charged to the
+ * spawn latency) or find their checkpoint torn (degrade to a cold
+ * start and rebuild the checkpoint).
+ */
+struct PorterFaults
+{
+    uint64_t seed = 0xc1a5'7e12ULL;
+    sim::SimTime nodeMtbf;      ///< Mean time between crashes per node;
+                                ///< zero disables node crashes.
+    sim::SimTime nodeRecovery = sim::SimTime::sec(30);
+    double corruptRestoreRate = 0.0;  ///< P(restore finds image torn).
+    double transientRestoreRate = 0.0;///< P(restore attempt transient).
+    uint32_t maxRestoreRetries = 2;
+    sim::SimTime restoreRetryBackoff = sim::SimTime::ms(1);
+    double retryBackoffMultiplier = 2.0;
+
+    bool anyEnabled() const
+    {
+        return nodeMtbf > sim::SimTime::zero() ||
+               corruptRestoreRate > 0.0 || transientRestoreRate > 0.0;
+    }
+};
 
 /** Autoscaler configuration (one porter variant). */
 struct PorterConfig
@@ -65,6 +94,9 @@ struct PorterConfig
      * Store of Checkpoints").
      */
     uint64_t cxlCapacityBytes = mem::gib(16);
+
+    /** Failure injection; disabled (all-zero rates) by default. */
+    PorterFaults faults;
 };
 
 /** Results of one porter run. */
@@ -87,6 +119,15 @@ struct PorterMetrics
     uint64_t peakCxlBytes = 0;
     uint64_t peakMemBytes = 0;
     double completedRps = 0.0;
+
+    // Failure/recovery accounting (all zero when injection is off).
+    uint64_t nodeCrashes = 0;
+    uint64_t nodeRecoveries = 0;
+    uint64_t lostInstances = 0;     ///< Containers killed by crashes.
+    uint64_t restoreFailovers = 0;  ///< In-flight work re-dispatched.
+    uint64_t restoreRetries = 0;    ///< Transient restore re-attempts.
+    uint64_t corruptRestores = 0;   ///< Checkpoints found torn.
+    uint64_t degradedColdStarts = 0;///< Restores degraded to cold start.
 
     double p50Ms() const { return latency.p50() / 1e6; }
     double p99Ms() const { return latency.p99() / 1e6; }
@@ -120,6 +161,7 @@ class PorterSim
         uint64_t memCapacity = 0;
         uint64_t memUsed = 0;
         uint32_t busyCores = 0;
+        bool up = true;
         std::deque<uint64_t> coreQueue; ///< request ids waiting for a core
     };
 
@@ -165,6 +207,9 @@ class PorterSim
     void controllerTick();
     void drainMemQueue();
     void takeCheckpoint(uint32_t fnIdx, uint32_t node);
+    void scheduleCrashes(const std::vector<Request> &trace);
+    void crashNode(uint32_t node);
+    void recoverNode(uint32_t node);
     double memPressure() const;
     sim::SimTime keepAliveNow() const;
 
@@ -183,6 +228,7 @@ class PorterSim
     std::map<uint64_t, CoreWaiter> coreWaiters_;
     sim::SimTime abitAccum_;
     uint64_t cxlUsed_ = 0;
+    sim::Rng faultRng_;
     PorterMetrics metrics_;
 };
 

@@ -1,6 +1,7 @@
 #include "checkpoint_image.hh"
 
 #include "cxl/rebase.hh"
+#include "sim/crc32.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::rfork {
@@ -48,6 +49,90 @@ CheckpointImage::activate()
     for (auto &[base, leaf] : leaves_)
         cxl::derebaseLeaf(*leaf, machine_);
     activated_ = true;
+}
+
+ImageCrcs
+CheckpointImage::computeCrcs() const
+{
+    // Bits that legitimately mutate on a sealed leaf after checkpoint:
+    // hardware A-bit updates and the user-hot hint (paper Sec. 4.3).
+    // resetAccessedBits() flips them too. Everything else is immutable.
+    constexpr uint64_t kMutableBits = Pte::kAccessed | Pte::kSoftHot;
+
+    ImageCrcs out;
+    sim::Crc32 pages;
+    for (mem::PhysAddr f : dataFrames_)
+        pages.update64(machine_.cxl().frame(f).content);
+    out.pages = pages.value();
+
+    sim::Crc32 leaves;
+    for (const auto &[base, leaf] : leaves_) {
+        leaves.update64(base);
+        for (uint32_t i = 0; i < TablePage::kEntries; ++i)
+            leaves.update64(leaf->pte(i).raw() & ~kMutableBits);
+    }
+    out.leaves = leaves.value();
+
+    sim::Crc32 vmas;
+    if (vmaSet_) {
+        for (size_t i = 0; i < vmaSet_->size(); ++i) {
+            const os::Vma &v = vmaSet_->at(i);
+            vmas.update64(v.start.raw);
+            vmas.update64(v.end.raw);
+            vmas.update64(uint64_t(v.perms) | (uint64_t(v.kind) << 8) |
+                          (uint64_t(v.segClass) << 16));
+            vmas.update(v.name.data(), v.name.size());
+            vmas.update(v.filePath.data(), v.filePath.size());
+            vmas.update64(v.fileOffset);
+        }
+    }
+    out.vmas = vmas.value();
+
+    sim::Crc32 global;
+    global.update(globalBlob_.data(), globalBlob_.size());
+    for (uint64_t g : cpu_.gpr)
+        global.update64(g);
+    global.update64(cpu_.rip);
+    global.update64(cpu_.rsp);
+    global.update64(cpu_.fpstate);
+    out.global = global.value();
+    return out;
+}
+
+void
+CheckpointImage::sealIntegrity()
+{
+    CXLF_ASSERT(activated_);
+    CXLF_ASSERT(!crcs_.sealed);
+    crcs_ = computeCrcs();
+    crcs_.sealed = true;
+}
+
+std::optional<std::string>
+CheckpointImage::verifyIntegrity() const
+{
+    if (!crcs_.sealed)
+        return "unsealed";
+    const ImageCrcs now = computeCrcs();
+    if (now.pages != crcs_.pages)
+        return "pages";
+    if (now.leaves != crcs_.leaves)
+        return "leaves";
+    if (now.vmas != crcs_.vmas)
+        return "vmas";
+    if (now.global != crcs_.global)
+        return "global";
+    return std::nullopt;
+}
+
+void
+CheckpointImage::corruptDataBit(uint64_t victimBit)
+{
+    if (dataFrames_.empty())
+        return;
+    const uint64_t frameIdx = (victimBit / 64) % dataFrames_.size();
+    mem::Frame &f = machine_.cxl().frame(dataFrames_[frameIdx]);
+    f.content ^= 1ull << (victimBit % 64);
 }
 
 std::optional<Pte>

@@ -14,6 +14,8 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "cxl/fabric.hh"
@@ -23,6 +25,23 @@
 #include "rfork.hh"
 
 namespace cxlfork::rfork {
+
+/**
+ * Per-segment CRC-32s sealed over a checkpoint image at checkpoint
+ * time. Mutable-by-design PTE bits (the hardware Accessed bit and the
+ * user-hot hint, both legal to flip on sealed leaves) are masked out of
+ * the leaf digest; everything else in the image is immutable once the
+ * checkpoint completes, so any digest mismatch means a torn write or
+ * device bit-rot.
+ */
+struct ImageCrcs
+{
+    uint32_t pages = 0;  ///< Data-frame content tokens, in map order.
+    uint32_t leaves = 0; ///< Leaf base VPNs + masked PTE bits.
+    uint32_t vmas = 0;   ///< Checkpointed VMA records.
+    uint32_t global = 0; ///< Serialized global-state blob + CPU context.
+    bool sealed = false;
+};
 
 /** The CXL-resident checkpoint of one process. */
 class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
@@ -70,6 +89,31 @@ class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
      */
     void activate();
     bool activated() const { return activated_; }
+
+    // --- Integrity (torn-write detection).
+
+    /**
+     * Seal per-segment CRCs over the finished image. Called once by
+     * CxlFork::checkpoint after activate(); the digests cover the
+     * de-rebased (attachable) form.
+     */
+    void sealIntegrity();
+    bool integritySealed() const { return crcs_.sealed; }
+    const ImageCrcs &crcs() const { return crcs_; }
+
+    /**
+     * Recompute every segment digest against the sealed values.
+     * @return the name of the first corrupted segment ("pages",
+     *         "leaves", "vmas", "global"), or nullopt if intact.
+     */
+    std::optional<std::string> verifyIntegrity() const;
+
+    /**
+     * Flip one bit of the image, as a torn checkpoint write would:
+     * victimBit indexes the concatenated data-page content tokens.
+     * Test/injection hook; the sealed CRCs are left untouched.
+     */
+    void corruptDataBit(uint64_t victimBit);
 
     // --- Consumption (restore, fault handling, tiering control).
 
@@ -124,6 +168,9 @@ class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
     uint64_t globalSimBytes_ = 0;
     uint64_t globalRecords_ = 0;
     os::CpuContext cpu_;
+    ImageCrcs crcs_;
+
+    ImageCrcs computeCrcs() const;
 };
 
 } // namespace cxlfork::rfork

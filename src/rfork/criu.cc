@@ -1,5 +1,6 @@
 #include "criu.hh"
 
+#include "sim/error.hh"
 #include "sim/log.hh"
 #include "state_capture.hh"
 
@@ -81,6 +82,11 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     const cxl::CxlFsFile *file = fabric_.sharedFs().open(h->fileName());
     if (!file)
         sim::fatal("CRIU image %s missing", h->fileName().c_str());
+    if (!fabric_.sharedFs().verify(h->fileName())) {
+        throw sim::CorruptImageError(sim::format(
+            "CRIU image %s failed CRC (torn write?)",
+            h->fileName().c_str()));
+    }
 
     // Deserialize the whole image. The page payload dominates; the
     // deserialize bandwidth models the combined parse + copy-to-local
@@ -92,6 +98,8 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
 
     auto task = target.createTask(image.global.taskName + "+criu",
                                   opts.container);
+
+    try {
 
     // Rebuild the full VMA tree.
     const SimTime memStart = clock.now();
@@ -123,6 +131,11 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     task->cpu().rip = image.cpu.rip;
     task->cpu().rsp = image.cpu.rsp;
     task->cpu().fpstate = image.cpu.fpstate;
+
+    } catch (...) {
+        target.exitTask(task);
+        throw;
+    }
 
     rs.latency = clock.now() - start;
     if (stats)

@@ -1,6 +1,7 @@
 #include "cxlfork.hh"
 
 #include "cxl/rebase.hh"
+#include "sim/error.hh"
 #include "sim/log.hh"
 #include "state_capture.hh"
 
@@ -61,6 +62,7 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
                     machine.frame(src.frame()).content;
                 replica = machine.cxl().alloc(mem::FrameUse::Data, content);
                 img->addDataFrame(replica);
+                machine.cxlTransaction(clock, "cxlfork checkpoint copy");
                 clock.advance(costs.cxlWrite(kPageSize));
                 cs.bytesToCxl += kPageSize;
             }
@@ -139,8 +141,19 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     clock.advance(costs.cxlWrite(proto::CpuMsg::simulatedBytes()));
     cs.bytesToCxl += proto::CpuMsg::simulatedBytes();
 
-    // Make the image attachable on this fabric mapping.
+    // Make the image attachable on this fabric mapping, then seal
+    // per-segment CRCs over the finished bits so restores can detect
+    // torn writes.
     img->activate();
+    img->sealIntegrity();
+
+    // Injected torn write: one of the non-temporal stores silently
+    // raced the failure and a device bit differs from what the CRC was
+    // sealed over. Restores will catch it.
+    if (machine.faults().drawTornWrite() && img->pageCount() > 0) {
+        img->corruptDataBit(
+            machine.faults().pickVictim(img->pageCount() * 64));
+    }
 
     cs.latency = clock.now() - start;
     if (stats)
@@ -161,8 +174,24 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     const SimTime start = clock.now();
     RestoreStats rs;
 
+    // Reject torn/corrupted checkpoints up front, before any task
+    // state exists on this node. The device computes the CRCs inline
+    // with the mapped reads, so no extra latency is charged.
+    if (img->integritySealed()) {
+        if (auto bad = img->verifyIntegrity()) {
+            throw sim::CorruptImageError(sim::format(
+                "checkpoint '%s': %s segment failed CRC (torn write?)",
+                img->name().c_str(), bad->c_str()));
+        }
+    }
+
     // (1) A new process on the new node calls CXLfork-restore.
     auto task = target.createTask(img->name() + "+clone", opts.container);
+
+    // On any fault past this point the half-restored task must not
+    // survive on the target: tear it down and let the typed error
+    // propagate so tryRestore()/the autoscaler can pick a recovery.
+    try {
 
     // (2)-(3) Re-construct the virtual memory using the checkpointed
     // metadata: attach the VMA leaf set and, under migrate-on-write,
@@ -181,6 +210,7 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
             // Ablation: re-construct the page table by copying every
             // checkpointed leaf to local memory.
             for (const auto &[baseVpn, leaf] : img->leaves()) {
+                machine.cxlTransaction(clock, "cxlfork leaf copy");
                 for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
                     const Pte &p = leaf->pte(i);
                     if (p.present()) {
@@ -215,7 +245,9 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
         opts.prefetchDirty) {
         const SimTime copyStart = clock.now();
         img->forEachDirty([&](mem::VirtAddr va, const Pte &ckpt) {
-            const uint64_t content = machine.frame(ckpt.frame()).content;
+            const uint64_t content =
+                machine.readFrameChecked(ckpt.frame(), clock,
+                                         "cxlfork prefetch");
             const mem::PhysAddr local =
                 target.localDram().alloc(mem::FrameUse::Data, content);
             Pte fresh = Pte::make(local, true);
@@ -225,6 +257,11 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
             ++rs.pagesCopied;
         });
         rs.dataCopy = clock.now() - copyStart;
+    }
+
+    } catch (...) {
+        target.exitTask(task);
+        throw;
     }
 
     rs.latency = clock.now() - start;

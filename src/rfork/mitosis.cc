@@ -1,5 +1,6 @@
 #include "mitosis.hh"
 
+#include "sim/error.hh"
 #include "sim/log.hh"
 #include "state_capture.hh"
 
@@ -41,8 +42,9 @@ std::optional<Pte>
 MitosisHandle::checkpointPte(mem::VirtAddr va) const
 {
     if (parentFailed_) {
-        sim::fatal("Mitosis remote fault against failed parent node %u",
-                   parentNode_);
+        throw sim::NodeFailedError(sim::format(
+            "Mitosis remote fault against failed parent node %u",
+            parentNode_));
     }
     const uint64_t vpn = va.pageNumber();
     const uint64_t base = vpn & ~uint64_t(TablePage::kEntries - 1);
@@ -88,24 +90,33 @@ MitosisCxl::checkpoint(os::NodeOs &node, os::Task &parent,
             node.localDram().alloc(mem::FrameUse::PageTable);
         auto shadowLeaf = std::make_shared<TablePage>(0, backing, false);
         uint32_t present = 0;
-        for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
-            const Pte &src = leaf.pte(i);
-            if (!src.present())
-                continue;
-            ++present;
-            const uint64_t content = machine.frame(src.frame()).content;
-            const mem::PhysAddr shadow =
-                node.localDram().alloc(mem::FrameUse::Data, content);
-            handle->addShadowFrame(shadow);
-            clock.advance(costs.dramCopy(kPageSize));
-            cs.bytesLocal += kPageSize;
-            ++cs.pages;
-            Pte dst = Pte::make(shadow, false);
-            if (src.accessed())
-                dst.set(Pte::kAccessed);
-            if (src.dirty())
-                dst.set(Pte::kDirty);
-            shadowLeaf->pte(i) = dst;
+        // Shadow frames are registered with the handle as they are
+        // allocated, so its destructor frees them on unwind; the leaf
+        // backing is only registered by addLeaf and must be released
+        // here if a shadow-copy allocation throws first.
+        try {
+            for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+                const Pte &src = leaf.pte(i);
+                if (!src.present())
+                    continue;
+                ++present;
+                const uint64_t content = machine.frame(src.frame()).content;
+                const mem::PhysAddr shadow =
+                    node.localDram().alloc(mem::FrameUse::Data, content);
+                handle->addShadowFrame(shadow);
+                clock.advance(costs.dramCopy(kPageSize));
+                cs.bytesLocal += kPageSize;
+                ++cs.pages;
+                Pte dst = Pte::make(shadow, false);
+                if (src.accessed())
+                    dst.set(Pte::kAccessed);
+                if (src.dirty())
+                    dst.set(Pte::kDirty);
+                shadowLeaf->pte(i) = dst;
+            }
+        } catch (...) {
+            node.localDram().decRef(backing);
+            throw;
         }
         if (present == 0) {
             node.localDram().decRef(backing);
@@ -157,8 +168,9 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     if (!h)
         sim::fatal("handle is not a Mitosis checkpoint");
     if (h->parentFailed()) {
-        sim::fatal("Mitosis restore of %s: parent node %u has failed",
-                   h->name().c_str(), h->parentNode());
+        throw sim::NodeFailedError(sim::format(
+            "Mitosis restore of %s: parent node %u has failed",
+            h->name().c_str(), h->parentNode()));
     }
     const sim::CostParams &costs = fabric_.machine().costs();
     sim::SimClock &clock = target.clock();
@@ -173,6 +185,8 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
                   costs.serializeRecord * double(h->metaRecords()));
 
     auto task = target.createTask(h->name() + "+mitosis", opts.container);
+
+    try {
 
     // Rebuild the full VMA tree and the page-map bookkeeping that lazy
     // remote faults consult.
@@ -194,6 +208,11 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     redoGlobalState(target, *task, h->global());
     rs.globalState = clock.now() - globalStart;
     task->cpu() = h->cpu();
+
+    } catch (...) {
+        target.exitTask(task);
+        throw;
+    }
 
     rs.latency = clock.now() - start;
     if (stats)

@@ -44,6 +44,13 @@ class MitosisHandle : public CheckpointHandle, public os::CheckpointBacking
      * of failure). Subsequent restores and lazy remote faults fail.
      */
     void markParentFailed() { parentFailed_ = true; }
+
+    /**
+     * Model the parent node coming back (or its DRAM image becoming
+     * reachable again): lazy faults that failed with NodeFailedError
+     * left the child's PTEs untouched, so they simply retry.
+     */
+    void markParentRecovered() { parentFailed_ = false; }
     bool parentFailed() const { return parentFailed_; }
 
     // --- CheckpointBacking: serve lazy remote faults.

@@ -1,0 +1,80 @@
+#include "rfork.hh"
+
+#include "sim/error.hh"
+#include "sim/log.hh"
+
+namespace cxlfork::rfork {
+
+const char *
+restoreErrorName(RestoreError e)
+{
+    switch (e) {
+    case RestoreError::None: return "none";
+    case RestoreError::TransientFault: return "transient-fault";
+    case RestoreError::CorruptImage: return "corrupt-image";
+    case RestoreError::CapacityExhausted: return "capacity-exhausted";
+    case RestoreError::ParentNodeFailed: return "parent-node-failed";
+    case RestoreError::PoisonedFrame: return "poisoned-frame";
+    case RestoreError::MissingFile: return "missing-file";
+    case RestoreError::Other: return "other";
+    }
+    return "?";
+}
+
+namespace {
+
+RestoreError
+classify(const sim::SimError &e)
+{
+    switch (e.errClass()) {
+    case sim::ErrClass::TransientCxl: return RestoreError::TransientFault;
+    case sim::ErrClass::PoisonedFrame: return RestoreError::PoisonedFrame;
+    case sim::ErrClass::CapacityExhausted:
+        return RestoreError::CapacityExhausted;
+    case sim::ErrClass::CorruptImage: return RestoreError::CorruptImage;
+    case sim::ErrClass::NodeFailed: return RestoreError::ParentNodeFailed;
+    }
+    return RestoreError::Other;
+}
+
+} // namespace
+
+RestoreOutcome
+RemoteForkMechanism::tryRestore(
+    const std::shared_ptr<CheckpointHandle> &handle, os::NodeOs &target,
+    const RestoreOptions &opts, const RestoreRetryPolicy &policy,
+    RestoreStats *stats)
+{
+    RestoreOutcome out;
+    if (!handle) {
+        out.error = RestoreError::MissingFile;
+        out.message = "null checkpoint handle";
+        return out;
+    }
+
+    sim::SimTime backoff = policy.backoff;
+    for (uint32_t attempt = 0;; ++attempt) {
+        try {
+            out.task = restore(handle, target, opts, stats);
+            out.error = RestoreError::None;
+            return out;
+        } catch (const sim::SimError &e) {
+            out.error = classify(e);
+            out.message = e.what();
+            // Only transients are worth re-running the same restore on
+            // the same node; everything else needs a different
+            // checkpoint or a different node, which is the caller's
+            // (e.g. the autoscaler's) decision.
+            if (out.error != RestoreError::TransientFault ||
+                attempt >= policy.maxRetries)
+                return out;
+            target.clock().advance(backoff);
+            backoff = backoff * policy.backoffMultiplier;
+            ++out.retries;
+            CXLF_DEBUG("%s: restore attempt %u failed (%s), retrying",
+                       name(), attempt + 1, e.what());
+        }
+    }
+}
+
+} // namespace cxlfork::rfork

@@ -71,6 +71,40 @@ struct RestoreStats
     uint64_t leavesAttached = 0;
 };
 
+/** Why a restore attempt failed (typed; nothing here aborts the sim). */
+enum class RestoreError : uint8_t
+{
+    None = 0,
+    TransientFault,   ///< CXL transaction kept failing past the budget.
+    CorruptImage,     ///< Integrity check (CRC) rejected the checkpoint.
+    CapacityExhausted,///< Target ran out of frames mid-restore.
+    ParentNodeFailed, ///< Mechanism depends on a parent node that died.
+    PoisonedFrame,    ///< A checkpoint frame lost its data.
+    MissingFile,      ///< Checkpoint file/handle no longer exists.
+    Other,            ///< Any other recoverable failure.
+};
+
+const char *restoreErrorName(RestoreError e);
+
+/** How tryRestore() retries transient failures, in simulated time. */
+struct RestoreRetryPolicy
+{
+    uint32_t maxRetries = 2;              ///< Whole-restore re-attempts.
+    sim::SimTime backoff = sim::SimTime::us(50);
+    double backoffMultiplier = 2.0;
+};
+
+/** Result of a fallible restore: a task, or a typed error. */
+struct RestoreOutcome
+{
+    std::shared_ptr<os::Task> task; ///< Non-null iff the restore worked.
+    RestoreError error = RestoreError::None;
+    uint32_t retries = 0;           ///< Whole-restore attempts repeated.
+    std::string message;            ///< Human-readable failure detail.
+
+    explicit operator bool() const { return task != nullptr; }
+};
+
 /** A remote fork mechanism. */
 class RemoteForkMechanism
 {
@@ -94,6 +128,20 @@ class RemoteForkMechanism
     restore(const std::shared_ptr<CheckpointHandle> &handle,
             os::NodeOs &target, const RestoreOptions &opts = {},
             RestoreStats *stats = nullptr) = 0;
+
+    /**
+     * Fallible restore: runs restore(), converts typed sim faults into
+     * a RestoreOutcome instead of letting them unwind the caller, and
+     * re-attempts the whole restore after a (simulated-time) backoff
+     * when the failure was transient. Restores are exception-safe, so a
+     * failed attempt leaves the target node clean and a retry starts
+     * from scratch.
+     */
+    RestoreOutcome
+    tryRestore(const std::shared_ptr<CheckpointHandle> &handle,
+               os::NodeOs &target, const RestoreOptions &opts = {},
+               const RestoreRetryPolicy &policy = {},
+               RestoreStats *stats = nullptr);
 };
 
 } // namespace cxlfork::rfork

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Typed recoverable errors for the failure model.
+ *
+ * FatalError (log.hh) remains the root of all caller-visible errors so
+ * existing EXPECT_THROW(..., FatalError) assertions keep holding, but
+ * every fault class the simulation can inject or encounter now carries
+ * a distinct type (and ErrClass tag) so recovery code can select its
+ * response: retry transients, fail over node losses, degrade to cold
+ * start on corruption, unwind cleanly on capacity exhaustion.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "log.hh"
+
+namespace cxlfork::sim {
+
+/** Machine-readable classification of a SimError. */
+enum class ErrClass : uint8_t {
+    TransientCxl,      ///< Transient CXL transaction error; retryable.
+    PoisonedFrame,     ///< Device-reported poisoned line; data is lost.
+    CapacityExhausted, ///< A tier ran out of frames; recoverable by
+                       ///< freeing memory or choosing another tier.
+    CorruptImage,      ///< Checkpoint integrity (CRC) violation.
+    NodeFailed,        ///< The remote node holding required state died.
+};
+
+const char *errClassName(ErrClass c);
+
+/** Base of all typed, recoverable simulation errors. */
+class SimError : public FatalError
+{
+  public:
+    SimError(ErrClass c, const std::string &what)
+        : FatalError(what), class_(c)
+    {}
+
+    ErrClass errClass() const { return class_; }
+
+  private:
+    ErrClass class_;
+};
+
+/** A transient CXL transaction error (paper's fabrics fail unlike DRAM). */
+class TransientFaultError : public SimError
+{
+  public:
+    explicit TransientFaultError(const std::string &what)
+        : SimError(ErrClass::TransientCxl, what)
+    {}
+};
+
+/** A read of a poisoned frame: the page's data is unrecoverable. */
+class PoisonedFrameError : public SimError
+{
+  public:
+    explicit PoisonedFrameError(const std::string &what)
+        : SimError(ErrClass::PoisonedFrame, what)
+    {}
+};
+
+/** A tier has no free frames for the requested allocation. */
+class CapacityError : public SimError
+{
+  public:
+    explicit CapacityError(const std::string &what)
+        : SimError(ErrClass::CapacityExhausted, what)
+    {}
+};
+
+/** Checkpoint state failed integrity verification. */
+class CorruptImageError : public SimError
+{
+  public:
+    explicit CorruptImageError(const std::string &what)
+        : SimError(ErrClass::CorruptImage, what)
+    {}
+};
+
+/** A required remote node is down (e.g. a Mitosis parent). */
+class NodeFailedError : public SimError
+{
+  public:
+    explicit NodeFailedError(const std::string &what)
+        : SimError(ErrClass::NodeFailed, what)
+    {}
+};
+
+} // namespace cxlfork::sim

@@ -1,0 +1,92 @@
+#include "fault_injector.hh"
+
+#include "error.hh"
+
+namespace cxlfork::sim {
+
+const char *
+errClassName(ErrClass c)
+{
+    switch (c) {
+      case ErrClass::TransientCxl:
+        return "transient-cxl";
+      case ErrClass::PoisonedFrame:
+        return "poisoned-frame";
+      case ErrClass::CapacityExhausted:
+        return "capacity-exhausted";
+      case ErrClass::CorruptImage:
+        return "corrupt-image";
+      case ErrClass::NodeFailed:
+        return "node-failed";
+    }
+    return "?";
+}
+
+namespace {
+
+// Distinct stream salts so per-class schedules are independent of one
+// another and of the base seed's other uses.
+constexpr uint64_t kTransientSalt = 0x7261'6e73'6965'6e74ULL;
+constexpr uint64_t kPoisonSalt = 0x706f'6973'6f6e'6564ULL;
+constexpr uint64_t kTornSalt = 0x746f'726e'7772'6974ULL;
+
+} // namespace
+
+FaultInjector::FaultInjector(FaultConfig cfg)
+    : cfg_(cfg), armed_(cfg.anyEnabled()),
+      transientRng_(cfg.seed ^ kTransientSalt),
+      poisonRng_(cfg.seed ^ kPoisonSalt), tornRng_(cfg.seed ^ kTornSalt)
+{
+}
+
+void
+FaultInjector::setConfig(const FaultConfig &cfg)
+{
+    cfg_ = cfg;
+    armed_ = cfg.anyEnabled();
+    transientRng_ = Rng(cfg.seed ^ kTransientSalt);
+    poisonRng_ = Rng(cfg.seed ^ kPoisonSalt);
+    tornRng_ = Rng(cfg.seed ^ kTornSalt);
+    stats_ = FaultStats{};
+}
+
+bool
+FaultInjector::drawTransient()
+{
+    if (cfg_.cxlTransientRate <= 0.0)
+        return false;
+    if (!transientRng_.chance(cfg_.cxlTransientRate))
+        return false;
+    ++stats_.transientsInjected;
+    return true;
+}
+
+bool
+FaultInjector::drawPoison()
+{
+    if (cfg_.framePoisonRate <= 0.0)
+        return false;
+    if (!poisonRng_.chance(cfg_.framePoisonRate))
+        return false;
+    ++stats_.framesPoisoned;
+    return true;
+}
+
+bool
+FaultInjector::drawTornWrite()
+{
+    if (cfg_.tornWriteRate <= 0.0)
+        return false;
+    if (!tornRng_.chance(cfg_.tornWriteRate))
+        return false;
+    ++stats_.tornWrites;
+    return true;
+}
+
+uint64_t
+FaultInjector::pickVictim(uint64_t n)
+{
+    return n ? tornRng_.index(n) : 0;
+}
+
+} // namespace cxlfork::sim

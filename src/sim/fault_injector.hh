@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic, seedable fault injection for the whole stack.
+ *
+ * Real CXL fabrics fail in ways DRAM does not (CXL-DMSim and CXLMemSim
+ * model poisoned lines and device pressure for the same reason): the
+ * injector models transient transaction errors, poisoned frames, and
+ * torn checkpoint writes as independent Bernoulli streams, each with
+ * its own seeded PRNG so the schedule of one fault class is invariant
+ * under rate changes of another. All rates default to zero and the
+ * zero-rate path draws nothing, so a disabled injector is bit-identical
+ * to not having one at all.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "rng.hh"
+#include "time.hh"
+
+namespace cxlfork::sim {
+
+/** Injection knobs, CostParams-style: plain values, zero by default. */
+struct FaultConfig
+{
+    uint64_t seed = 0xfa17'5eedULL;
+
+    /** Probability one CXL transaction (page copy, bulk store) fails
+     *  transiently. Transients are retryable. */
+    double cxlTransientRate = 0.0;
+
+    /** Probability a freshly allocated CXL frame is poisoned: reads of
+     *  it machine-check and the data is unrecoverable. */
+    double framePoisonRate = 0.0;
+
+    /** Probability one checkpoint ends up torn: a segment is silently
+     *  corrupted after its CRC was computed. */
+    double tornWriteRate = 0.0;
+
+    // --- Recovery budget for transient faults.
+    uint32_t maxRetries = 3;          ///< Bounded retry budget.
+    SimTime retryBackoff = SimTime::us(10); ///< First-retry backoff.
+    double backoffMultiplier = 2.0;   ///< Exponential backoff factor.
+
+    bool
+    anyEnabled() const
+    {
+        return cxlTransientRate > 0.0 || framePoisonRate > 0.0 ||
+               tornWriteRate > 0.0;
+    }
+};
+
+/** Counters of what was actually injected / recovered. */
+struct FaultStats
+{
+    uint64_t transientsInjected = 0;
+    uint64_t transientsRetried = 0;  ///< Retries that went on to succeed.
+    uint64_t transientsEscalated = 0; ///< Budget exhausted; error thrown.
+    uint64_t framesPoisoned = 0;
+    uint64_t tornWrites = 0;
+};
+
+/**
+ * The seedable fault source. One instance per Machine; every layer
+ * draws from it through the machine so a whole experiment replays
+ * bit-identically from (machine seed, fault seed).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultConfig cfg = {});
+
+    /** True if any fault class has a nonzero rate (fast gate). */
+    bool armed() const { return armed_; }
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /**
+     * Replace the configuration (tests and experiment sweeps). Resets
+     * the per-class streams so the schedule is a pure function of the
+     * new config.
+     */
+    void setConfig(const FaultConfig &cfg);
+
+    /** Draw: does the next CXL transaction fail transiently? */
+    bool drawTransient();
+
+    /** Draw: is the next allocated CXL frame poisoned? */
+    bool drawPoison();
+
+    /** Draw: is the next checkpoint write torn? */
+    bool drawTornWrite();
+
+    /**
+     * Deterministic victim selection for a torn write: which of n
+     * segments/frames gets corrupted, and which bit flips.
+     */
+    uint64_t pickVictim(uint64_t n);
+
+    FaultStats &stats() { return stats_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /** Backoff before retry number `attempt` (1-based), in sim time. */
+    SimTime
+    backoffFor(uint32_t attempt) const
+    {
+        SimTime b = cfg_.retryBackoff;
+        for (uint32_t i = 1; i < attempt; ++i)
+            b *= cfg_.backoffMultiplier;
+        return b;
+    }
+
+  private:
+    FaultConfig cfg_;
+    bool armed_ = false;
+    Rng transientRng_;
+    Rng poisonRng_;
+    Rng tornRng_;
+    FaultStats stats_;
+};
+
+} // namespace cxlfork::sim

@@ -10,6 +10,7 @@
 #include "rfork/criu.hh"
 #include "rfork/cxlfork.hh"
 #include "rfork/mitosis.hh"
+#include "sim/error.hh"
 #include "test_util.hh"
 
 namespace cxlfork::rfork {
@@ -132,6 +133,66 @@ TEST_F(FailureTest, RestoreWithMissingRootFsFileFails)
     auto handle = fork.checkpoint(world.node(0), *parent);
     world.vfs->remove("/etc/needed.conf");
     EXPECT_THROW(fork.restore(handle, world.node(1)), sim::FatalError);
+}
+
+TEST_F(FailureTest, CxlForkSurvivesParentNodeDeathMidRestore)
+{
+    // The decoupling claim at its sharpest: the parent node dies while
+    // a child is mid-restore (half its pages still unread), and the
+    // child finishes from the fabric alone.
+    CxlFork fork(*world.fabric);
+    auto handle = fork.checkpoint(world.node(0), *parent);
+    auto child = fork.restore(handle, world.node(1));
+    for (uint64_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(world.node(1).read(*child, heapStart.plus(i * kPageSize)),
+                  i + 1);
+    }
+
+    // Parent node fails now, mid-consumption.
+    world.node(0).exitTask(parent);
+    parent.reset();
+
+    for (uint64_t i = 16; i < 32; ++i) {
+        EXPECT_EQ(world.node(1).read(*child, heapStart.plus(i * kPageSize)),
+                  i + 1);
+    }
+}
+
+TEST_F(FailureTest, MitosisFailedLazyFaultLeavesTaskRetryable)
+{
+    // Exception safety of the lazy-fault throw path: a fault against a
+    // dead parent installs no partial PTEs, so when the parent comes
+    // back the very same access succeeds.
+    MitosisCxl mitosis(*world.fabric);
+    auto handle = mitosis.checkpoint(world.node(0), *parent);
+    auto h = std::dynamic_pointer_cast<MitosisHandle>(handle);
+    auto child = mitosis.restore(handle, world.node(1));
+
+    h->markParentFailed();
+    EXPECT_THROW(world.node(1).read(*child, heapStart),
+                 sim::NodeFailedError);
+    EXPECT_THROW(world.node(1).read(*child, heapStart),
+                 sim::NodeFailedError)
+        << "repeated faults must keep failing cleanly, not corrupt state";
+
+    h->markParentRecovered();
+    EXPECT_EQ(world.node(1).read(*child, heapStart), 1u);
+    // And the rest of the address space is still intact.
+    for (uint64_t i = 1; i < 32; ++i) {
+        EXPECT_EQ(world.node(1).read(*child, heapStart.plus(i * kPageSize)),
+                  i + 1);
+    }
+}
+
+TEST_F(FailureTest, FailedRestoreLeavesNoHalfBuiltTask)
+{
+    MitosisCxl mitosis(*world.fabric);
+    auto handle = mitosis.checkpoint(world.node(0), *parent);
+    std::dynamic_pointer_cast<MitosisHandle>(handle)->markParentFailed();
+    const auto outcome = mitosis.tryRestore(handle, world.node(1));
+    EXPECT_FALSE(outcome);
+    EXPECT_EQ(outcome.error, RestoreError::ParentNodeFailed);
+    EXPECT_EQ(world.node(1).taskCount(), 0u);
 }
 
 TEST_F(FailureTest, WrongHandleTypeRejected)
