@@ -36,7 +36,11 @@ ablationAttach()
             opts.prefetchDirty = false;
             cxlf.restore(handle, cluster.node(1), opts, &rs);
             (attach ? attachMs : copyMs) = rs.latency.toMs();
+            bench::collectRestorePhases(cluster.machine(),
+                                        attach ? "ablation.phase.attach"
+                                               : "ablation.phase.copy");
         }
+        bench::recordValue("ablation.attach_speedup", copyMs / attachMs);
         t.addRow({name, sim::Table::num(attachMs, 2),
                   sim::Table::num(copyMs, 2),
                   sim::Table::num(copyMs / attachMs, 1) + "x"});
@@ -78,6 +82,8 @@ ablationPrefetch()
                 cowWithout = cow;
             }
         }
+        bench::recordValue("ablation.prefetch_cow_saved",
+                           double(cowWithout) - double(cowWith));
         t.addRow({name, sim::Table::num(withMs, 1),
                   sim::Table::num(withoutMs, 1), std::to_string(cowWith),
                   std::to_string(cowWithout)});
@@ -111,7 +117,11 @@ ablationGhosts()
         cfg.mechanism = porter::Mechanism::CxlFork;
         cfg.ghostsPerFunction = ghosts ? 2 : 0;
         porter::PorterSim sim(cfg, fns, perf);
+        sim.attachObservability(nullptr, &bench::benchMetrics());
         const auto m = sim.run(trace);
+        bench::recordValue(ghosts ? "ablation.ghosts.p99_ms"
+                                  : "ablation.no_ghosts.p99_ms",
+                           m.p99Ms());
         t.addRow({ghosts ? "with ghosts" : "without ghosts",
                   sim::Table::num(m.p99Ms(), 1),
                   sim::Table::num(m.p50Ms(), 1),
@@ -133,8 +143,6 @@ ablationTrEnvTemplates()
                  "templates (first restore on a fresh node)");
     t.setHeader({"Function", "CXLfork (ms)", "TrEnv-style (ms)",
                  "CXLfork speedup"});
-    double sum = 0;
-    int n = 0;
     for (const char *name : {"Float", "Json", "Rnn", "BFS", "Bert"}) {
         const auto spec = *faas::findWorkload(name);
         porter::Cluster cluster(bench::benchClusterConfig());
@@ -158,13 +166,15 @@ ablationTrEnvTemplates()
         t.addRow({name, sim::Table::num(rs.latency.toMs(), 2),
                   sim::Table::num(trenvMs, 2),
                   sim::Table::num(trenvMs / rs.latency.toMs(), 1) + "x"});
-        sum += trenvMs / rs.latency.toMs();
-        ++n;
+        bench::recordValue("ablation.trenv_speedup",
+                           trenvMs / rs.latency.toMs());
     }
     t.addNote(sim::format("Average speedup %.1fx (paper Sec. 9: CXLfork "
                           "remote-forks ~1.8x faster than TrEnv without "
                           "pre-created templates).",
-                          sum / n));
+                          bench::benchMetrics()
+                              .findSummary("ablation.trenv_speedup")
+                              ->mean()));
     t.print();
 }
 
@@ -225,5 +235,12 @@ main()
     ablationGhosts();
     ablationTrEnvTemplates();
     ablationRecheckpointDedup();
+    bench::printPhaseBreakdown("ablation.phase.attach",
+                               "Restore with attached leaves: per-phase "
+                               "cost");
+    bench::printPhaseBreakdown("ablation.phase.copy",
+                               "Restore with copied leaves: per-phase "
+                               "cost");
+    bench::finishBench("ablation");
     return 0;
 }

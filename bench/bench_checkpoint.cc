@@ -18,8 +18,6 @@ main()
     table.setHeader({"Function", "CRIU (ms)", "Mitosis (ms)",
                      "CXLfork (ms)", "CRIU/CXLfork", "CXLfork/Mitosis",
                      "CXLfork CXL (MB)", "Mitosis local (MB)"});
-    double rCriu = 0, rMito = 0;
-    int n = 0;
     for (const auto &w : faas::table1Workloads()) {
         porter::Cluster cluster(bench::benchClusterConfig());
         auto parent = bench::deployWarmParent(cluster, w.spec);
@@ -41,17 +39,26 @@ main()
              sim::Table::num(cxlfCs.latency / mitoCs.latency, 2) + "x",
              sim::Table::num(double(h3->cxlBytes()) / (1 << 20), 0),
              sim::Table::num(double(h2->localBytes()) / (1 << 20), 0)});
-        rCriu += criuCs.latency / cxlfCs.latency;
-        rMito += cxlfCs.latency / mitoCs.latency;
-        ++n;
+        bench::recordValue("ckpt.criu.latency_ms", criuCs.latency.toMs());
+        bench::recordValue("ckpt.mitosis.latency_ms",
+                           mitoCs.latency.toMs());
+        bench::recordValue("ckpt.cxlfork.latency_ms",
+                           cxlfCs.latency.toMs());
+        bench::recordValue("ckpt.ratio.criu_vs_cxlfork",
+                           criuCs.latency / cxlfCs.latency);
+        bench::recordValue("ckpt.ratio.cxlfork_vs_mitosis",
+                           cxlfCs.latency / mitoCs.latency);
         (void)h1;
     }
+    const sim::MetricsRegistry &reg = bench::benchMetrics();
     table.addNote(sim::format(
         "Averages: CRIU/CXLfork %.1fx (paper: ~10x), CXLfork/Mitosis "
         "%.2fx (paper: ~1.5x).",
-        rCriu / n, rMito / n));
+        reg.findSummary("ckpt.ratio.criu_vs_cxlfork")->mean(),
+        reg.findSummary("ckpt.ratio.cxlfork_vs_mitosis")->mean()));
     table.addNote("Checkpointing is off the critical path: functions are "
                   "checkpointed once and restored many times.");
     table.print();
+    bench::finishBench("ckpt");
     return 0;
 }

@@ -56,6 +56,8 @@ main()
         {"CXLfork", Mechanism::CxlFork, true},
     };
 
+    sim::Tracer porterTracer;
+    porterTracer.setEnabled(bench::traceEnabled());
     auto runVariant = [&](const Variant &v, double memScale) {
         PorterConfig cfg;
         cfg.mechanism = v.mech;
@@ -64,13 +66,18 @@ main()
         cfg.memoryScale = memScale;
         cfg.coresPerNode = 32; // one VM per 64-core socket (Sec. 6.1)
         PorterSim sim(cfg, functions, perf);
+        sim.attachObservability(&porterTracer, &bench::benchMetrics());
         return sim.run(trace);
     };
 
     // --- Fig. 10a/b: ample memory.
     std::map<std::string, PorterMetrics> ample;
-    for (const Variant &v : variants)
+    for (const Variant &v : variants) {
         ample[v.name] = runVariant(v, 1.0);
+        const std::string stem = std::string("fig10.") + v.name;
+        bench::recordValue(stem + ".p99_ms", ample[v.name].p99Ms());
+        bench::recordValue(stem + ".p50_ms", ample[v.name].p50Ms());
+    }
 
     const double criuP99 = ample["CRIU-CXL"].p99Ms();
     const double criuP50 = ample["CRIU-CXL"].p50Ms();
@@ -138,5 +145,14 @@ main()
         (unsigned long long)sweep["Mitosis-CXL"][25].evictions,
         (unsigned long long)sweep["CXLfork"][25].evictions));
     t10c.print();
+    for (const Variant &v : variants) {
+        for (int pct : {50, 25}) {
+            const std::string stem = std::string("fig10.") + v.name +
+                                     ".mem" + std::to_string(pct);
+            bench::recordValue(stem + ".p99_ms", sweep[v.name][pct].p99Ms());
+            bench::recordValue(stem + ".p50_ms", sweep[v.name][pct].p50Ms());
+        }
+    }
+    bench::finishBench("fig10");
     return 0;
 }

@@ -20,7 +20,6 @@ main()
     table.setHeader({"Function", "Init %", "Read-only %", "Read/Write %",
                      "Footprint (MB)"});
 
-    double sumInit = 0, sumRo = 0, sumRw = 0;
     for (const auto &w : faas::table1Workloads()) {
         porter::Cluster cluster(bench::benchClusterConfig());
         auto inst =
@@ -53,19 +52,26 @@ main()
         const double pInit = 100.0 * double(init) / total;
         const double pRo = 100.0 * double(ro) / total;
         const double pRw = 100.0 * double(rw) / total;
-        sumInit += pInit;
-        sumRo += pRo;
-        sumRw += pRw;
+        bench::recordValue("fig1.init_pct", pInit);
+        bench::recordValue("fig1.readonly_pct", pRo);
+        bench::recordValue("fig1.readwrite_pct", pRw);
+        bench::recordValue("fig1.footprint_mb", total * 4096 / (1 << 20));
         table.addRow({w.spec.name, sim::Table::num(pInit, 1),
                       sim::Table::num(pRo, 1), sim::Table::num(pRw, 1),
                       sim::Table::num(total * 4096 / (1 << 20), 0)});
     }
-    const double n = double(faas::table1Workloads().size());
-    table.addRow({"Average", sim::Table::num(sumInit / n, 1),
-                  sim::Table::num(sumRo / n, 1),
-                  sim::Table::num(sumRw / n, 1), "-"});
+    const sim::MetricsRegistry &reg = bench::benchMetrics();
+    table.addRow({"Average",
+                  sim::Table::num(reg.findSummary("fig1.init_pct")->mean(),
+                                  1),
+                  sim::Table::num(
+                      reg.findSummary("fig1.readonly_pct")->mean(), 1),
+                  sim::Table::num(
+                      reg.findSummary("fig1.readwrite_pct")->mean(), 1),
+                  "-"});
     table.addNote("Paper Fig. 1 averages: Init 72.2%, Read-only 23%, "
                   "Read/Write 4.8%.");
     table.print();
+    bench::finishBench("fig1");
     return 0;
 }

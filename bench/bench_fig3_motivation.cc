@@ -31,6 +31,7 @@ main()
         criu.checkpoint(criuCluster.node(0), criuParent->task());
     const RforkRun criuRun = bench::runRestoreScenario(
         criuCluster, criu, criuHandle, bert, 1);
+    bench::collectRestorePhases(criuCluster.machine(), "fig3.phase.criu");
 
     // Mitosis-CXL.
     porter::Cluster mitoCluster(bench::benchClusterConfig());
@@ -40,6 +41,16 @@ main()
         mito.checkpoint(mitoCluster.node(0), mitoParent->task());
     const RforkRun mitoRun = bench::runRestoreScenario(
         mitoCluster, mito, mitoHandle, bert, 1);
+    bench::collectRestorePhases(mitoCluster.machine(),
+                                "fig3.phase.mitosis");
+
+    bench::recordRun("fig3.localfork", localRun);
+    bench::recordRun("fig3.criu", criuRun);
+    bench::recordRun("fig3.mitosis", mitoRun);
+    bench::recordValue("fig3.ratio.criu_vs_localfork",
+                       criuRun.total() / localRun.total());
+    bench::recordValue("fig3.ratio.mitosis_vs_localfork",
+                       mitoRun.total() / localRun.total());
 
     sim::Table table("Figure 3c: BERT remote fork with existing "
                      "mechanisms (state already checkpointed)");
@@ -64,5 +75,10 @@ main()
     table.addNote("Paper: CRIU restore 2.7x local fork+exec, 42x local "
                   "memory; Mitosis 2.6x end-to-end, 24x local memory.");
     table.print();
+    bench::printPhaseBreakdown("fig3.phase.criu",
+                               "CRIU-CXL restore: per-phase cost");
+    bench::printPhaseBreakdown("fig3.phase.mitosis",
+                               "Mitosis-CXL restore: per-phase cost");
+    bench::finishBench("fig3");
     return 0;
 }

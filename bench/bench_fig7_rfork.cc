@@ -48,6 +48,8 @@ main()
             rfork::CriuCxl criu(cluster.fabric());
             auto h = criu.checkpoint(cluster.node(0), parent->task());
             row.criu = bench::runRestoreScenario(cluster, criu, h, w.spec, 1);
+            bench::collectRestorePhases(cluster.machine(),
+                                        "fig7.phase.criu");
         }
         // Mitosis-CXL.
         {
@@ -56,6 +58,8 @@ main()
             rfork::MitosisCxl mito(cluster.fabric());
             auto h = mito.checkpoint(cluster.node(0), parent->task());
             row.mito = bench::runRestoreScenario(cluster, mito, h, w.spec, 1);
+            bench::collectRestorePhases(cluster.machine(),
+                                        "fig7.phase.mitosis");
         }
         // CXLfork (default migrate-on-write + dirty prefetch).
         {
@@ -64,7 +68,16 @@ main()
             rfork::CxlFork cxlf(cluster.fabric());
             auto h = cxlf.checkpoint(cluster.node(0), parent->task());
             row.cxlf = bench::runRestoreScenario(cluster, cxlf, h, w.spec, 1);
+            bench::collectRestorePhases(cluster.machine(),
+                                        "fig7.phase.cxlfork");
+            bench::maybeWriteChromeTrace(cluster.machine(),
+                                         "fig7_cxlfork_" + w.spec.name);
         }
+        bench::recordRun("fig7.cold", row.cold);
+        bench::recordRun("fig7.localfork", row.local);
+        bench::recordRun("fig7.criu", row.criu);
+        bench::recordRun("fig7.mitosis", row.mito);
+        bench::recordRun("fig7.cxlfork", row.cxlf);
         rows.push_back(std::move(row));
     }
 
@@ -75,7 +88,6 @@ main()
                    "CRIU rst/flt/exec", "Mitosis rst/flt/exec",
                    "CXLfork rst/flt/exec", "CRIU tot", "Mitosis tot",
                    "CXLfork tot"});
-    double sCold = 0, sLocal = 0, sCriu = 0, sMito = 0, sCxlf = 0;
     auto bd = [](const RforkRun &r) {
         return sim::Table::num(r.restore.toMs(), 1) + "/" +
                sim::Table::num(r.pageFaults.toMs(), 1) + "/" +
@@ -88,37 +100,43 @@ main()
                     sim::Table::num(r.criu.total().toMs(), 1),
                     sim::Table::num(r.mito.total().toMs(), 1),
                     sim::Table::num(r.cxlf.total().toMs(), 1)});
-        sCold += r.cold.total() / r.cxlf.total();
-        sLocal += r.cxlf.total() / r.local.total();
-        sCriu += r.criu.total() / r.cxlf.total();
-        sMito += r.mito.total() / r.cxlf.total();
-        sCxlf += r.cxlf.restore.toMs();
+        bench::recordValue("fig7.ratio.cold_vs_cxlfork",
+                           r.cold.total() / r.cxlf.total());
+        bench::recordValue("fig7.ratio.cxlfork_vs_localfork",
+                           r.cxlf.total() / r.local.total());
+        bench::recordValue("fig7.ratio.criu_vs_cxlfork",
+                           r.criu.total() / r.cxlf.total());
+        bench::recordValue("fig7.ratio.mitosis_vs_cxlfork",
+                           r.mito.total() / r.cxlf.total());
     }
-    const double n = double(rows.size());
+    auto ratioMean = [](const char *name) {
+        const sim::Summary *s = bench::benchMetrics().findSummary(name);
+        return s ? s->mean() : 0.0;
+    };
     lat.addNote(sim::format("CXLfork vs LocalFork: %.2fx slower on average "
-                            "(paper: 1.14x).", sLocal / n));
+                            "(paper: 1.14x).",
+                            ratioMean("fig7.ratio.cxlfork_vs_localfork")));
     lat.addNote(sim::format("CXLfork speedup vs CRIU-CXL: %.2fx (paper: "
                             "2.26x); vs Mitosis-CXL: %.2fx (paper: 1.40x).",
-                            sCriu / n, sMito / n));
+                            ratioMean("fig7.ratio.criu_vs_cxlfork"),
+                            ratioMean("fig7.ratio.mitosis_vs_cxlfork")));
     lat.addNote(sim::format("Cold vs CXLfork: %.1fx slower on average "
-                            "(paper: ~11x).", sCold / n));
+                            "(paper: ~11x).",
+                            ratioMean("fig7.ratio.cold_vs_cxlfork")));
     lat.print();
 
-    // --- Restore range summary.
+    // --- Restore range summary, straight off the recorded summaries.
     sim::Table rst("Figure 7a detail: restore latency ranges (ms)");
     rst.setHeader({"Mechanism", "Min", "Max"});
-    auto range = [&](const char *name, auto pick) {
-        double lo = 1e30, hi = 0;
-        for (const Row &r : rows) {
-            const double v = pick(r).restore.toMs();
-            lo = std::min(lo, v);
-            hi = std::max(hi, v);
-        }
-        rst.addRow({name, sim::Table::num(lo, 1), sim::Table::num(hi, 1)});
+    auto range = [&](const char *name, const char *scenario) {
+        const sim::Summary *s = bench::benchMetrics().findSummary(
+            std::string(scenario) + ".restore_ms");
+        rst.addRow({name, sim::Table::num(s ? s->min() : 0.0, 1),
+                    sim::Table::num(s ? s->max() : 0.0, 1)});
     };
-    range("CRIU-CXL", [](const Row &r) { return r.criu; });
-    range("Mitosis-CXL", [](const Row &r) { return r.mito; });
-    range("CXLfork", [](const Row &r) { return r.cxlf; });
+    range("CRIU-CXL", "fig7.criu");
+    range("Mitosis-CXL", "fig7.mitosis");
+    range("CXLfork", "fig7.cxlfork");
     rst.addNote("Paper: CRIU 16-423 ms, Mitosis up to 15 ms, CXLfork "
                 "1.2-6.1 ms.");
     rst.print();
@@ -128,7 +146,6 @@ main()
                         "normalized to Cold");
     memTable.setHeader({"Function", "Cold (MB)", "CRIU-CXL", "Mitosis-CXL",
                         "CXLfork"});
-    double mCriu = 0, mMito = 0, mCxlf = 0;
     for (const Row &r : rows) {
         const double cold = double(r.cold.localBytes);
         memTable.addRow({r.fn,
@@ -137,17 +154,31 @@ main()
                          sim::Table::num(double(r.mito.localBytes) / cold, 2),
                          sim::Table::num(double(r.cxlf.localBytes) / cold,
                                          2)});
-        mCriu += double(r.criu.localBytes) / cold;
-        mMito += double(r.mito.localBytes) / cold;
-        mCxlf += double(r.cxlf.localBytes) / cold;
+        bench::recordValue("fig7.mem_ratio.criu",
+                           double(r.criu.localBytes) / cold);
+        bench::recordValue("fig7.mem_ratio.mitosis",
+                           double(r.mito.localBytes) / cold);
+        bench::recordValue("fig7.mem_ratio.cxlfork",
+                           double(r.cxlf.localBytes) / cold);
     }
-    memTable.addRow({"Average", "-", sim::Table::num(mCriu / n, 2),
-                     sim::Table::num(mMito / n, 2),
-                     sim::Table::num(mCxlf / n, 2)});
+    const double mCriu = ratioMean("fig7.mem_ratio.criu");
+    const double mMito = ratioMean("fig7.mem_ratio.mitosis");
+    const double mCxlf = ratioMean("fig7.mem_ratio.cxlfork");
+    memTable.addRow({"Average", "-", sim::Table::num(mCriu, 2),
+                     sim::Table::num(mMito, 2),
+                     sim::Table::num(mCxlf, 2)});
     memTable.addNote(sim::format(
         "CXLfork reduces local memory by %.0f%% vs CRIU-CXL (paper: 87%%) "
         "and %.0f%% vs Mitosis-CXL (paper: 61%%).",
         100.0 * (1.0 - mCxlf / mCriu), 100.0 * (1.0 - mCxlf / mMito)));
     memTable.print();
+
+    bench::printPhaseBreakdown("fig7.phase.cxlfork",
+                               "CXLfork restore: per-phase cost");
+    bench::printPhaseBreakdown("fig7.phase.criu",
+                               "CRIU-CXL restore: per-phase cost");
+    bench::printPhaseBreakdown("fig7.phase.mitosis",
+                               "Mitosis-CXL restore: per-phase cost");
+    bench::finishBench("fig7");
     return 0;
 }

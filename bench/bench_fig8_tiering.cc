@@ -31,6 +31,16 @@ main()
     };
     std::vector<Row> rows;
 
+    auto policyKey = [](TieringPolicy policy) {
+        switch (policy) {
+          case TieringPolicy::MigrateOnWrite:
+            return "mow";
+          case TieringPolicy::MigrateOnAccess:
+            return "moa";
+          default:
+            return "ht";
+        }
+    };
     auto measure = [&](const faas::FunctionSpec &spec,
                        TieringPolicy policy) {
         porter::Cluster cluster(bench::benchClusterConfig());
@@ -44,11 +54,17 @@ main()
         auto task = cxlf.restore(handle, cluster.node(1), opts, &rs);
         auto child = faas::FunctionInstance::adoptRestored(cluster.node(1),
                                                            spec, task);
+        bench::collectRestorePhases(
+            cluster.machine(), std::string("fig8.phase.") + policyKey(policy));
         Cell cell;
         cell.coldMs = (rs.latency + child->invoke().latency).toMs();
         child->invoke();
         cell.warmMs = child->invoke().latency.toMs();
         cell.memMb = double(child->localBytes()) / (1 << 20);
+        const std::string key = policyKey(policy);
+        bench::recordValue("fig8." + key + ".cold_ms", cell.coldMs);
+        bench::recordValue("fig8." + key + ".warm_ms", cell.warmMs);
+        bench::recordValue("fig8." + key + ".mem_mb", cell.memMb);
         return cell;
     };
 
@@ -79,16 +95,27 @@ main()
     printPanel("Figure 8c: local memory consumption (MB)",
                [](const Cell &c) { return c.memMb; }, 1);
 
-    double warmGain = 0, coldLoss = 0, memBlow = 0;
     for (const Row &r : rows) {
-        warmGain += 1.0 - r.moa.warmMs / r.mow.warmMs;
-        coldLoss += r.moa.coldMs / r.mow.coldMs - 1.0;
-        memBlow += r.moa.memMb / std::max(r.mow.memMb, 0.01) - 1.0;
+        bench::recordValue("fig8.moa_vs_mow.warm_gain",
+                           1.0 - r.moa.warmMs / r.mow.warmMs);
+        bench::recordValue("fig8.moa_vs_mow.cold_loss",
+                           r.moa.coldMs / r.mow.coldMs - 1.0);
+        bench::recordValue("fig8.moa_vs_mow.mem_blow",
+                           r.moa.memMb / std::max(r.mow.memMb, 0.01) - 1.0);
     }
-    const double n = double(rows.size());
+    const sim::MetricsRegistry &reg = bench::benchMetrics();
     std::printf("\nMoA vs MoW averages: warm %.0f%% faster (paper 11%%), "
                 "cold %.0f%% slower (paper 14%%), memory +%.0f%% "
                 "(paper +250%%).\n",
-                100 * warmGain / n, 100 * coldLoss / n, 100 * memBlow / n);
+                100 * reg.findSummary("fig8.moa_vs_mow.warm_gain")->mean(),
+                100 * reg.findSummary("fig8.moa_vs_mow.cold_loss")->mean(),
+                100 * reg.findSummary("fig8.moa_vs_mow.mem_blow")->mean());
+    bench::printPhaseBreakdown("fig8.phase.mow",
+                               "CXLfork MoW restore: per-phase cost");
+    bench::printPhaseBreakdown("fig8.phase.moa",
+                               "CXLfork MoA restore: per-phase cost");
+    bench::printPhaseBreakdown("fig8.phase.ht",
+                               "CXLfork HT restore: per-phase cost");
+    bench::finishBench("fig8");
     return 0;
 }

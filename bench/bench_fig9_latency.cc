@@ -74,6 +74,15 @@ main()
             child->invoke();
             const double warmMs = child->invoke().latency.toMs();
 
+            const std::string lat = sim::Table::num(latNs, 0);
+            bench::recordValue("fig9.restore_ms." + lat + "ns",
+                               rs.latency.toMs());
+            bench::recordValue("fig9.warm_ratio." + lat + "ns",
+                               warmMs / baselines[spec.name].warmMs);
+            bench::recordValue("fig9.cold_ratio." + lat + "ns",
+                               coldMs / baselines[spec.name].coldMs);
+            bench::collectRestorePhases(cluster.machine(),
+                                        "fig9.phase." + lat + "ns");
             warmRow.push_back(sim::Table::num(
                 warmMs / baselines[spec.name].warmMs, 2));
             coldRow.push_back(sim::Table::num(
@@ -90,5 +99,12 @@ main()
                  "fork, because it attaches (not rebuilds) OS state and "
                  "restores private file mappings.");
     cold.print();
+    for (double l : latenciesNs) {
+        const std::string lat = sim::Table::num(l, 0);
+        bench::printPhaseBreakdown("fig9.phase." + lat + "ns",
+                                   "CXLfork restore at " + lat +
+                                       " ns: per-phase cost");
+    }
+    bench::finishBench("fig9");
     return 0;
 }

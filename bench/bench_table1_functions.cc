@@ -18,6 +18,11 @@ main()
                      "VMAs", "StateInit (ms)"});
     for (const auto &w : faas::table1Workloads()) {
         const auto &s = w.spec;
+        bench::recordValue("table1.footprint_mb",
+                           double(s.footprintBytes) / (1 << 20));
+        bench::recordValue("table1.working_set_mb",
+                           double(s.effectiveWorkingSet()) / (1 << 20));
+        bench::recordValue("table1.state_init_ms", s.stateInitTime.toMs());
         table.addRow({s.name, w.description,
                       sim::Table::num(double(s.footprintBytes) / (1 << 20), 0),
                       sim::Table::num(s.initFrac * 100, 0),
@@ -32,5 +37,6 @@ main()
                   "segment split and working sets are this reproduction's "
                   "calibration (see DESIGN.md).");
     table.print();
+    bench::finishBench("table1");
     return 0;
 }

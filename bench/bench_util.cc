@@ -1,15 +1,37 @@
 #include "bench_util.hh"
 
+#include <cstdlib>
+#include <fstream>
+
+#include "sim/log.hh"
+
 namespace cxlfork::bench {
 
 using faas::FunctionInstance;
 using faas::FunctionSpec;
 using sim::SimTime;
 
+porter::ClusterConfig
+benchClusterConfig(sim::CostParams costs)
+{
+    // The golden-regression perturbation hook: a changed CXL latency
+    // must move the per-phase metrics, which the golden diff catches.
+    if (const char *ns = std::getenv("CXLFORK_CXL_LATENCY_NS"))
+        costs.cxlLatency = SimTime::ns(std::atof(ns));
+    porter::ClusterConfig cfg;
+    cfg.machine.numNodes = 2;
+    cfg.machine.dramPerNodeBytes = mem::gib(4);
+    cfg.machine.cxlCapacityBytes = mem::gib(4);
+    cfg.machine.llcBytes = mem::mib(64);
+    cfg.machine.costs = costs;
+    return cfg;
+}
+
 std::unique_ptr<FunctionInstance>
 deployWarmParent(porter::Cluster &cluster, const FunctionSpec &spec,
                  uint32_t warmInvocations)
 {
+    armTracing(cluster.machine());
     auto parent = FunctionInstance::deployCold(cluster.node(0), spec);
     for (uint32_t i = 0; i < warmInvocations; ++i)
         parent->invoke();
@@ -20,6 +42,28 @@ deployWarmParent(porter::Cluster &cluster, const FunctionSpec &spec,
     return parent;
 }
 
+namespace {
+
+/**
+ * The shared tail of every scenario: invoke the child once and split
+ * the elapsed time into fault handling vs. everything else, plus the
+ * node-local memory delta since `memBefore`.
+ */
+void
+measureInvocation(os::NodeOs &node, FunctionInstance &child, RforkRun &run,
+                  uint64_t memBefore)
+{
+    const SimTime faultsBefore = node.faultTime();
+    const SimTime execStart = node.clock().now();
+    child.invoke();
+    const SimTime execTotal = node.clock().now() - execStart;
+    run.pageFaults = node.faultTime() - faultsBefore;
+    run.execution = execTotal - run.pageFaults;
+    run.localBytes = node.localDram().usedBytes() - memBefore;
+}
+
+} // namespace
+
 RforkRun
 runRestoreScenario(porter::Cluster &cluster,
                    rfork::RemoteForkMechanism &mech,
@@ -27,6 +71,7 @@ runRestoreScenario(porter::Cluster &cluster,
                    const FunctionSpec &spec, mem::NodeId targetNode,
                    const rfork::RestoreOptions &opts)
 {
+    armTracing(cluster.machine());
     os::NodeOs &node = cluster.node(targetNode);
     RforkRun run;
     // Local memory is the child's *additional* demand on the node: the
@@ -40,13 +85,7 @@ runRestoreScenario(porter::Cluster &cluster,
     run.restore = rs.latency;
 
     auto child = FunctionInstance::adoptRestored(node, spec, task);
-    const SimTime faultsBefore = node.faultTime();
-    const SimTime execStart = node.clock().now();
-    child->invoke();
-    const SimTime execTotal = node.clock().now() - execStart;
-    run.pageFaults = node.faultTime() - faultsBefore;
-    run.execution = execTotal - run.pageFaults;
-    run.localBytes = node.localDram().usedBytes() - memBefore;
+    measureInvocation(node, *child, run, memBefore);
     child->destroy();
     return run;
 }
@@ -55,9 +94,13 @@ RforkRun
 runColdScenario(porter::Cluster &cluster, const FunctionSpec &spec,
                 mem::NodeId targetNode)
 {
+    armTracing(cluster.machine());
     os::NodeOs &node = cluster.node(targetNode);
     RforkRun run;
     const uint64_t memBefore = node.localDram().usedBytes();
+    // Cold measures one window over deploy + invoke: faults taken while
+    // paging the image in during deploy belong to the fault share too,
+    // so this path cannot reuse measureInvocation's narrower window.
     const SimTime faultsBefore = node.faultTime();
     const SimTime start = node.clock().now();
     auto inst = FunctionInstance::deployCold(node, spec);
@@ -73,6 +116,7 @@ runColdScenario(porter::Cluster &cluster, const FunctionSpec &spec,
 RforkRun
 runLocalForkScenario(porter::Cluster &cluster, FunctionInstance &parent)
 {
+    armTracing(cluster.machine());
     (void)cluster; // the parent pins the node; kept for API symmetry
     os::NodeOs &node = parent.node();
     rfork::LocalFork lf;
@@ -86,15 +130,139 @@ runLocalForkScenario(porter::Cluster &cluster, FunctionInstance &parent)
 
     auto child =
         FunctionInstance::adoptRestored(node, parent.spec(), task);
-    const SimTime faultsBefore = node.faultTime();
-    const SimTime execStart = node.clock().now();
-    child->invoke();
-    const SimTime execTotal = node.clock().now() - execStart;
-    run.pageFaults = node.faultTime() - faultsBefore;
-    run.execution = execTotal - run.pageFaults;
-    run.localBytes = node.localDram().usedBytes() - memBefore;
+    measureInvocation(node, *child, run, memBefore);
     child->destroy();
     return run;
+}
+
+bool
+traceEnabled()
+{
+    return std::getenv("CXLFORK_TRACE") != nullptr;
+}
+
+void
+armTracing(mem::Machine &machine)
+{
+    if (traceEnabled())
+        machine.tracer().setEnabled(true);
+}
+
+sim::MetricsRegistry &
+benchMetrics()
+{
+    static sim::MetricsRegistry registry;
+    return registry;
+}
+
+void
+recordValue(const std::string &name, double v)
+{
+    benchMetrics().summary(name).add(v);
+}
+
+void
+setGauge(const std::string &name, double v)
+{
+    benchMetrics().gauge(name).set(v);
+}
+
+void
+recordRun(const std::string &scenario, const RforkRun &run)
+{
+    sim::MetricsRegistry &reg = benchMetrics();
+    reg.summary(scenario + ".restore_ms").add(run.restore.toMs());
+    reg.summary(scenario + ".faults_ms").add(run.pageFaults.toMs());
+    reg.summary(scenario + ".exec_ms").add(run.execution.toMs());
+    reg.summary(scenario + ".total_ms").add(run.total().toMs());
+    reg.summary(scenario + ".local_mb")
+        .add(double(run.localBytes) / double(1 << 20));
+}
+
+void
+collectRestorePhases(mem::Machine &machine, const std::string &prefix)
+{
+    const sim::Tracer &tracer = machine.tracer();
+    if (!tracer.enabled())
+        return;
+    const sim::TraceSpan *restore = nullptr;
+    for (auto it = tracer.spans().rbegin(); it != tracer.spans().rend();
+         ++it) {
+        if (it->category == "rfork.restore" && !it->open) {
+            restore = &*it;
+            break;
+        }
+    }
+    if (!restore)
+        return;
+    sim::MetricsRegistry &reg = benchMetrics();
+    double sumMs = 0.0;
+    for (const sim::TraceSpan *child : tracer.childrenOf(*restore)) {
+        reg.summary(prefix + "." + child->name + "_ms")
+            .add(child->duration().toMs());
+        sumMs += child->duration().toMs();
+    }
+    reg.summary(prefix + ".phase_sum_ms").add(sumMs);
+    reg.summary(prefix + ".total_ms").add(restore->duration().toMs());
+}
+
+void
+printPhaseBreakdown(const std::string &prefix, const std::string &title)
+{
+    if (!traceEnabled())
+        return;
+    const std::string stem = prefix + ".";
+    sim::Table t(title);
+    t.setHeader({"Phase", "Mean ms", "Min ms", "Max ms", "Runs"});
+    for (const auto &[name, s] : benchMetrics().summaries()) {
+        if (name.rfind(stem, 0) != 0)
+            continue;
+        const std::string leaf = name.substr(stem.size());
+        if (leaf == "phase_sum_ms" || leaf == "total_ms")
+            continue;
+        t.addRow({leaf, sim::Table::num(s.mean(), 3),
+                  sim::Table::num(s.min(), 3), sim::Table::num(s.max(), 3),
+                  sim::Table::num(double(s.count()), 0)});
+    }
+    const sim::Summary *sum =
+        benchMetrics().findSummary(prefix + ".phase_sum_ms");
+    const sim::Summary *total =
+        benchMetrics().findSummary(prefix + ".total_ms");
+    if (sum && total && total->total() > 0.0) {
+        t.addNote(sim::format(
+            "Phases cover %.4f%% of the restore total (sum %.3f ms, "
+            "total %.3f ms).",
+            100.0 * sum->total() / total->total(), sum->total(),
+            total->total()));
+    }
+    t.print();
+}
+
+void
+maybeWriteChromeTrace(mem::Machine &machine, const std::string &tag)
+{
+    const char *prefix = std::getenv("CXLFORK_TRACE_JSON");
+    if (!prefix || !machine.tracer().enabled())
+        return;
+    const std::string path = std::string(prefix) + tag + ".json";
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("cannot write Chrome trace to %s", path.c_str());
+    out << machine.tracer().toChromeJson();
+}
+
+void
+finishBench(const std::string &benchName)
+{
+    sim::MetricsRegistry &reg = benchMetrics();
+    if (const char *path = std::getenv("CXLFORK_METRICS_JSON")) {
+        std::ofstream out(path);
+        if (!out)
+            sim::fatal("cannot write metrics JSON to %s", path);
+        out << reg.toJson();
+    }
+    if (traceEnabled() && !reg.empty())
+        reg.toTable(benchName + ": bench metrics").print();
 }
 
 } // namespace cxlfork::bench

@@ -1,8 +1,22 @@
 /**
  * @file
  * Shared helpers for the paper-reproduction benches: a cluster sized
- * for the Table-1 functions, rfork scenario runners, and breakdown
- * structs matching the figures.
+ * for the Table-1 functions, rfork scenario runners, breakdown structs
+ * matching the figures, and the observability plumbing every bench
+ * shares (env-gated tracing, a process-global metrics registry, and
+ * the flat-JSON export the golden regression suite consumes).
+ *
+ * Environment knobs (all off by default; with all of them unset every
+ * bench's output is bit-identical to the untraced build):
+ *  - CXLFORK_TRACE: arm span tracing on every bench cluster and print
+ *    per-phase restore breakdowns plus the bench metrics table.
+ *  - CXLFORK_TRACE_JSON=<prefix>: also write Chrome trace_event JSON
+ *    to <prefix><tag>.json for tagged clusters.
+ *  - CXLFORK_METRICS_JSON=<path>: write the bench metrics registry as
+ *    flat JSON on finishBench() (the golden-file format).
+ *  - CXLFORK_CXL_LATENCY_NS=<ns>: override the CXL access latency in
+ *    benchClusterConfig() — the documented perturbation hook that the
+ *    golden suite uses to prove it catches cost regressions.
  */
 
 #pragma once
@@ -17,22 +31,16 @@
 #include "rfork/cxlfork.hh"
 #include "rfork/localfork.hh"
 #include "rfork/mitosis.hh"
+#include "sim/metrics.hh"
 #include "sim/table.hh"
 
 namespace cxlfork::bench {
 
-/** A cluster big enough for Bert (630 MB) under every mechanism. */
-inline porter::ClusterConfig
-benchClusterConfig(sim::CostParams costs = {})
-{
-    porter::ClusterConfig cfg;
-    cfg.machine.numNodes = 2;
-    cfg.machine.dramPerNodeBytes = mem::gib(4);
-    cfg.machine.cxlCapacityBytes = mem::gib(4);
-    cfg.machine.llcBytes = mem::mib(64);
-    cfg.machine.costs = costs;
-    return cfg;
-}
+/**
+ * A cluster big enough for Bert (630 MB) under every mechanism.
+ * Honors CXLFORK_CXL_LATENCY_NS (see file comment).
+ */
+porter::ClusterConfig benchClusterConfig(sim::CostParams costs = {});
 
 /** The Fig. 7a bar: one cold-start execution under one rfork design. */
 struct RforkRun
@@ -70,5 +78,59 @@ RforkRun runColdScenario(porter::Cluster &cluster,
 /** Run the same-node LocalFork scenario. */
 RforkRun runLocalForkScenario(porter::Cluster &cluster,
                               faas::FunctionInstance &parent);
+
+// --- Observability helpers shared by every bench.
+
+/** True when CXLFORK_TRACE is set. */
+bool traceEnabled();
+
+/** Arm the machine's tracer when CXLFORK_TRACE is set. */
+void armTracing(mem::Machine &machine);
+
+/**
+ * The process-global registry benches aggregate into: headline ratios,
+ * per-scenario timing summaries, collected restore phases. This is
+ * what finishBench() exports for the golden suite.
+ */
+sim::MetricsRegistry &benchMetrics();
+
+/** Record one scalar sample into the named bench summary. */
+void recordValue(const std::string &name, double v);
+
+/** Set a named bench gauge to a point value. */
+void setGauge(const std::string &name, double v);
+
+/**
+ * Record a scenario run as `<scenario>.{restore,faults,exec,total}_ms`
+ * and `<scenario>.local_mb` summaries.
+ */
+void recordRun(const std::string &scenario, const RforkRun &run);
+
+/**
+ * Fold the machine's most recent completed restore span into
+ * `<prefix>.<phase>_ms` summaries plus `<prefix>.phase_sum_ms` and
+ * `<prefix>.total_ms`. No-op when tracing is off.
+ */
+void collectRestorePhases(mem::Machine &machine, const std::string &prefix);
+
+/**
+ * Print the per-phase cost table accumulated by collectRestorePhases
+ * under `prefix`, with the phase-sum-vs-total coverage note. No-op
+ * unless CXLFORK_TRACE is set.
+ */
+void printPhaseBreakdown(const std::string &prefix,
+                         const std::string &title);
+
+/**
+ * Write the machine's Chrome trace to `<$CXLFORK_TRACE_JSON><tag>.json`
+ * when that env var is set and tracing is on.
+ */
+void maybeWriteChromeTrace(mem::Machine &machine, const std::string &tag);
+
+/**
+ * End-of-bench hook: export benchMetrics() to $CXLFORK_METRICS_JSON
+ * when set, and print the metrics table when CXLFORK_TRACE is set.
+ */
+void finishBench(const std::string &benchName);
 
 } // namespace cxlfork::bench

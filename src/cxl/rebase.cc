@@ -11,6 +11,7 @@ void
 rebaseLeaf(TablePage &leaf, const mem::Machine &machine)
 {
     CXLF_ASSERT(leaf.level() == 0);
+    uint32_t rebased = 0;
     for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
         Pte &p = leaf.pte(i);
         if (!p.present())
@@ -20,13 +21,17 @@ rebaseLeaf(TablePage &leaf, const mem::Machine &machine)
         const uint64_t offset = machine.cxlOffsetOf(p.frame());
         p.setFrame(mem::PhysAddr{offset});
         p.set(Pte::kSoftRebased);
+        ++rebased;
     }
+    machine.metrics().counter("cxl.rebase.leaves").inc();
+    machine.metrics().counter("cxl.rebase.ptes").inc(rebased);
 }
 
 void
 derebaseLeaf(TablePage &leaf, const mem::Machine &machine)
 {
     CXLF_ASSERT(leaf.level() == 0);
+    uint32_t derebased = 0;
     for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
         Pte &p = leaf.pte(i);
         if (!p.present())
@@ -35,7 +40,10 @@ derebaseLeaf(TablePage &leaf, const mem::Machine &machine)
             sim::panic("derebaseLeaf: PTE %u not in rebased form", i);
         p.setFrame(machine.cxlAddrOf(p.frame().raw));
         p.clear(Pte::kSoftRebased);
+        ++derebased;
     }
+    machine.metrics().counter("cxl.derebase.leaves").inc();
+    machine.metrics().counter("cxl.derebase.ptes").inc(derebased);
 }
 
 bool

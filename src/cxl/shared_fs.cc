@@ -37,6 +37,8 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
     }
     clock.advance(machine_.costs().cxlWrite(simulatedBytes));
     usedBytes_ += pages * mem::kPageSize;
+    machine_.metrics().counter("cxl.fs.writes").inc();
+    machine_.metrics().counter("cxl.fs.bytes_written").inc(simulatedBytes);
 
     // Injected torn write: the stores raced a failure and one byte of
     // the on-device image differs from what the CRC was computed over.
@@ -65,7 +67,12 @@ SharedFs::verify(const std::string &name) const
     const CxlFsFile *file = open(name);
     if (!file)
         return false;
-    return sim::crc32(file->data.data(), file->data.size()) == file->crc;
+    machine_.metrics().counter("cxl.fs.crc_checks").inc();
+    const bool ok =
+        sim::crc32(file->data.data(), file->data.size()) == file->crc;
+    if (!ok)
+        machine_.metrics().counter("cxl.fs.crc_failures").inc();
+    return ok;
 }
 
 void

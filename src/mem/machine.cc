@@ -42,12 +42,14 @@ Machine::setFaultConfig(const sim::FaultConfig &cfg)
 void
 Machine::cxlTransaction(sim::SimClock &clock, const char *site)
 {
+    metrics_.counter("mem.cxl.transactions").inc();
     if (!injector_.armed())
         return;
     const sim::FaultConfig &cfg = injector_.config();
     for (uint32_t attempt = 1; injector_.drawTransient(); ++attempt) {
         if (attempt > cfg.maxRetries) {
             ++injector_.stats().transientsEscalated;
+            metrics_.counter("mem.cxl.transients_escalated").inc();
             throw sim::TransientFaultError(sim::format(
                 "CXL transaction at %s failed %u times (budget %u)", site,
                 attempt, cfg.maxRetries));
@@ -56,6 +58,7 @@ Machine::cxlTransaction(sim::SimClock &clock, const char *site)
         // whether the retry itself fails.
         clock.advance(injector_.backoffFor(attempt));
         ++injector_.stats().transientsRetried;
+        metrics_.counter("mem.cxl.transient_retries").inc();
     }
 }
 
@@ -69,8 +72,12 @@ Machine::readFrameChecked(PhysAddr addr, sim::SimClock &clock,
             "poisoned frame %#llx read at %s (data lost)",
             (unsigned long long)addr.raw, site));
     }
-    if (tierOf(addr) == Tier::Cxl)
+    if (tierOf(addr) == Tier::Cxl) {
+        metrics_.counter("mem.cxl.frame_reads").inc();
         cxlTransaction(clock, site);
+    } else {
+        metrics_.counter("mem.dram.frame_reads").inc();
+    }
     return f.content;
 }
 

@@ -20,6 +20,8 @@
 #include "sim/cost_model.hh"
 #include "sim/fault_injector.hh"
 #include "sim/log.hh"
+#include "sim/metrics.hh"
+#include "sim/trace.hh"
 #include "types.hh"
 
 namespace cxlfork::mem {
@@ -61,6 +63,16 @@ class Machine
     /** The machine-wide fault injector (device-level failure model). */
     sim::FaultInjector &faults() { return injector_; }
     const sim::FaultInjector &faults() const { return injector_; }
+
+    /**
+     * The machine-wide span tracer, disabled by default. Mutable
+     * through const Machine references: observation is not machine
+     * state, and most instrumentation sites only hold const access.
+     */
+    sim::Tracer &tracer() const { return tracer_; }
+
+    /** The machine-wide metrics registry (same const-ness rationale). */
+    sim::MetricsRegistry &metrics() const { return metrics_; }
 
     /** Reconfigure injection; re-arms the CXL allocator's poison hook. */
     void setFaultConfig(const sim::FaultConfig &cfg);
@@ -123,6 +135,8 @@ class Machine
   private:
     sim::CostParams costs_;
     sim::FaultInjector injector_;
+    mutable sim::Tracer tracer_;
+    mutable sim::MetricsRegistry metrics_;
     std::vector<std::unique_ptr<FrameAllocator>> nodeDram_;
     std::unique_ptr<FrameAllocator> cxl_;
     std::vector<CacheModel> llc_;

@@ -35,6 +35,29 @@ struct FrameGuard
     void release() { armed = false; }
 };
 
+/** Registry-safe fault-kind suffix (dots and underscores only). */
+const char *
+faultMetricName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::None:
+        return "none";
+      case FaultKind::Minor:
+        return "minor";
+      case FaultKind::Major:
+        return "major";
+      case FaultKind::CowLocal:
+        return "cow_local";
+      case FaultKind::CowCxl:
+        return "cow_cxl";
+      case FaultKind::CxlMigrate:
+        return "cxl_migrate";
+      case FaultKind::CxlMapThrough:
+        return "cxl_map";
+    }
+    return "unknown";
+}
+
 } // namespace
 
 const char *
@@ -166,6 +189,7 @@ NodeOs::munmap(Task &task, mem::VirtAddr lo, mem::VirtAddr hi)
     clock_.advance(machine_.costs().tlbShootdown +
                    machine_.costs().vmaSetup);
     stats_.counter("syscall.munmap").inc();
+    machine_.metrics().counter("os.tlb.shootdowns").inc();
 }
 
 void
@@ -225,8 +249,10 @@ NodeOs::mprotect(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
         });
     for (const auto &[va, pte] : updates)
         task.mm().pageTable().setPte(va, pte);
-    if (!updates.empty())
+    if (!updates.empty()) {
         clock_.advance(machine_.costs().tlbShootdown);
+        machine_.metrics().counter("os.tlb.shootdowns").inc();
+    }
     stats_.counter("syscall.mprotect").inc();
 }
 
@@ -275,6 +301,11 @@ NodeOs::access(Task &task, mem::VirtAddr va, bool isWrite,
         return res;
     }
     const sim::SimTime faultStart = clock_.now();
+    // The span closes via RAII on both the normal and the unwind path;
+    // its kind attribute is only known after the handler ran.
+    sim::SpanScope span =
+        machine_.tracer().span(clock_, id_, "os.fault", "os.fault");
+    span.attr("vpn", va.pageNumber()).attr("pid", uint64_t(task.pid()));
     try {
         res = handleFault(task, va, isWrite, contentOnWrite);
     } catch (...) {
@@ -283,9 +314,17 @@ NodeOs::access(Task &task, mem::VirtAddr va, bool isWrite,
         // it so retries don't under-report, and leave the translation
         // untouched so the access can simply be replayed.
         faultTime_ += clock_.now() - faultStart;
+        span.attr("kind", "failed");
+        machine_.metrics().counter("os.fault.failed").inc();
         throw;
     }
     faultTime_ += clock_.now() - faultStart;
+    span.attr("kind", faultKindName(res.fault));
+    machine_.metrics()
+        .counter(std::string("os.fault.") + faultMetricName(res.fault))
+        .inc();
+    machine_.metrics().latency("os.fault.ns").record(clock_.now() -
+                                                     faultStart);
     pt.hwSetAccessedDirty(va, isWrite);
     return res;
 }
@@ -315,6 +354,11 @@ NodeOs::migrateFromCheckpoint(Task &task, mem::VirtAddr va, const Vma &vma,
     res.tier = mem::Tier::LocalDram;
     res.leafCow = setRes.leafCow;
     stats_.counter("fault.cxl_migrate").inc();
+    machine_.metrics().counter("os.pages.copied_from_cxl").inc();
+    machine_.tracer().instant(
+        clock_, id_, "page_copy", "os",
+        {{"vpn", sim::TraceValue::of(va.pageNumber())},
+         {"reason", sim::TraceValue::of("migrate")}});
     return res;
 }
 
@@ -440,6 +484,12 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
         guard.release();
         clock_.advance(costs.cxlCowFault());
         stats_.counter("fault.cow_cxl").inc();
+        machine_.metrics().counter("os.pages.copied_from_cxl").inc();
+        machine_.metrics().counter("os.tlb.shootdowns").inc();
+        machine_.tracer().instant(
+            clock_, id_, "page_copy", "os",
+            {{"vpn", sim::TraceValue::of(va.pageNumber())},
+             {"reason", sim::TraceValue::of("cow_cxl")}});
         if (setRes.leafCow)
             stats_.counter("fault.leaf_cow").inc();
         res.fault = FaultKind::CowCxl;
@@ -469,6 +519,7 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
             pt.setPte(va, newPte);
             guard.release();
             clock_.advance(costs.localCowFault());
+            machine_.metrics().counter("os.tlb.shootdowns").inc();
         }
         stats_.counter("fault.cow_local").inc();
         res.fault = FaultKind::CowLocal;

@@ -42,6 +42,25 @@ PorterSim::PorterSim(PorterConfig cfg,
     }
 }
 
+void
+PorterSim::attachObservability(sim::Tracer *tracer,
+                               sim::MetricsRegistry *metrics)
+{
+    tracer_ = tracer;
+    obsMetrics_ = metrics;
+}
+
+void
+PorterSim::note(const char *event, uint32_t track)
+{
+    if (obsMetrics_)
+        obsMetrics_->counter(std::string("porter.") + event).inc();
+    if (tracer_ && tracer_->enabled()) {
+        tracer_->instantAt(events_.now(), track,
+                           std::string("porter.") + event, "porter");
+    }
+}
+
 const PerfProfile &
 PorterSim::profileFor(uint32_t fnIdx, os::TieringPolicy policy)
 {
@@ -134,6 +153,7 @@ PorterSim::crashNode(uint32_t node)
         return;
     ns.up = false;
     ++metrics_.nodeCrashes;
+    note("node_crash", node);
 
     // Every container on the node dies with it. In-flight work is not
     // cancelled here: its completion event fires at the original time,
@@ -159,6 +179,7 @@ PorterSim::crashNode(uint32_t node)
         const CoreWaiter waiter = w->second;
         coreWaiters_.erase(w);
         ++metrics_.restoreFailovers;
+        note("failover", node);
         dispatch(waiter.req, waiter.arrival);
     }
 }
@@ -171,6 +192,7 @@ PorterSim::recoverNode(uint32_t node)
         return;
     ns.up = true;
     ++metrics_.nodeRecoveries;
+    note("node_recover", node);
     // Fresh capacity: requests stuck waiting for memory can place now.
     drainMemQueue();
 }
@@ -219,6 +241,7 @@ PorterSim::tryWarmHit(const Request &req, SimTime arrival)
     inst.busy = true;
     ++inst.generation;
     ++metrics_.warmHits;
+    note("warm_hit", inst.node);
     const SimTime dur = profileFor(fnIdx, inst.policy).warmExecLatency;
 
     NodeState &node = nodes_[inst.node];
@@ -271,6 +294,8 @@ PorterSim::spawnAndRun(const Request &req, SimTime arrival)
         fn.checkpointBytes = 0;
         ++metrics_.corruptRestores;
         ++metrics_.degradedColdStarts;
+        note("corrupt_restore", 0);
+        note("degraded_cold_start", 0);
         viaRestore = false;
     }
     bool viaGhost = viaRestore && fn.ghostsAvailable > 0;
@@ -282,12 +307,14 @@ PorterSim::spawnAndRun(const Request &req, SimTime arrival)
                 // Budget spent; the checkpoint itself is intact, so
                 // only this request falls back to a cold start.
                 ++metrics_.degradedColdStarts;
+                note("degraded_cold_start", 0);
                 viaRestore = false;
                 viaGhost = false;
                 break;
             }
             ++attempt;
             ++metrics_.restoreRetries;
+            note("restore_retry", 0);
             retryTime += backoff;
             backoff = backoff * cfg_.faults.retryBackoffMultiplier;
         }
@@ -316,10 +343,12 @@ PorterSim::spawnAndRun(const Request &req, SimTime arrival)
     }
     if (viaRestore) {
         ++metrics_.restores;
+        note("restore", node);
         fn.lastRestore = events_.now();
         if (viaGhost) {
             --fn.ghostsAvailable;
             ++metrics_.ghostHits;
+            note("ghost_hit", node);
             // Background re-provisioning refills the pool off the
             // critical path.
             events_.scheduleAfter(cfg_.containerCreate, [this, fnIdx] {
@@ -328,6 +357,7 @@ PorterSim::spawnAndRun(const Request &req, SimTime arrival)
         }
     } else {
         ++metrics_.coldStarts;
+        note("cold_start", node);
     }
 
     const uint64_t id = nextInstanceId_++;
@@ -370,6 +400,7 @@ PorterSim::complete(uint64_t instanceId, const Request &req,
         // nodes, keeping the original arrival so the wasted attempt
         // shows up in its latency.
         ++metrics_.restoreFailovers;
+        note("failover", 0);
         dispatch(req, arrival);
         return;
     }
@@ -446,6 +477,7 @@ PorterSim::takeCheckpoint(uint32_t fnIdx, uint32_t node)
         loser.checkpointed = false;
         loser.checkpointBytes = 0;
         ++metrics_.checkpointsReclaimed;
+        note("checkpoint_reclaim", node);
     }
 
     // Checkpoint taken now, off the request critical path. Mitosis
@@ -456,6 +488,7 @@ PorterSim::takeCheckpoint(uint32_t fnIdx, uint32_t node)
     cxlUsed_ += prof.checkpointCxlBytes;
     metrics_.peakCxlBytes = std::max(metrics_.peakCxlBytes, cxlUsed_);
     ++metrics_.checkpointsTaken;
+    note("checkpoint", node);
     if (prof.checkpointLocalBytes > 0) {
         nodes_[node].memUsed += prof.checkpointLocalBytes;
         metrics_.peakMemBytes =
@@ -494,10 +527,12 @@ PorterSim::evict(uint64_t instanceId, bool drainQueue)
         return;
     Instance &inst = it->second;
     CXLF_ASSERT(!inst.busy);
+    const uint32_t nodeIdx = inst.node;
     nodes_[inst.node].memUsed -= inst.memBytes;
     inst.live = false;
     instances_.erase(it);
     ++metrics_.evictions;
+    note("evict", nodeIdx);
     // Reclaim paths must not re-enter the spawn logic mid-reclaim, or
     // queued requests would steal the memory being freed.
     if (drainQueue)
@@ -568,6 +603,7 @@ PorterSim::controllerTick()
                 fn.restorePolicy != os::TieringPolicy::Hybrid) {
                 fn.restorePolicy = os::TieringPolicy::Hybrid;
                 ++metrics_.tieringPromotions;
+                note("tiering_promotion", 0);
                 // Live instances switch too: their A-bit-hot pages get
                 // fetched into local memory on access, so account the
                 // extra local footprint now.

@@ -24,8 +24,10 @@
 
 #include "perf_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/metrics.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "trace.hh"
 
 namespace cxlfork::porter {
@@ -143,6 +145,16 @@ class PorterSim
     /** Run a trace to completion and return the metrics. */
     PorterMetrics run(const std::vector<Request> &trace);
 
+    /**
+     * Observe scaling decisions and the failover ladder through an
+     * external tracer/metrics registry (usually the Machine's). Every
+     * decision becomes a `porter.<event>` instant on the acting node's
+     * track plus a matching counter. Pure observation: attaching
+     * changes no simulation result. Either pointer may be null.
+     */
+    void attachObservability(sim::Tracer *tracer,
+                             sim::MetricsRegistry *metrics);
+
   private:
     struct Instance
     {
@@ -212,6 +224,7 @@ class PorterSim
     void recoverNode(uint32_t node);
     double memPressure() const;
     sim::SimTime keepAliveNow() const;
+    void note(const char *event, uint32_t track);
 
     const PerfProfile &profileFor(uint32_t fnIdx, os::TieringPolicy policy);
 
@@ -230,6 +243,8 @@ class PorterSim
     uint64_t cxlUsed_ = 0;
     sim::Rng faultRng_;
     PorterMetrics metrics_;
+    sim::Tracer *tracer_ = nullptr;
+    sim::MetricsRegistry *obsMetrics_ = nullptr;
 };
 
 } // namespace cxlfork::porter

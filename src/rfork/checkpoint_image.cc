@@ -111,6 +111,7 @@ CheckpointImage::sealIntegrity()
 std::optional<std::string>
 CheckpointImage::verifyIntegrity() const
 {
+    machine_.metrics().counter("cxl.image.crc_checks").inc();
     if (!crcs_.sealed)
         return "unsealed";
     const ImageCrcs now = computeCrcs();

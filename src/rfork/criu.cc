@@ -14,10 +14,15 @@ std::shared_ptr<CheckpointHandle>
 CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
                     CheckpointStats *stats)
 {
-    const sim::CostParams &costs = fabric_.machine().costs();
+    mem::Machine &machine = fabric_.machine();
+    const sim::CostParams &costs = machine.costs();
     sim::SimClock &clock = node.clock();
     const SimTime start = clock.now();
     CheckpointStats cs;
+
+    sim::SpanScope ckptSpan = machine.tracer().span(
+        clock, node.id(), "criu.checkpoint", "rfork.checkpoint");
+    ckptSpan.attr("task", parent.name());
 
     // Serialize everything: global state, CPU, VMAs, page map + data.
     proto::CriuImageMsg image;
@@ -59,6 +64,9 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     cs.pages = image.pages.size();
     cs.vmas = image.vmas.size();
     cs.bytesToCxl = simBytes;
+    ckptSpan.attr("pages", cs.pages).attr("bytes_to_cxl", cs.bytesToCxl);
+    machine.metrics().counter("rfork.criu.checkpoints").inc();
+    machine.metrics().latency("rfork.criu.checkpoint_ns").record(cs.latency);
     if (stats)
         *stats = cs;
     node.stats().counter("criu.checkpoint").inc();
@@ -74,11 +82,18 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     auto h = std::dynamic_pointer_cast<CriuHandle>(handle);
     if (!h)
         sim::fatal("handle is not a CRIU image");
-    const sim::CostParams &costs = fabric_.machine().costs();
+    mem::Machine &machine = fabric_.machine();
+    const sim::CostParams &costs = machine.costs();
     sim::SimClock &clock = target.clock();
     const SimTime start = clock.now();
     RestoreStats rs;
 
+    sim::SpanScope restoreSpan = machine.tracer().span(
+        clock, target.id(), "criu.restore", "rfork.restore");
+    restoreSpan.attr("image", h->fileName());
+
+    sim::SpanScope readSpan = machine.tracer().span(
+        clock, target.id(), "restore.read_image", "rfork.phase");
     const cxl::CxlFsFile *file = fabric_.sharedFs().open(h->fileName());
     if (!file)
         sim::fatal("CRIU image %s missing", h->fileName().c_str());
@@ -95,14 +110,20 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     proto::CriuImageMsg image = proto::CriuImageMsg::decode(dec);
     clock.advance(costs.deserializeCost(h->simulatedBytes()) +
                   costs.serializeRecord * double(h->records()));
+    readSpan.attr("bytes", h->simulatedBytes()).finish();
 
+    sim::SpanScope createSpan = machine.tracer().span(
+        clock, target.id(), "restore.task_create", "rfork.phase");
     auto task = target.createTask(image.global.taskName + "+criu",
                                   opts.container);
+    createSpan.finish();
 
     try {
 
     // Rebuild the full VMA tree.
     const SimTime memStart = clock.now();
+    sim::SpanScope memSpan = machine.tracer().span(
+        clock, target.id(), "restore.memory_state", "rfork.phase");
     for (const proto::VmaMsg &vm : image.vmas) {
         task->mm().vmas().insert(fromMsg(vm));
         clock.advance(costs.vmaSetup);
@@ -120,24 +141,36 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
             target.localDram().alloc(mem::FrameUse::Data, pm.content);
         task->mm().pageTable().setPte(va, Pte::make(frame, vma->writable()));
         ++rs.pagesCopied;
+        machine.tracer().instant(
+            clock, target.id(), "page_copy", "rfork",
+            {{"vpn", sim::TraceValue::of(pm.vpn)},
+             {"reason", sim::TraceValue::of("criu_copy")}});
     }
     rs.memoryState = clock.now() - memStart;
+    memSpan.attr("pages_copied", rs.pagesCopied).finish();
 
     // Redo global state and restore registers.
     const SimTime globalStart = clock.now();
+    sim::SpanScope globalSpan = machine.tracer().span(
+        clock, target.id(), "restore.global_state", "rfork.phase");
     redoGlobalState(target, *task, image.global);
     rs.globalState = clock.now() - globalStart;
     task->cpu().gpr = image.cpu.gpr;
     task->cpu().rip = image.cpu.rip;
     task->cpu().rsp = image.cpu.rsp;
     task->cpu().fpstate = image.cpu.fpstate;
+    globalSpan.finish();
 
     } catch (...) {
         target.exitTask(task);
+        machine.metrics().counter("rfork.criu.restore_failed").inc();
         throw;
     }
 
     rs.latency = clock.now() - start;
+    restoreSpan.attr("pages_copied", rs.pagesCopied).finish();
+    machine.metrics().counter("rfork.criu.restores").inc();
+    machine.metrics().latency("rfork.criu.restore_ns").record(rs.latency);
     if (stats)
         *stats = rs;
     target.stats().counter("criu.restore").inc();

@@ -30,6 +30,10 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     sim::SimClock &clock = node.clock();
     const SimTime start = clock.now();
 
+    sim::SpanScope ckptSpan = machine.tracer().span(
+        clock, node.id(), "cxlfork.checkpoint", "rfork.checkpoint");
+    ckptSpan.attr("task", parent.name());
+
     auto img = std::make_shared<CheckpointImage>(machine, parent.name());
     CheckpointStats cs;
 
@@ -156,6 +160,17 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     }
 
     cs.latency = clock.now() - start;
+    ckptSpan.attr("pages", cs.pages)
+        .attr("leaves", cs.leaves)
+        .attr("bytes_to_cxl", cs.bytesToCxl)
+        .finish();
+    machine.metrics().counter("rfork.cxlfork.checkpoints").inc();
+    machine.metrics().counter("rfork.cxlfork.pages_checkpointed")
+        .inc(cs.pages);
+    machine.metrics().counter("rfork.cxlfork.bytes_to_cxl")
+        .inc(cs.bytesToCxl);
+    machine.metrics().latency("rfork.cxlfork.checkpoint_ns")
+        .record(cs.latency);
     if (stats)
         *stats = cs;
     node.stats().counter("cxlfork.checkpoint").inc();
@@ -174,19 +189,31 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     const SimTime start = clock.now();
     RestoreStats rs;
 
+    sim::SpanScope restoreSpan = machine.tracer().span(
+        clock, target.id(), "cxlfork.restore", "rfork.restore");
+    restoreSpan.attr("image", img->name());
+
     // Reject torn/corrupted checkpoints up front, before any task
     // state exists on this node. The device computes the CRCs inline
     // with the mapped reads, so no extra latency is charged.
-    if (img->integritySealed()) {
-        if (auto bad = img->verifyIntegrity()) {
-            throw sim::CorruptImageError(sim::format(
-                "checkpoint '%s': %s segment failed CRC (torn write?)",
-                img->name().c_str(), bad->c_str()));
+    {
+        sim::SpanScope phase = machine.tracer().span(
+            clock, target.id(), "restore.integrity", "rfork.phase");
+        if (img->integritySealed()) {
+            if (auto bad = img->verifyIntegrity()) {
+                machine.metrics().counter("rfork.cxlfork.crc_rejects").inc();
+                throw sim::CorruptImageError(sim::format(
+                    "checkpoint '%s': %s segment failed CRC (torn write?)",
+                    img->name().c_str(), bad->c_str()));
+            }
         }
     }
 
     // (1) A new process on the new node calls CXLfork-restore.
+    sim::SpanScope createSpan = machine.tracer().span(
+        clock, target.id(), "restore.task_create", "rfork.phase");
     auto task = target.createTask(img->name() + "+clone", opts.container);
+    createSpan.finish();
 
     // On any fault past this point the half-restored task must not
     // survive on the target: tear it down and let the typed error
@@ -197,6 +224,8 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     // metadata: attach the VMA leaf set and, under migrate-on-write,
     // the checkpointed page-table leaves — almost constant time.
     const SimTime memStart = clock.now();
+    sim::SpanScope memSpan = machine.tracer().span(
+        clock, target.id(), "restore.memory_state", "rfork.phase");
     task->mm().vmas().attachShared(img->vmaSet());
     clock.advance(costs.vmaSetup); // one pointer install
 
@@ -224,19 +253,26 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     }
     task->mm().setBacking(img, opts.policy);
     rs.memoryState = clock.now() - memStart;
+    memSpan.attr("leaves_attached", rs.leavesAttached).finish();
 
     // Global state: deserialize the light blob and redo operations.
     const SimTime globalStart = clock.now();
+    sim::SpanScope globalSpan = machine.tracer().span(
+        clock, target.id(), "restore.global_state", "rfork.phase");
     proto::Decoder dec(img->globalBlob());
     proto::GlobalStateMsg global = proto::GlobalStateMsg::decode(dec);
     clock.advance(costs.deserializeCost(img->globalSimBytes()) +
                   costs.serializeRecord * double(img->globalRecords()));
     redoGlobalState(target, *task, global);
     rs.globalState = clock.now() - globalStart;
+    globalSpan.finish();
 
     // Resume from the checkpointed hardware context.
+    sim::SpanScope cpuSpan = machine.tracer().span(
+        clock, target.id(), "restore.cpu_state", "rfork.phase");
     task->cpu() = img->cpu();
     clock.advance(costs.cxlRead(proto::CpuMsg::simulatedBytes()));
+    cpuSpan.finish();
 
     // Opportunistic dirty-page prefetch (Sec. 4.2.1): pages the parent
     // wrote are overwhelmingly rewritten by children; pulling them now
@@ -244,6 +280,8 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     if (opts.policy == os::TieringPolicy::MigrateOnWrite &&
         opts.prefetchDirty) {
         const SimTime copyStart = clock.now();
+        sim::SpanScope prefetchSpan = machine.tracer().span(
+            clock, target.id(), "restore.prefetch", "rfork.phase");
         img->forEachDirty([&](mem::VirtAddr va, const Pte &ckpt) {
             const uint64_t content =
                 machine.readFrameChecked(ckpt.frame(), clock,
@@ -255,16 +293,29 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
             task->mm().pageTable().setPte(va, fresh);
             clock.advance(costs.cxlRead(kPageSize));
             ++rs.pagesCopied;
+            machine.tracer().instant(
+                clock, target.id(), "page_copy", "rfork",
+                {{"vpn", sim::TraceValue::of(va.pageNumber())},
+                 {"reason", sim::TraceValue::of("prefetch")}});
         });
         rs.dataCopy = clock.now() - copyStart;
+        prefetchSpan.attr("pages_copied", rs.pagesCopied);
     }
 
     } catch (...) {
         target.exitTask(task);
+        machine.metrics().counter("rfork.cxlfork.restore_failed").inc();
         throw;
     }
 
     rs.latency = clock.now() - start;
+    restoreSpan.attr("pages_copied", rs.pagesCopied)
+        .attr("leaves_attached", rs.leavesAttached)
+        .finish();
+    machine.metrics().counter("rfork.cxlfork.restores").inc();
+    machine.metrics().counter("rfork.cxlfork.pages_prefetched")
+        .inc(rs.pagesCopied);
+    machine.metrics().latency("rfork.cxlfork.restore_ns").record(rs.latency);
     if (stats)
         *stats = rs;
     target.stats().counter("cxlfork.restore").inc();

@@ -32,9 +32,20 @@ LocalFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
                    h->node()->id(), target.id());
     }
     (void)opts;
+    mem::Machine &machine = target.machine();
     const sim::SimTime start = target.clock().now();
+    sim::SpanScope restoreSpan = machine.tracer().span(
+        target.clock(), target.id(), "localfork.restore", "rfork.restore");
+    sim::SpanScope forkSpan = machine.tracer().span(
+        target.clock(), target.id(), "restore.local_fork", "rfork.phase");
     auto child =
         target.localFork(*h->parent(), h->parent()->name() + "+fork");
+    forkSpan.finish();
+    restoreSpan.finish();
+    machine.metrics().counter("rfork.localfork.restores").inc();
+    machine.metrics()
+        .latency("rfork.localfork.restore_ns")
+        .record(target.clock().now() - start);
     if (stats) {
         *stats = RestoreStats{};
         stats->latency = target.clock().now() - start;

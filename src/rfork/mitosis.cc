@@ -80,6 +80,10 @@ MitosisCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     const SimTime start = clock.now();
     CheckpointStats cs;
 
+    sim::SpanScope ckptSpan = machine.tracer().span(
+        clock, node.id(), "mitosis.checkpoint", "rfork.checkpoint");
+    ckptSpan.attr("task", parent.name());
+
     auto handle = std::make_shared<MitosisHandle>(machine, node.id(),
                                                   parent.name());
 
@@ -153,6 +157,10 @@ MitosisCxl::checkpoint(os::NodeOs &node, os::Task &parent,
                        parent.cpu(), std::move(vmaRecords));
 
     cs.latency = clock.now() - start;
+    ckptSpan.attr("pages", cs.pages).attr("bytes_local", cs.bytesLocal);
+    machine.metrics().counter("rfork.mitosis.checkpoints").inc();
+    machine.metrics().latency("rfork.mitosis.checkpoint_ns")
+        .record(cs.latency);
     if (stats)
         *stats = cs;
     node.stats().counter("mitosis.checkpoint").inc();
@@ -172,25 +180,38 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
             "Mitosis restore of %s: parent node %u has failed",
             h->name().c_str(), h->parentNode()));
     }
-    const sim::CostParams &costs = fabric_.machine().costs();
+    mem::Machine &machine = fabric_.machine();
+    const sim::CostParams &costs = machine.costs();
     sim::SimClock &clock = target.clock();
     const SimTime start = clock.now();
     RestoreStats rs;
 
+    sim::SpanScope restoreSpan = machine.tracer().span(
+        clock, target.id(), "mitosis.restore", "rfork.restore");
+    restoreSpan.attr("image", h->name());
+
     // Transfer the serialized OS state across the fabric (parent
     // stores it into CXL memory, target fetches it) and deserialize.
+    sim::SpanScope metaSpan = machine.tracer().span(
+        clock, target.id(), "restore.transfer_meta", "rfork.phase");
     clock.advance(costs.cxlWrite(h->metaSimBytes()) +
                   costs.cxlRead(h->metaSimBytes()) + 2.0 * costs.cxlLatency +
                   costs.deserializeCost(h->metaSimBytes()) +
                   costs.serializeRecord * double(h->metaRecords()));
+    metaSpan.attr("bytes", h->metaSimBytes()).finish();
 
+    sim::SpanScope createSpan = machine.tracer().span(
+        clock, target.id(), "restore.task_create", "rfork.phase");
     auto task = target.createTask(h->name() + "+mitosis", opts.container);
+    createSpan.finish();
 
     try {
 
     // Rebuild the full VMA tree and the page-map bookkeeping that lazy
     // remote faults consult.
     const SimTime memStart = clock.now();
+    sim::SpanScope memSpan = machine.tracer().span(
+        clock, target.id(), "restore.memory_state", "rfork.phase");
     for (const os::Vma &v : h->vmas()) {
         task->mm().vmas().insert(v);
         clock.advance(costs.vmaSetup);
@@ -203,18 +224,26 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     // Lazy copies on access: Mitosis always migrates on (first) access.
     task->mm().setBacking(h, os::TieringPolicy::MigrateOnAccess);
     (void)opts; // Mitosis has no tiering choices
+    memSpan.finish();
 
     const SimTime globalStart = clock.now();
+    sim::SpanScope globalSpan = machine.tracer().span(
+        clock, target.id(), "restore.global_state", "rfork.phase");
     redoGlobalState(target, *task, h->global());
     rs.globalState = clock.now() - globalStart;
     task->cpu() = h->cpu();
+    globalSpan.finish();
 
     } catch (...) {
         target.exitTask(task);
+        machine.metrics().counter("rfork.mitosis.restore_failed").inc();
         throw;
     }
 
     rs.latency = clock.now() - start;
+    restoreSpan.finish();
+    machine.metrics().counter("rfork.mitosis.restores").inc();
+    machine.metrics().latency("rfork.mitosis.restore_ns").record(rs.latency);
     if (stats)
         *stats = rs;
     target.stats().counter("mitosis.restore").inc();

@@ -1,0 +1,169 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "json.hh"
+#include "log.hh"
+
+namespace cxlfork::sim {
+
+void
+LatencyHistogram::record(double ns)
+{
+    if (ns < 0.0)
+        panic("LatencyHistogram: negative duration %f ns", ns);
+    ++buckets_[bucketIndex(ns)];
+    ++count_;
+    sum_ += ns;
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+}
+
+uint32_t
+LatencyHistogram::bucketIndex(double ns)
+{
+    if (ns < 1.0)
+        return 0;
+    // Beyond uint64 range the double->int conversion is undefined, so
+    // clamp before converting; such values belong in the top bucket
+    // anyway.
+    if (ns >= std::ldexp(1.0, 63))
+        return kBuckets - 1;
+    // Value v with 2^(i-1) <= v < 2^i lands in bucket i.
+    const uint64_t v = uint64_t(ns);
+    const uint32_t i = uint32_t(std::bit_width(v));
+    return std::min(i, kBuckets - 1);
+}
+
+double
+LatencyHistogram::bucketFloorNs(uint32_t i)
+{
+    CXLF_ASSERT(i < kBuckets);
+    return i == 0 ? 0.0 : std::ldexp(1.0, int(i) - 1);
+}
+
+double
+LatencyHistogram::bucketCeilNs(uint32_t i)
+{
+    CXLF_ASSERT(i < kBuckets);
+    return std::ldexp(1.0, int(i));
+}
+
+double
+LatencyHistogram::percentileNs(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank: the k-th smallest sample, k in [1, count].
+    const uint64_t rank =
+        std::max<uint64_t>(1, uint64_t(std::ceil(q * double(count_))));
+    uint64_t seen = 0;
+    for (uint32_t i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return std::clamp(bucketCeilNs(i), min_, max_);
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    *this = LatencyHistogram{};
+}
+
+uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const Summary *
+MetricsRegistry::findSummary(const std::string &name) const
+{
+    auto it = summaries_.find(name);
+    return it == summaries_.end() ? nullptr : &it->second;
+}
+
+const LatencyHistogram *
+MetricsRegistry::findLatency(const std::string &name) const
+{
+    auto it = latencies_.find(name);
+    return it == latencies_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::flatten() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &[name, c] : counters_)
+        out.emplace_back(name, double(c.value()));
+    for (const auto &[name, g] : gauges_)
+        out.emplace_back(name, g.value());
+    for (const auto &[name, s] : summaries_) {
+        out.emplace_back(name + ".count", double(s.count()));
+        out.emplace_back(name + ".total", s.total());
+        out.emplace_back(name + ".mean", s.mean());
+        out.emplace_back(name + ".min", s.min());
+        out.emplace_back(name + ".max", s.max());
+    }
+    for (const auto &[name, h] : latencies_) {
+        out.emplace_back(name + ".count", double(h.count()));
+        out.emplace_back(name + ".sum_ns", h.sumNs());
+        out.emplace_back(name + ".min_ns", h.minNs());
+        out.emplace_back(name + ".max_ns", h.maxNs());
+        out.emplace_back(name + ".p50_ns", h.p50Ns());
+        out.emplace_back(name + ".p99_ns", h.p99Ns());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, value] : flatten()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n  \"" + json::escape(name) +
+               "\": " + json::formatNumber(value);
+    }
+    out += first ? "}" : "\n}";
+    out += "\n";
+    return out;
+}
+
+Table
+MetricsRegistry::toTable(const std::string &title) const
+{
+    Table t(title);
+    t.setHeader({"Metric", "Value"});
+    for (const auto &[name, value] : flatten())
+        t.addRow({name, json::formatNumber(value)});
+    return t;
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    summaries_.clear();
+    latencies_.clear();
+}
+
+} // namespace cxlfork::sim

@@ -1,0 +1,299 @@
+#include "trace.hh"
+
+#include <algorithm>
+
+#include "json.hh"
+#include "log.hh"
+
+namespace cxlfork::sim {
+
+double
+TraceValue::asDouble() const
+{
+    switch (kind) {
+      case Kind::U64:
+        return double(u64);
+      case Kind::F64:
+        return f64;
+      case Kind::Str:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+std::string
+TraceValue::toJson() const
+{
+    switch (kind) {
+      case Kind::U64:
+        return format("%llu", (unsigned long long)u64);
+      case Kind::F64:
+        return json::formatNumber(f64);
+      case Kind::Str:
+        return "\"" + json::escape(str) + "\"";
+    }
+    return "null";
+}
+
+bool
+TraceValue::operator==(const TraceValue &o) const
+{
+    return kind == o.kind && u64 == o.u64 && f64 == o.f64 && str == o.str;
+}
+
+namespace {
+
+const TraceValue *
+findAttr(const TraceAttrs &attrs, std::string_view key)
+{
+    for (const auto &[k, v] : attrs) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+uint64_t
+attrU64In(const TraceAttrs &attrs, std::string_view key, uint64_t dflt)
+{
+    const TraceValue *v = findAttr(attrs, key);
+    return v && v->kind == TraceValue::Kind::U64 ? v->u64 : dflt;
+}
+
+void
+appendArgsJson(std::string &out, const TraceAttrs &attrs)
+{
+    out += "\"args\":{";
+    bool first = true;
+    for (const auto &[k, v] : attrs) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + json::escape(k) + "\":" + v.toJson();
+    }
+    out += "}";
+}
+
+} // namespace
+
+const TraceValue *
+TraceSpan::attr(std::string_view key) const
+{
+    return findAttr(attrs, key);
+}
+
+uint64_t
+TraceSpan::attrU64(std::string_view key, uint64_t dflt) const
+{
+    return attrU64In(attrs, key, dflt);
+}
+
+const TraceValue *
+TraceInstant::attr(std::string_view key) const
+{
+    return findAttr(attrs, key);
+}
+
+uint64_t
+TraceInstant::attrU64(std::string_view key, uint64_t dflt) const
+{
+    return attrU64In(attrs, key, dflt);
+}
+
+SpanScope &
+SpanScope::attr(std::string_view key, uint64_t v)
+{
+    if (tracer_)
+        tracer_->addAttr(id_, key, TraceValue::of(v));
+    return *this;
+}
+
+SpanScope &
+SpanScope::attr(std::string_view key, double v)
+{
+    if (tracer_)
+        tracer_->addAttr(id_, key, TraceValue::of(v));
+    return *this;
+}
+
+SpanScope &
+SpanScope::attr(std::string_view key, std::string_view v)
+{
+    if (tracer_)
+        tracer_->addAttr(id_, key, TraceValue::of(v));
+    return *this;
+}
+
+void
+SpanScope::finish()
+{
+    if (!tracer_)
+        return;
+    tracer_->endSpan(id_, clock_->now());
+    tracer_ = nullptr;
+    clock_ = nullptr;
+}
+
+SpanScope
+Tracer::span(const SimClock &clock, uint32_t track, std::string_view name,
+             std::string_view category)
+{
+    if (!enabled_)
+        return {};
+    TraceSpan s;
+    s.id = uint32_t(spans_.size());
+    s.track = track;
+    s.name = std::string(name);
+    s.category = std::string(category);
+    s.begin = clock.now();
+    s.end = s.begin;
+    auto &stack = openByTrack_[track];
+    if (!stack.empty()) {
+        s.parent = stack.back();
+        s.depth = spans_[stack.back()].depth + 1;
+    }
+    stack.push_back(s.id);
+    spans_.push_back(std::move(s));
+    return SpanScope(this, &clock, uint32_t(spans_.size() - 1));
+}
+
+void
+Tracer::instantAt(SimTime at, uint32_t track, std::string_view name,
+                  std::string_view category, TraceAttrs attrs)
+{
+    if (!enabled_)
+        return;
+    TraceInstant i;
+    i.track = track;
+    i.name = std::string(name);
+    i.category = std::string(category);
+    i.at = at;
+    i.attrs = std::move(attrs);
+    instants_.push_back(std::move(i));
+}
+
+void
+Tracer::endSpan(uint32_t id, SimTime at)
+{
+    CXLF_ASSERT(id < spans_.size());
+    TraceSpan &s = spans_[id];
+    if (!s.open)
+        return;
+    s.end = at;
+    s.open = false;
+    auto it = openByTrack_.find(s.track);
+    CXLF_ASSERT(it != openByTrack_.end());
+    auto &stack = it->second;
+    // RAII discipline closes spans innermost-first, but a moved-from
+    // guard finishing late must not corrupt the stack: erase wherever
+    // the id sits.
+    auto pos = std::find(stack.rbegin(), stack.rend(), id);
+    CXLF_ASSERT(pos != stack.rend());
+    stack.erase(std::next(pos).base());
+}
+
+void
+Tracer::addAttr(uint32_t id, std::string_view key, TraceValue value)
+{
+    CXLF_ASSERT(id < spans_.size());
+    spans_[id].attrs.emplace_back(std::string(key), std::move(value));
+}
+
+size_t
+Tracer::openSpanCount() const
+{
+    size_t n = 0;
+    for (const auto &[track, stack] : openByTrack_)
+        n += stack.size();
+    return n;
+}
+
+const TraceSpan *
+Tracer::findLast(std::string_view name) const
+{
+    for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+        if (it->name == name)
+            return &*it;
+    }
+    return nullptr;
+}
+
+std::vector<const TraceSpan *>
+Tracer::childrenOf(const TraceSpan &parent) const
+{
+    std::vector<const TraceSpan *> out;
+    for (const TraceSpan &s : spans_) {
+        if (s.parent == parent.id)
+            out.push_back(&s);
+    }
+    return out;
+}
+
+std::vector<const TraceSpan *>
+Tracer::byCategory(std::string_view cat) const
+{
+    std::vector<const TraceSpan *> out;
+    for (const TraceSpan &s : spans_) {
+        if (s.category == cat)
+            out.push_back(&s);
+    }
+    return out;
+}
+
+std::vector<const TraceInstant *>
+Tracer::instantsNamed(std::string_view name) const
+{
+    std::vector<const TraceInstant *> out;
+    for (const TraceInstant &i : instants_) {
+        if (i.name == name)
+            out.push_back(&i);
+    }
+    return out;
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    // Complete ("X") events for spans, instant ("i") events for
+    // instants. Timestamps are microseconds per the trace_event spec;
+    // full precision is kept so the round trip is exact.
+    std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out += ",";
+        first = false;
+    };
+    for (const TraceSpan &s : spans_) {
+        sep();
+        out += "{\"ph\":\"X\",\"name\":\"" + json::escape(s.name) +
+               "\",\"cat\":\"" + json::escape(s.category) +
+               "\",\"pid\":0,\"tid\":" + format("%u", s.track) +
+               ",\"ts\":" + json::formatNumber(s.begin.toUs()) +
+               ",\"dur\":" + json::formatNumber(s.duration().toUs()) + ",";
+        appendArgsJson(out, s.attrs);
+        out += "}";
+    }
+    for (const TraceInstant &i : instants_) {
+        sep();
+        out += "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" +
+               json::escape(i.name) + "\",\"cat\":\"" +
+               json::escape(i.category) +
+               "\",\"pid\":0,\"tid\":" + format("%u", i.track) +
+               ",\"ts\":" + json::formatNumber(i.at.toUs()) + ",";
+        appendArgsJson(out, i.attrs);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    spans_.clear();
+    instants_.clear();
+    openByTrack_.clear();
+}
+
+} // namespace cxlfork::sim

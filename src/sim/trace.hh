@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Span tracing on the simulated clock.
+ *
+ * The paper's evaluation is a cost-attribution story: where restore
+ * time goes (page copies, PTE rewrites, rebase, TLB shootdowns), not
+ * just what it totals. The Tracer records that attribution as a tree
+ * of spans per track (one track per node), each timed on the node's
+ * SimClock, plus point-in-time instant events (a page copy, a porter
+ * scaling decision). Spans carry typed attributes (pages copied,
+ * bytes moved, mechanism name) so tests can use the trace as an
+ * oracle.
+ *
+ * Tracing is compiled in but disabled by default. A disabled tracer
+ * records nothing, allocates nothing, and never touches any SimClock,
+ * so every simulation result is bit-identical with tracing on or off:
+ * the trace is pure observation.
+ *
+ * The Chrome exporter emits `trace_event` JSON loadable in
+ * chrome://tracing / https://ui.perfetto.dev.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "clock.hh"
+#include "time.hh"
+
+namespace cxlfork::sim {
+
+class Tracer;
+
+/** A typed attribute value: integer, float, or string. */
+struct TraceValue
+{
+    enum class Kind : uint8_t { U64, F64, Str };
+
+    Kind kind = Kind::U64;
+    uint64_t u64 = 0;
+    double f64 = 0.0;
+    std::string str;
+
+    static TraceValue
+    of(uint64_t v)
+    {
+        TraceValue tv;
+        tv.kind = Kind::U64;
+        tv.u64 = v;
+        return tv;
+    }
+
+    static TraceValue
+    of(double v)
+    {
+        TraceValue tv;
+        tv.kind = Kind::F64;
+        tv.f64 = v;
+        return tv;
+    }
+
+    static TraceValue
+    of(std::string_view v)
+    {
+        TraceValue tv;
+        tv.kind = Kind::Str;
+        tv.str = std::string(v);
+        return tv;
+    }
+
+    /** Numeric view (u64 widened; strings read as 0). */
+    double asDouble() const;
+
+    std::string toJson() const;
+    bool operator==(const TraceValue &o) const;
+};
+
+using TraceAttrs = std::vector<std::pair<std::string, TraceValue>>;
+
+/** One closed (or still-open) span. */
+struct TraceSpan
+{
+    static constexpr uint32_t kNoParent = UINT32_MAX;
+
+    uint32_t id = 0;
+    uint32_t parent = kNoParent; ///< Index into Tracer::spans().
+    uint32_t track = 0;          ///< Node id (or porter track).
+    uint32_t depth = 0;          ///< Nesting depth on its track.
+    std::string name;
+    std::string category;
+    SimTime begin;
+    SimTime end;
+    bool open = true;
+    TraceAttrs attrs;
+
+    SimTime duration() const { return end - begin; }
+
+    const TraceValue *attr(std::string_view key) const;
+    uint64_t attrU64(std::string_view key, uint64_t dflt = 0) const;
+};
+
+/** One instant (zero-duration) event. */
+struct TraceInstant
+{
+    uint32_t track = 0;
+    std::string name;
+    std::string category;
+    SimTime at;
+    TraceAttrs attrs;
+
+    const TraceValue *attr(std::string_view key) const;
+    uint64_t attrU64(std::string_view key, uint64_t dflt = 0) const;
+};
+
+/**
+ * RAII handle for an open span. Inert when default-constructed or
+ * obtained from a disabled tracer: every member is then a no-op, so
+ * instrumentation sites never need to test for enablement themselves.
+ * The span closes at the owning clock's current time when the handle
+ * is destroyed or finish()ed, whichever comes first.
+ */
+class SpanScope
+{
+  public:
+    SpanScope() = default;
+    ~SpanScope() { finish(); }
+
+    SpanScope(SpanScope &&o) noexcept { moveFrom(o); }
+
+    SpanScope &
+    operator=(SpanScope &&o) noexcept
+    {
+        if (this != &o) {
+            finish();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** True when this handle refers to a live recorded span. */
+    bool active() const { return tracer_ != nullptr; }
+
+    /** Attach a typed attribute. Chainable. */
+    SpanScope &attr(std::string_view key, uint64_t v);
+    SpanScope &attr(std::string_view key, double v);
+    SpanScope &attr(std::string_view key, std::string_view v);
+
+    /** Close the span now (idempotent). */
+    void finish();
+
+  private:
+    friend class Tracer;
+    SpanScope(Tracer *tracer, const SimClock *clock, uint32_t id)
+        : tracer_(tracer), clock_(clock), id_(id)
+    {}
+
+    void
+    moveFrom(SpanScope &o)
+    {
+        tracer_ = o.tracer_;
+        clock_ = o.clock_;
+        id_ = o.id_;
+        o.tracer_ = nullptr;
+        o.clock_ = nullptr;
+    }
+
+    Tracer *tracer_ = nullptr;
+    const SimClock *clock_ = nullptr;
+    uint32_t id_ = 0;
+};
+
+/** The span/instant recorder. One per Machine; off by default. */
+class Tracer
+{
+  public:
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /**
+     * Open a span on `track`, timed on `clock`, nested under the
+     * innermost open span of the same track. Returns an inert handle
+     * when tracing is disabled.
+     */
+    SpanScope span(const SimClock &clock, uint32_t track,
+                   std::string_view name, std::string_view category);
+
+    /** Record an instant event at the clock's current time. */
+    void
+    instant(const SimClock &clock, uint32_t track, std::string_view name,
+            std::string_view category, TraceAttrs attrs = {})
+    {
+        instantAt(clock.now(), track, name, category, std::move(attrs));
+    }
+
+    /** Record an instant event at an explicit simulated time. */
+    void instantAt(SimTime at, uint32_t track, std::string_view name,
+                   std::string_view category, TraceAttrs attrs = {});
+
+    // --- Introspection (tests, breakdown tables).
+
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+    const std::vector<TraceInstant> &instants() const { return instants_; }
+
+    /** Number of spans still open across all tracks. */
+    size_t openSpanCount() const;
+
+    /** Last recorded span with this name; nullptr when absent. */
+    const TraceSpan *findLast(std::string_view name) const;
+
+    /** Direct children of a span, in recording order. */
+    std::vector<const TraceSpan *> childrenOf(const TraceSpan &parent) const;
+
+    /** All spans of one category, in recording order. */
+    std::vector<const TraceSpan *> byCategory(std::string_view cat) const;
+
+    /** All instant events with this name, in recording order. */
+    std::vector<const TraceInstant *>
+    instantsNamed(std::string_view name) const;
+
+    /** Chrome trace_event JSON (complete + instant events). */
+    std::string toChromeJson() const;
+
+    /** Drop everything recorded (enablement is unchanged). */
+    void clear();
+
+  private:
+    friend class SpanScope;
+    void endSpan(uint32_t id, SimTime at);
+    void addAttr(uint32_t id, std::string_view key, TraceValue value);
+
+    bool enabled_ = false;
+    std::vector<TraceSpan> spans_;
+    std::vector<TraceInstant> instants_;
+    std::map<uint32_t, std::vector<uint32_t>> openByTrack_;
+};
+
+} // namespace cxlfork::sim

@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "rfork/criu.hh"
 #include "rfork/cxlfork.hh"
 #include "rfork/mitosis.hh"
 #include "sim/rng.hh"
+#include "sim/trace.hh"
 #include "test_util.hh"
 
 namespace cxlfork::rfork {
@@ -202,6 +205,104 @@ TEST_P(RechkptFuzz, CheckpointOfRestoredCloneIsFaithful)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RechkptFuzz,
                          ::testing::Range<uint64_t>(500, 508));
+
+/**
+ * Tracer-backed page accounting: for a random process restored with
+ * CXLfork, every checkpointed page is either prefetch-copied to local
+ * DRAM or still CXL-shared — copied + shared == resident — and the
+ * prefetch page_copy instants agree exactly with RestoreStats.
+ */
+class TraceOracleFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(TraceOracleFuzz, CopiedPlusSharedEqualsResidentPages)
+{
+    World world(test::smallConfig());
+    world.machine->tracer().setEnabled(true);
+    sim::Rng rng(GetParam());
+    RandomProcess parent = makeRandomProcess(world, rng);
+    CxlFork fork(*world.fabric);
+
+    CheckpointStats cs;
+    auto handle = fork.checkpoint(world.node(0), *parent.task, &cs);
+    RestoreOptions opts;
+    opts.prefetchDirty = true;
+    RestoreStats rs;
+    auto child = fork.restore(handle, world.node(1), opts, &rs);
+
+    // Walk the child's page table over the recorded pages: a resident
+    // page is either a fresh local copy or still the checkpoint's CXL
+    // frame (the attached, rebased PTE).
+    uint64_t copied = 0, shared = 0, resident = 0;
+    for (const auto &[va, content] : parent.pages) {
+        const os::Pte p = child->mm().pageTable().lookup(va);
+        if (!p.present())
+            continue;
+        ++resident;
+        if (p.cxlCheckpoint())
+            ++shared;
+        else
+            ++copied;
+        (void)content;
+    }
+    EXPECT_EQ(copied + shared, resident);
+    EXPECT_EQ(copied, rs.pagesCopied);
+    EXPECT_EQ(resident, cs.pages);
+
+    // The trace tells the same story: one prefetch instant per copied
+    // page, each for a distinct vpn.
+    const sim::Tracer &tracer = world.machine->tracer();
+    std::set<uint64_t> prefetched;
+    for (const sim::TraceInstant *i : tracer.instantsNamed("page_copy")) {
+        if (i->track != 1)
+            continue;
+        ASSERT_TRUE(i->attr("reason"));
+        EXPECT_EQ(i->attr("reason")->str, "prefetch");
+        EXPECT_TRUE(prefetched.insert(i->attrU64("vpn")).second)
+            << "vpn prefetched twice";
+    }
+    EXPECT_EQ(uint64_t(prefetched.size()), rs.pagesCopied);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceOracleFuzz,
+                         ::testing::Range<uint64_t>(900, 906));
+
+/**
+ * Restore cost is monotone in the CXL round-trip latency: the same
+ * process, checkpointed and restored under increasing cxlLatency,
+ * never restores faster at a slower device.
+ */
+TEST(TraceOracleMonotone, RestoreTotalMonotoneInCxlLatency)
+{
+    auto restoreNs = [](double latNs) {
+        mem::MachineConfig cfg = test::smallConfig();
+        cfg.costs.cxlLatency = sim::SimTime::ns(latNs);
+        World world(cfg);
+        world.machine->tracer().setEnabled(true);
+        sim::Rng rng(4242);
+        RandomProcess parent = makeRandomProcess(world, rng);
+        CxlFork fork(*world.fabric);
+        auto handle = fork.checkpoint(world.node(0), *parent.task);
+        RestoreOptions opts;
+        opts.prefetchDirty = true;
+        RestoreStats rs;
+        fork.restore(handle, world.node(1), opts, &rs);
+        // The span agrees with the stats at every latency point.
+        const sim::TraceSpan *span =
+            world.machine->tracer().findLast("cxlfork.restore");
+        EXPECT_TRUE(span && !span->open);
+        if (span)
+            EXPECT_EQ(span->duration().toNs(), rs.latency.toNs());
+        return rs.latency.toNs();
+    };
+    double prev = -1.0;
+    for (double lat : {100.0, 200.0, 400.0, 800.0}) {
+        const double ns = restoreNs(lat);
+        EXPECT_GE(ns, prev) << "restore got cheaper at " << lat << " ns";
+        prev = ns;
+    }
+}
 
 } // namespace
 } // namespace cxlfork::rfork

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the span tracer: RAII scope semantics, per-track
+ * nesting, attributes, instants, and an exact Chrome trace_event JSON
+ * round trip through the sim::json parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/json.hh"
+#include "sim/trace.hh"
+
+namespace cxlfork::sim {
+namespace {
+
+TEST(TraceValue, TypedConstructionAndViews)
+{
+    const TraceValue u = TraceValue::of(uint64_t(42));
+    EXPECT_EQ(u.kind, TraceValue::Kind::U64);
+    EXPECT_DOUBLE_EQ(u.asDouble(), 42.0);
+
+    const TraceValue f = TraceValue::of(2.5);
+    EXPECT_EQ(f.kind, TraceValue::Kind::F64);
+    EXPECT_DOUBLE_EQ(f.asDouble(), 2.5);
+
+    const TraceValue s = TraceValue::of("migrate");
+    EXPECT_EQ(s.kind, TraceValue::Kind::Str);
+    EXPECT_DOUBLE_EQ(s.asDouble(), 0.0);
+    EXPECT_EQ(s.toJson(), "\"migrate\"");
+
+    EXPECT_TRUE(u == TraceValue::of(uint64_t(42)));
+    EXPECT_FALSE(u == f);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing)
+{
+    Tracer tracer;
+    SimClock clock;
+    ASSERT_FALSE(tracer.enabled());
+    {
+        SpanScope s = tracer.span(clock, 0, "noop", "test");
+        EXPECT_FALSE(s.active());
+        s.attr("k", uint64_t(1)); // must be a harmless no-op
+        tracer.instant(clock, 0, "i", "test");
+    }
+    EXPECT_TRUE(tracer.spans().empty());
+    EXPECT_TRUE(tracer.instants().empty());
+    EXPECT_EQ(tracer.openSpanCount(), 0u);
+}
+
+TEST(Tracer, SpanTimesOnTheSimulatedClock)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clock;
+    clock.advance(SimTime::us(3));
+    {
+        SpanScope s = tracer.span(clock, 0, "work", "test");
+        EXPECT_TRUE(s.active());
+        clock.advance(SimTime::us(7));
+    }
+    ASSERT_EQ(tracer.spans().size(), 1u);
+    const TraceSpan &span = tracer.spans().front();
+    EXPECT_FALSE(span.open);
+    EXPECT_EQ(span.begin, SimTime::us(3));
+    EXPECT_EQ(span.end, SimTime::us(10));
+    EXPECT_EQ(span.duration(), SimTime::us(7));
+    EXPECT_EQ(tracer.openSpanCount(), 0u);
+}
+
+TEST(Tracer, NestingTracksParentAndDepthPerTrack)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clockA, clockB;
+    {
+        SpanScope outer = tracer.span(clockA, 0, "outer", "test");
+        // A span on another track must NOT nest under track 0's stack.
+        SpanScope other = tracer.span(clockB, 1, "other", "test");
+        {
+            SpanScope inner = tracer.span(clockA, 0, "inner", "test");
+            clockA.advance(SimTime::ns(5));
+        }
+        clockA.advance(SimTime::ns(5));
+    }
+    const TraceSpan *outer = tracer.findLast("outer");
+    const TraceSpan *inner = tracer.findLast("inner");
+    const TraceSpan *other = tracer.findLast("other");
+    ASSERT_TRUE(outer && inner && other);
+    EXPECT_EQ(outer->parent, TraceSpan::kNoParent);
+    EXPECT_EQ(outer->depth, 0u);
+    EXPECT_EQ(inner->parent, outer->id);
+    EXPECT_EQ(inner->depth, 1u);
+    EXPECT_EQ(other->parent, TraceSpan::kNoParent);
+    EXPECT_EQ(other->depth, 0u);
+
+    const auto kids = tracer.childrenOf(*outer);
+    ASSERT_EQ(kids.size(), 1u);
+    EXPECT_EQ(kids.front()->name, "inner");
+}
+
+TEST(Tracer, FinishIsIdempotentAndMoveTransfersOwnership)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clock;
+
+    SpanScope a = tracer.span(clock, 0, "moved", "test");
+    clock.advance(SimTime::ns(10));
+    SpanScope b = std::move(a);
+    EXPECT_FALSE(a.active()); // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.active());
+    clock.advance(SimTime::ns(10));
+    b.finish();
+    b.finish(); // second finish must not re-close or corrupt stacks
+    EXPECT_FALSE(b.active());
+
+    ASSERT_EQ(tracer.spans().size(), 1u);
+    EXPECT_EQ(tracer.spans().front().duration(), SimTime::ns(20));
+    EXPECT_EQ(tracer.openSpanCount(), 0u);
+}
+
+TEST(Tracer, OutOfOrderFinishKeepsTheStackConsistent)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clock;
+
+    SpanScope outer = tracer.span(clock, 0, "outer", "test");
+    SpanScope inner = tracer.span(clock, 0, "inner", "test");
+    clock.advance(SimTime::ns(4));
+    // Close the outer guard first (a moved-from guard finishing late).
+    outer.finish();
+    clock.advance(SimTime::ns(4));
+    inner.finish();
+
+    const TraceSpan *in = tracer.findLast("inner");
+    ASSERT_TRUE(in);
+    EXPECT_EQ(in->duration(), SimTime::ns(8));
+    EXPECT_EQ(tracer.openSpanCount(), 0u);
+
+    // A new span after the scramble starts a fresh root.
+    SpanScope next = tracer.span(clock, 0, "next", "test");
+    next.finish();
+    EXPECT_EQ(tracer.findLast("next")->parent, TraceSpan::kNoParent);
+}
+
+TEST(Tracer, AttributesAreTypedAndQueryable)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clock;
+    {
+        SpanScope s = tracer.span(clock, 0, "attrs", "test");
+        s.attr("pages", uint64_t(17))
+            .attr("ratio", 0.25)
+            .attr("mech", "cxlfork");
+    }
+    const TraceSpan *span = tracer.findLast("attrs");
+    ASSERT_TRUE(span);
+    EXPECT_EQ(span->attrU64("pages"), 17u);
+    EXPECT_EQ(span->attrU64("missing", 99), 99u);
+    ASSERT_TRUE(span->attr("ratio"));
+    EXPECT_DOUBLE_EQ(span->attr("ratio")->f64, 0.25);
+    ASSERT_TRUE(span->attr("mech"));
+    EXPECT_EQ(span->attr("mech")->str, "cxlfork");
+    EXPECT_EQ(span->attr("nope"), nullptr);
+}
+
+TEST(Tracer, InstantsRecordAtExplicitOrClockTime)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clock;
+    clock.advance(SimTime::us(2));
+    tracer.instant(clock, 3, "page_copy", "os",
+                   {{"vpn", TraceValue::of(uint64_t(0xabc))}});
+    tracer.instantAt(SimTime::us(9), 1, "failover", "porter");
+
+    ASSERT_EQ(tracer.instants().size(), 2u);
+    const auto copies = tracer.instantsNamed("page_copy");
+    ASSERT_EQ(copies.size(), 1u);
+    EXPECT_EQ(copies.front()->at, SimTime::us(2));
+    EXPECT_EQ(copies.front()->track, 3u);
+    EXPECT_EQ(copies.front()->attrU64("vpn"), 0xabcu);
+    EXPECT_EQ(tracer.instantsNamed("failover").front()->at, SimTime::us(9));
+}
+
+TEST(Tracer, ByCategoryAndClear)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clock;
+    tracer.span(clock, 0, "a", "rfork.phase").finish();
+    tracer.span(clock, 0, "b", "rfork.restore").finish();
+    tracer.span(clock, 0, "c", "rfork.phase").finish();
+
+    const auto phases = tracer.byCategory("rfork.phase");
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0]->name, "a");
+    EXPECT_EQ(phases[1]->name, "c");
+
+    tracer.clear();
+    EXPECT_TRUE(tracer.spans().empty());
+    EXPECT_TRUE(tracer.instants().empty());
+    EXPECT_TRUE(tracer.enabled()) << "clear() must not disable tracing";
+}
+
+/** The Chrome exporter round-trips exactly through the JSON parser. */
+TEST(Tracer, ChromeJsonRoundTrip)
+{
+    Tracer tracer;
+    tracer.setEnabled(true);
+    SimClock clock;
+    clock.advance(SimTime::ns(1500));
+    {
+        SpanScope outer = tracer.span(clock, 2, "restore", "rfork.restore");
+        outer.attr("image", "img-1").attr("pages", uint64_t(7));
+        {
+            SpanScope inner =
+                tracer.span(clock, 2, "restore.memory_state", "rfork.phase");
+            clock.advance(SimTime::ns(250));
+        }
+        clock.advance(SimTime::ns(750));
+    }
+    tracer.instant(clock, 2, "page_copy", "os",
+                   {{"vpn", TraceValue::of(uint64_t(12))},
+                    {"reason", TraceValue::of("prefetch")}});
+
+    const json::Value doc = json::parse(tracer.toChromeJson());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.stringOr("displayTimeUnit", ""), "ns");
+    const json::Value *events = doc.find("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+    ASSERT_EQ(events->array.size(), 3u); // 2 spans + 1 instant
+
+    const json::Value &outer = events->array[0];
+    EXPECT_EQ(outer.stringOr("ph", ""), "X");
+    EXPECT_EQ(outer.stringOr("name", ""), "restore");
+    EXPECT_EQ(outer.stringOr("cat", ""), "rfork.restore");
+    EXPECT_DOUBLE_EQ(outer.numberOr("tid", -1), 2.0);
+    EXPECT_DOUBLE_EQ(outer.numberOr("ts", -1), 1.5);   // us
+    EXPECT_DOUBLE_EQ(outer.numberOr("dur", -1), 1.0);  // us
+    const json::Value *args = outer.find("args");
+    ASSERT_TRUE(args && args->isObject());
+    EXPECT_EQ(args->stringOr("image", ""), "img-1");
+    EXPECT_DOUBLE_EQ(args->numberOr("pages", -1), 7.0);
+
+    const json::Value &inner = events->array[1];
+    EXPECT_EQ(inner.stringOr("name", ""), "restore.memory_state");
+    EXPECT_DOUBLE_EQ(inner.numberOr("dur", -1), 0.25);
+
+    const json::Value &instant = events->array[2];
+    EXPECT_EQ(instant.stringOr("ph", ""), "i");
+    EXPECT_EQ(instant.stringOr("name", ""), "page_copy");
+    const json::Value *iargs = instant.find("args");
+    ASSERT_TRUE(iargs);
+    EXPECT_DOUBLE_EQ(iargs->numberOr("vpn", -1), 12.0);
+    EXPECT_EQ(iargs->stringOr("reason", ""), "prefetch");
+}
+
+TEST(Json, EscapeAndNumberFormatting)
+{
+    EXPECT_EQ(json::escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    EXPECT_EQ(json::formatNumber(3.0), "3");
+    // A value with no short decimal form survives a parse round trip.
+    const double v = 0.1 + 0.2;
+    const json::Value parsed = json::parse(json::formatNumber(v));
+    ASSERT_TRUE(parsed.isNumber());
+    EXPECT_EQ(parsed.number, v);
+}
+
+TEST(Json, ParserHandlesTheExporterSubset)
+{
+    const json::Value v = json::parse(
+        "{\"a\": [1, 2.5, \"s\"], \"b\": {\"t\": true, \"n\": null}}");
+    ASSERT_TRUE(v.isObject());
+    const json::Value *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+    EXPECT_EQ(a->array[2].str, "s");
+    const json::Value *b = v.find("b");
+    ASSERT_TRUE(b && b->isObject());
+    ASSERT_TRUE(b->find("t"));
+    EXPECT_TRUE(b->find("t")->boolean);
+    EXPECT_EQ(b->find("n")->kind, json::Value::Kind::Null);
+    EXPECT_EQ(v.find("zz"), nullptr);
+}
+
+} // namespace
+} // namespace cxlfork::sim

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full CI pipeline: regular build + complete test suite (unit, property,
+# trace-invariant, CLI smoke, golden-benchmark regression), then the
+# ASan/UBSan fault smoke which rebuilds sanitized and re-runs everything.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== Configuring $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== Running full test suite"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== Running golden-benchmark regression suite"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
+
+echo "== Running ASan/UBSan fault smoke (sanitized rebuild + full suite)"
+BUILD_DIR="${ASAN_BUILD_DIR:-$REPO_ROOT/build-asan}" JOBS="$JOBS" \
+    "$REPO_ROOT/tools/fault_smoke.sh"
+
+echo "== ci: all checks passed"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Run one bench with the metrics exporter armed and diff the exported
+# flat-JSON registry against its checked-in golden file.
+#
+# Usage: golden_bench.sh <bench-binary> <golden.json> <golden_diff-binary>
+#
+# Environment:
+#   GOLDEN_UPDATE=1   rewrite the golden file from this run instead of
+#                     diffing (use after an intentional cost-model change,
+#                     then commit the new golden).
+#   GOLDEN_TOL=<t>    relative tolerance passed to golden_diff
+#                     (default 0.001 = 0.1%).
+#
+# The bench runs with CXLFORK_TRACE=1 so the per-phase restore metrics
+# (collectRestorePhases) are part of the golden surface: a change that
+# shifts cost between phases fails the diff even if totals stay put.
+# CXLFORK_CXL_LATENCY_NS deliberately leaks through to the bench, which
+# is how the suite's own regression test proves a perturbed cost model
+# is caught (see DESIGN.md).
+
+set -eu
+
+if [ $# -ne 3 ]; then
+    echo "usage: $0 <bench-binary> <golden.json> <golden_diff-binary>" >&2
+    exit 2
+fi
+
+bench=$1
+golden=$2
+diff_tool=$3
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+CXLFORK_TRACE=1 CXLFORK_METRICS_JSON="$out" "$bench" > /dev/null
+
+if [ "${GOLDEN_UPDATE:-0}" = "1" ]; then
+    mkdir -p "$(dirname "$golden")"
+    cp "$out" "$golden"
+    echo "golden_bench: updated $golden"
+    exit 0
+fi
+
+if [ ! -f "$golden" ]; then
+    echo "golden_bench: $golden missing; run with GOLDEN_UPDATE=1" >&2
+    exit 2
+fi
+
+exec "$diff_tool" "$golden" "$out" "${GOLDEN_TOL:-0.001}"

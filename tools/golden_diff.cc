@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Golden-metrics comparator for the benchmark regression suite.
+ *
+ * Usage: golden_diff <golden.json> <actual.json> [rel_tol]
+ *
+ * Both files are flat `name -> number` objects written by
+ * bench::finishBench() (MetricsRegistry::toJson()). The comparison is
+ * per-metric:
+ *  - keys ending in `.count` (sample/event counts) must match exactly;
+ *  - every other metric must agree within `rel_tol` relative error
+ *    (default 0.1%), with an absolute floor for values near zero;
+ *  - a key present on one side only is always a failure.
+ *
+ * Exit status 0 on match, 1 on any difference, 2 on usage/parse error.
+ * Every offending metric is printed, so a CI log shows the whole drift
+ * at once rather than the first mismatch.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "sim/json.hh"
+#include "sim/log.hh"
+
+namespace {
+
+using cxlfork::sim::json::Value;
+
+std::map<std::string, double>
+loadFlatMetrics(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "golden_diff: cannot read %s\n", path);
+        std::exit(2);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Value doc = cxlfork::sim::json::parse(buf.str());
+    if (!doc.isObject()) {
+        std::fprintf(stderr, "golden_diff: %s is not a JSON object\n", path);
+        std::exit(2);
+    }
+    std::map<std::string, double> out;
+    for (const auto &[name, v] : doc.object) {
+        if (!v.isNumber()) {
+            std::fprintf(stderr, "golden_diff: %s: '%s' is not a number\n",
+                         path, name.c_str());
+            std::exit(2);
+        }
+        out[name] = v.number;
+    }
+    return out;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3 || argc > 4) {
+        std::fprintf(stderr,
+                     "usage: golden_diff <golden.json> <actual.json> "
+                     "[rel_tol]\n");
+        return 2;
+    }
+    const double relTol = argc == 4 ? std::atof(argv[3]) : 1e-3;
+    // Below this magnitude relative error is meaningless; compare with
+    // the same budget as an absolute bound instead.
+    const double absFloor = 1e-9;
+
+    const auto golden = loadFlatMetrics(argv[1]);
+    const auto actual = loadFlatMetrics(argv[2]);
+
+    int failures = 0;
+    for (const auto &[name, want] : golden) {
+        auto it = actual.find(name);
+        if (it == actual.end()) {
+            std::printf("MISSING  %s (golden %.17g)\n", name.c_str(), want);
+            ++failures;
+            continue;
+        }
+        const double got = it->second;
+        if (endsWith(name, ".count")) {
+            if (got != want) {
+                std::printf("COUNT    %s: golden %.17g, actual %.17g\n",
+                            name.c_str(), want, got);
+                ++failures;
+            }
+            continue;
+        }
+        const double scale = std::max(std::fabs(want), std::fabs(got));
+        const double err = std::fabs(got - want);
+        const bool ok = scale < absFloor ? err <= absFloor
+                                         : err <= relTol * scale;
+        if (!ok) {
+            std::printf("DRIFT    %s: golden %.17g, actual %.17g "
+                        "(rel %.3g > tol %.3g)\n",
+                        name.c_str(), want, got, err / scale, relTol);
+            ++failures;
+        }
+    }
+    for (const auto &[name, got] : actual) {
+        if (!golden.count(name)) {
+            std::printf("EXTRA    %s (actual %.17g)\n", name.c_str(), got);
+            ++failures;
+        }
+    }
+
+    if (failures) {
+        std::printf("golden_diff: %d metric(s) differ between %s and %s\n",
+                    failures, argv[1], argv[2]);
+        return 1;
+    }
+    std::printf("golden_diff: %zu metrics match (tol %.3g)\n", golden.size(),
+                relTol);
+    return 0;
+}
