@@ -6,6 +6,10 @@
  *  3. Ghost containers on/off inside CXLporter (Sec. 5).
  *  4. TrEnv-style per-node memory templates vs CXLfork's direct attach
  *     (Sec. 9: CXLfork is ~1.8x faster without pre-created templates).
+ *
+ * Each (function, config) cell is a runSweep() point with its own
+ * cluster, so the ablations use CXLFORK_JOBS host threads; tables and
+ * derived ratios are assembled after each sweep in point order.
  */
 
 #include "porter/autoscaler.hh"
@@ -21,27 +25,41 @@ ablationAttach()
     sim::Table t("Ablation 1: restore with attached vs copied PT/VMA "
                  "leaves");
     t.setHeader({"Function", "Attach (ms)", "Copy (ms)", "Speedup"});
-    for (const char *name : {"Float", "Rnn", "Bert"}) {
-        const auto spec = *faas::findWorkload(name);
-        double attachMs = 0, copyMs = 0;
-        for (bool attach : {true, false}) {
-            porter::Cluster cluster(bench::benchClusterConfig());
-            auto parent = bench::deployWarmParent(cluster, spec, 1);
-            rfork::CxlForkConfig cfg;
-            cfg.attachLeaves = attach;
-            rfork::CxlFork cxlf(cluster.fabric(), cfg);
-            auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
-            rfork::RestoreStats rs;
-            rfork::RestoreOptions opts;
-            opts.prefetchDirty = false;
-            cxlf.restore(handle, cluster.node(1), opts, &rs);
-            (attach ? attachMs : copyMs) = rs.latency.toMs();
-            bench::collectRestorePhases(cluster.machine(),
-                                        attach ? "ablation.phase.attach"
-                                               : "ablation.phase.copy");
-        }
+    const std::vector<const char *> names{"Float", "Rnn", "Bert"};
+    struct Point
+    {
+        const char *name;
+        bool attach;
+    };
+    std::vector<Point> points;
+    for (const char *name : names)
+        for (bool attach : {true, false})
+            points.push_back({name, attach});
+    std::vector<double> restoreMs(points.size());
+
+    bench::runSweep(points, [&](const Point &p, size_t i) {
+        const auto spec = *faas::findWorkload(p.name);
+        porter::Cluster cluster(bench::benchClusterConfig());
+        auto parent = bench::deployWarmParent(cluster, spec, 1);
+        rfork::CxlForkConfig cfg;
+        cfg.attachLeaves = p.attach;
+        rfork::CxlFork cxlf(cluster.fabric(), cfg);
+        auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
+        rfork::RestoreStats rs;
+        rfork::RestoreOptions opts;
+        opts.prefetchDirty = false;
+        cxlf.restore(handle, cluster.node(1), opts, &rs);
+        restoreMs[i] = rs.latency.toMs();
+        bench::collectRestorePhases(cluster.machine(),
+                                    p.attach ? "ablation.phase.attach"
+                                             : "ablation.phase.copy");
+    });
+
+    for (size_t f = 0; f < names.size(); ++f) {
+        const double attachMs = restoreMs[2 * f];
+        const double copyMs = restoreMs[2 * f + 1];
         bench::recordValue("ablation.attach_speedup", copyMs / attachMs);
-        t.addRow({name, sim::Table::num(attachMs, 2),
+        t.addRow({names[f], sim::Table::num(attachMs, 2),
                   sim::Table::num(copyMs, 2),
                   sim::Table::num(copyMs / attachMs, 1) + "x"});
     }
@@ -55,38 +73,49 @@ ablationPrefetch()
     t.setHeader({"Function", "Restore+exec, prefetch (ms)",
                  "Restore+exec, no prefetch (ms)", "CoW faults w/",
                  "CoW faults w/o"});
-    for (const char *name : {"Linpack", "Json", "Bert"}) {
-        const auto spec = *faas::findWorkload(name);
-        double withMs = 0, withoutMs = 0;
-        uint64_t cowWith = 0, cowWithout = 0;
-        for (bool prefetch : {true, false}) {
-            porter::Cluster cluster(bench::benchClusterConfig());
-            auto parent = bench::deployWarmParent(cluster, spec, 1);
-            rfork::CxlFork cxlf(cluster.fabric());
-            auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
-            rfork::RestoreOptions opts;
-            opts.prefetchDirty = prefetch;
-            rfork::RestoreStats rs;
-            auto task = cxlf.restore(handle, cluster.node(1), opts, &rs);
-            auto child = faas::FunctionInstance::adoptRestored(
-                cluster.node(1), spec, task);
-            const auto inv = child->invoke();
-            const double ms = (rs.latency + inv.latency).toMs();
-            const uint64_t cow =
-                cluster.node(1).stats().counterValue("fault.cow_cxl");
-            if (prefetch) {
-                withMs = ms;
-                cowWith = cow;
-            } else {
-                withoutMs = ms;
-                cowWithout = cow;
-            }
-        }
+    const std::vector<const char *> names{"Linpack", "Json", "Bert"};
+    struct Point
+    {
+        const char *name;
+        bool prefetch;
+    };
+    struct Result
+    {
+        double ms = 0;
+        uint64_t cow = 0;
+    };
+    std::vector<Point> points;
+    for (const char *name : names)
+        for (bool prefetch : {true, false})
+            points.push_back({name, prefetch});
+    std::vector<Result> results(points.size());
+
+    bench::runSweep(points, [&](const Point &p, size_t i) {
+        const auto spec = *faas::findWorkload(p.name);
+        porter::Cluster cluster(bench::benchClusterConfig());
+        auto parent = bench::deployWarmParent(cluster, spec, 1);
+        rfork::CxlFork cxlf(cluster.fabric());
+        auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
+        rfork::RestoreOptions opts;
+        opts.prefetchDirty = p.prefetch;
+        rfork::RestoreStats rs;
+        auto task = cxlf.restore(handle, cluster.node(1), opts, &rs);
+        auto child = faas::FunctionInstance::adoptRestored(cluster.node(1),
+                                                           spec, task);
+        const auto inv = child->invoke();
+        results[i].ms = (rs.latency + inv.latency).toMs();
+        results[i].cow =
+            cluster.node(1).stats().counterValue("fault.cow_cxl");
+    });
+
+    for (size_t f = 0; f < names.size(); ++f) {
+        const Result &with = results[2 * f];
+        const Result &without = results[2 * f + 1];
         bench::recordValue("ablation.prefetch_cow_saved",
-                           double(cowWithout) - double(cowWith));
-        t.addRow({name, sim::Table::num(withMs, 1),
-                  sim::Table::num(withoutMs, 1), std::to_string(cowWith),
-                  std::to_string(cowWithout)});
+                           double(without.cow) - double(with.cow));
+        t.addRow({names[f], sim::Table::num(with.ms, 1),
+                  sim::Table::num(without.ms, 1),
+                  std::to_string(with.cow), std::to_string(without.cow)});
     }
     t.addNote("Prefetching the checkpoint-dirty pages eliminates nearly "
               "all CXL CoW faults (paper: >95% of parent-written pages "
@@ -108,11 +137,14 @@ ablationGhosts()
     tc.duration = sim::SimTime::sec(40);
     tc.seed = 0x607;
     const auto trace = porter::TraceGenerator(names, tc).generate();
-    porter::PerfModel perf;
+    porter::PerfModel perf; // thread-safe; shared by the sweep points
 
     sim::Table t("Ablation 3: ghost containers in CXLporter");
     t.setHeader({"Config", "P99 (ms)", "P50 (ms)", "Ghost hits"});
-    for (bool ghosts : {true, false}) {
+    const std::vector<bool> ghostConfigs{true, false};
+    std::vector<porter::PorterMetrics> results(ghostConfigs.size());
+
+    bench::runSweep(ghostConfigs, [&](bool ghosts, size_t i) {
         porter::PorterConfig cfg;
         cfg.mechanism = porter::Mechanism::CxlFork;
         cfg.ghostsPerFunction = ghosts ? 2 : 0;
@@ -122,7 +154,12 @@ ablationGhosts()
         bench::recordValue(ghosts ? "ablation.ghosts.p99_ms"
                                   : "ablation.no_ghosts.p99_ms",
                            m.p99Ms());
-        t.addRow({ghosts ? "with ghosts" : "without ghosts",
+        results[i] = m;
+    });
+
+    for (size_t i = 0; i < ghostConfigs.size(); ++i) {
+        const auto &m = results[i];
+        t.addRow({ghostConfigs[i] ? "with ghosts" : "without ghosts",
                   sim::Table::num(m.p99Ms(), 1),
                   sim::Table::num(m.p50Ms(), 1),
                   std::to_string(m.ghostHits)});
@@ -143,7 +180,16 @@ ablationTrEnvTemplates()
                  "templates (first restore on a fresh node)");
     t.setHeader({"Function", "CXLfork (ms)", "TrEnv-style (ms)",
                  "CXLfork speedup"});
-    for (const char *name : {"Float", "Json", "Rnn", "BFS", "Bert"}) {
+    const std::vector<const char *> names{"Float", "Json", "Rnn", "BFS",
+                                          "Bert"};
+    struct Result
+    {
+        double cxlMs = 0;
+        double trenvMs = 0;
+    };
+    std::vector<Result> results(names.size());
+
+    bench::runSweep(names, [&](const char *name, size_t i) {
         const auto spec = *faas::findWorkload(name);
         porter::Cluster cluster(bench::benchClusterConfig());
         auto parent = bench::deployWarmParent(cluster, spec, 1);
@@ -162,12 +208,17 @@ ablationTrEnvTemplates()
             costs.deserializeCost(metaBytes) +
             costs.serializeRecord * double(img->vmaSet()->size()) +
             costs.ptPageAlloc * double(img->leafCount());
-        const double trenvMs = (rs.latency + templateBuild).toMs();
-        t.addRow({name, sim::Table::num(rs.latency.toMs(), 2),
-                  sim::Table::num(trenvMs, 2),
-                  sim::Table::num(trenvMs / rs.latency.toMs(), 1) + "x"});
+        results[i].cxlMs = rs.latency.toMs();
+        results[i].trenvMs = (rs.latency + templateBuild).toMs();
         bench::recordValue("ablation.trenv_speedup",
-                           trenvMs / rs.latency.toMs());
+                           results[i].trenvMs / results[i].cxlMs);
+    });
+
+    for (size_t i = 0; i < names.size(); ++i) {
+        const Result &r = results[i];
+        t.addRow({names[i], sim::Table::num(r.cxlMs, 2),
+                  sim::Table::num(r.trenvMs, 2),
+                  sim::Table::num(r.trenvMs / r.cxlMs, 1) + "x"});
     }
     t.addNote(sim::format("Average speedup %.1fx (paper Sec. 9: CXLfork "
                           "remote-forks ~1.8x faster than TrEnv without "
@@ -187,39 +238,52 @@ ablationRecheckpointDedup()
                  "(clone modified ~5% of its footprint)");
     t.setHeader({"Function", "Dedup ckpt (ms)", "Copy ckpt (ms)",
                  "New CXL MB (dedup)", "New CXL MB (copy)"});
-    for (const char *name : {"Json", "Rnn", "Bert"}) {
-        const auto spec = *faas::findWorkload(name);
-        double msDedup = 0, msCopy = 0;
-        double mbDedup = 0, mbCopy = 0;
-        for (bool dedup : {true, false}) {
-            porter::Cluster cluster(bench::benchClusterConfig());
-            auto parent = bench::deployWarmParent(cluster, spec, 1);
-            rfork::CxlForkConfig cfg;
-            cfg.dedupUnmodified = dedup;
-            rfork::CxlFork fork(cluster.fabric(), cfg);
-            auto h1 = fork.checkpoint(cluster.node(0), parent->task());
-            auto task = fork.restore(h1, cluster.node(1));
-            auto child = faas::FunctionInstance::adoptRestored(
-                cluster.node(1), spec, task);
-            child->invoke(); // writes the RW segment
+    const std::vector<const char *> names{"Json", "Rnn", "Bert"};
+    struct Point
+    {
+        const char *name;
+        bool dedup;
+    };
+    struct Result
+    {
+        double ms = 0;
+        double mb = 0;
+    };
+    std::vector<Point> points;
+    for (const char *name : names)
+        for (bool dedup : {true, false})
+            points.push_back({name, dedup});
+    std::vector<Result> results(points.size());
 
-            const uint64_t before = cluster.machine().cxl().usedBytes();
-            rfork::CheckpointStats cs;
-            auto h2 = fork.checkpoint(cluster.node(1), child->task(), &cs);
-            const double mb =
-                double(cluster.machine().cxl().usedBytes() - before) /
-                (1 << 20);
-            if (dedup) {
-                msDedup = cs.latency.toMs();
-                mbDedup = mb;
-            } else {
-                msCopy = cs.latency.toMs();
-                mbCopy = mb;
-            }
-        }
-        t.addRow({name, sim::Table::num(msDedup, 1),
-                  sim::Table::num(msCopy, 1), sim::Table::num(mbDedup, 1),
-                  sim::Table::num(mbCopy, 1)});
+    bench::runSweep(points, [&](const Point &p, size_t i) {
+        const auto spec = *faas::findWorkload(p.name);
+        porter::Cluster cluster(bench::benchClusterConfig());
+        auto parent = bench::deployWarmParent(cluster, spec, 1);
+        rfork::CxlForkConfig cfg;
+        cfg.dedupUnmodified = p.dedup;
+        rfork::CxlFork fork(cluster.fabric(), cfg);
+        auto h1 = fork.checkpoint(cluster.node(0), parent->task());
+        auto task = fork.restore(h1, cluster.node(1));
+        auto child = faas::FunctionInstance::adoptRestored(cluster.node(1),
+                                                           spec, task);
+        child->invoke(); // writes the RW segment
+
+        const uint64_t before = cluster.machine().cxl().usedBytes();
+        rfork::CheckpointStats cs;
+        auto h2 = fork.checkpoint(cluster.node(1), child->task(), &cs);
+        results[i].ms = cs.latency.toMs();
+        results[i].mb =
+            double(cluster.machine().cxl().usedBytes() - before) /
+            (1 << 20);
+    });
+
+    for (size_t f = 0; f < names.size(); ++f) {
+        const Result &dedup = results[2 * f];
+        const Result &copy = results[2 * f + 1];
+        t.addRow({names[f], sim::Table::num(dedup.ms, 1),
+                  sim::Table::num(copy.ms, 1),
+                  sim::Table::num(dedup.mb, 1),
+                  sim::Table::num(copy.mb, 1)});
     }
     t.addNote("An extension beyond the paper: generational checkpoints "
               "share unmodified pages by reference counting the "

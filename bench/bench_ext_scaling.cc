@@ -10,6 +10,9 @@
  *    bottleneck, but the shared device contends (FabricContentionModel);
  *  - the same sweep for Mitosis, whose checkpoint stays pinned in the
  *    parent node and whose restores all copy out of it.
+ *
+ * Each node count is one runSweep() point (CXLFORK_JOBS host threads)
+ * with its own cluster; the tables print from the collected rows.
  */
 
 #include "mem/bandwidth.hh"
@@ -30,7 +33,18 @@ main()
                  "CXLfork CXL (MB)", "CRIU-world local (MB total)",
                  "Dedup factor"});
 
-    for (uint32_t nodes : {2u, 4u, 8u, 16u}) {
+    struct CxlRow
+    {
+        double restoreMsAvg = 0;
+        double localMbPerNode = 0;
+        double cxlMb = 0;
+        double criuWorldMb = 0;
+        double dedup = 0;
+    };
+    const std::vector<uint32_t> cxlNodeCounts{2u, 4u, 8u, 16u};
+    std::vector<CxlRow> cxlRows(cxlNodeCounts.size());
+
+    bench::runSweep(cxlNodeCounts, [&](uint32_t nodes, size_t i) {
         porter::ClusterConfig cfg = bench::benchClusterConfig(
             contention.contend(sim::CostParams{}, nodes));
         cfg.machine.numNodes = nodes;
@@ -58,17 +72,26 @@ main()
             clones.push_back(std::move(inst));
         }
 
-        const double cxlMb = double(handle->cxlBytes()) / (1 << 20);
-        const double localMbPerNode = double(localPerNode) / (1 << 20);
-        const double criuWorldMb =
+        CxlRow row;
+        row.cxlMb = double(handle->cxlBytes()) / (1 << 20);
+        row.localMbPerNode = double(localPerNode) / (1 << 20);
+        row.criuWorldMb =
             double(nodes) * double(fn.footprintBytes) / (1 << 20);
-        const double totalOurs = cxlMb + double(nodes) * localMbPerNode;
-        t.addRow({std::to_string(nodes),
-                  sim::Table::num(restoreMsSum / nodes, 2),
-                  sim::Table::num(localMbPerNode, 1),
-                  sim::Table::num(cxlMb, 0),
-                  sim::Table::num(criuWorldMb, 0),
-                  sim::Table::num(criuWorldMb / totalOurs, 1) + "x"});
+        row.restoreMsAvg = restoreMsSum / nodes;
+        const double totalOurs =
+            row.cxlMb + double(nodes) * row.localMbPerNode;
+        row.dedup = row.criuWorldMb / totalOurs;
+        cxlRows[i] = row;
+    });
+
+    for (size_t i = 0; i < cxlNodeCounts.size(); ++i) {
+        const CxlRow &row = cxlRows[i];
+        t.addRow({std::to_string(cxlNodeCounts[i]),
+                  sim::Table::num(row.restoreMsAvg, 2),
+                  sim::Table::num(row.localMbPerNode, 1),
+                  sim::Table::num(row.cxlMb, 0),
+                  sim::Table::num(row.criuWorldMb, 0),
+                  sim::Table::num(row.dedup, 1) + "x"});
     }
     t.addNote("Restore latency grows only with fabric contention (no "
               "parent-node bottleneck); dedup factor = replicated-local "
@@ -81,7 +104,17 @@ main()
                  "(Rnn, 190 MB)");
     m.setHeader({"Nodes", "First-invoke fault time (ms, avg)",
                  "Parent-pinned (MB)", "Cluster local (MB total)"});
-    for (uint32_t nodes : {2u, 4u, 8u}) {
+
+    struct MitoRow
+    {
+        double faultMsAvg = 0;
+        double parentMb = 0;
+        double clusterMb = 0;
+    };
+    const std::vector<uint32_t> mitoNodeCounts{2u, 4u, 8u};
+    std::vector<MitoRow> mitoRows(mitoNodeCounts.size());
+
+    bench::runSweep(mitoNodeCounts, [&](uint32_t nodes, size_t i) {
         porter::ClusterConfig cfg = bench::benchClusterConfig(
             contention.contend(sim::CostParams{}, nodes));
         cfg.machine.numNodes = nodes;
@@ -105,14 +138,22 @@ main()
             clusterLocal += inst->localBytes();
             clones.push_back(std::move(inst));
         }
-        m.addRow({std::to_string(nodes),
-                  sim::Table::num(faultMsSum / double(nodes - 1), 1),
-                  sim::Table::num(double(handle->localBytes()) / (1 << 20),
-                                  0),
-                  sim::Table::num(double(clusterLocal) / (1 << 20), 0)});
+        mitoRows[i] =
+            MitoRow{faultMsSum / double(nodes - 1),
+                    double(handle->localBytes()) / (1 << 20),
+                    double(clusterLocal) / (1 << 20)};
+    });
+
+    for (size_t i = 0; i < mitoNodeCounts.size(); ++i) {
+        const MitoRow &row = mitoRows[i];
+        m.addRow({std::to_string(mitoNodeCounts[i]),
+                  sim::Table::num(row.faultMsAvg, 1),
+                  sim::Table::num(row.parentMb, 0),
+                  sim::Table::num(row.clusterMb, 0)});
     }
     m.addNote("The parent node pins the shadow copy and serves every "
               "clone's lazy copies; CXLfork has neither cost.");
     m.print();
+    bench::finishBench("ext_scaling");
     return 0;
 }

@@ -29,7 +29,6 @@ main()
         std::string fn;
         Cell mow, moa, ht;
     };
-    std::vector<Row> rows;
 
     auto policyKey = [](TieringPolicy policy) {
         switch (policy) {
@@ -41,39 +40,59 @@ main()
             return "ht";
         }
     };
-    auto measure = [&](const faas::FunctionSpec &spec,
-                       TieringPolicy policy) {
+
+    // One sweep point per (function, policy) cell, flattened in the
+    // row order the tables print; each point builds its own cluster.
+    const auto workloads = faas::table1Workloads();
+    const std::vector<TieringPolicy> policies{
+        TieringPolicy::MigrateOnWrite, TieringPolicy::MigrateOnAccess,
+        TieringPolicy::Hybrid};
+    struct Point
+    {
+        size_t fnIdx;
+        TieringPolicy policy;
+    };
+    std::vector<Point> points;
+    for (size_t f = 0; f < workloads.size(); ++f)
+        for (TieringPolicy policy : policies)
+            points.push_back({f, policy});
+    std::vector<Cell> cells(points.size());
+
+    bench::runSweep(points, [&](const Point &p, size_t i) {
+        const faas::FunctionSpec &spec = workloads[p.fnIdx].spec;
         porter::Cluster cluster(bench::benchClusterConfig());
         auto parent = bench::deployWarmParent(cluster, spec);
         rfork::CxlFork cxlf(cluster.fabric());
         auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
 
         rfork::RestoreOptions opts;
-        opts.policy = policy;
+        opts.policy = p.policy;
         rfork::RestoreStats rs;
         auto task = cxlf.restore(handle, cluster.node(1), opts, &rs);
         auto child = faas::FunctionInstance::adoptRestored(cluster.node(1),
                                                            spec, task);
         bench::collectRestorePhases(
-            cluster.machine(), std::string("fig8.phase.") + policyKey(policy));
+            cluster.machine(),
+            std::string("fig8.phase.") + policyKey(p.policy));
         Cell cell;
         cell.coldMs = (rs.latency + child->invoke().latency).toMs();
         child->invoke();
         cell.warmMs = child->invoke().latency.toMs();
         cell.memMb = double(child->localBytes()) / (1 << 20);
-        const std::string key = policyKey(policy);
+        const std::string key = policyKey(p.policy);
         bench::recordValue("fig8." + key + ".cold_ms", cell.coldMs);
         bench::recordValue("fig8." + key + ".warm_ms", cell.warmMs);
         bench::recordValue("fig8." + key + ".mem_mb", cell.memMb);
-        return cell;
-    };
+        cells[i] = cell;
+    });
 
-    for (const auto &w : faas::table1Workloads()) {
+    std::vector<Row> rows;
+    for (size_t f = 0; f < workloads.size(); ++f) {
         Row row;
-        row.fn = w.spec.name;
-        row.mow = measure(w.spec, TieringPolicy::MigrateOnWrite);
-        row.moa = measure(w.spec, TieringPolicy::MigrateOnAccess);
-        row.ht = measure(w.spec, TieringPolicy::Hybrid);
+        row.fn = workloads[f].spec.name;
+        row.mow = cells[f * policies.size() + 0];
+        row.moa = cells[f * policies.size() + 1];
+        row.ht = cells[f * policies.size() + 2];
         rows.push_back(std::move(row));
     }
 

@@ -6,6 +6,11 @@
  * execution with CXLfork relative to local fork in an environment
  * without CXL memory, sweeping the round trip from 400 ns down to
  * 100 ns.
+ *
+ * Both the baseline loop and the function x latency grid run as
+ * runSweep() points (CXLFORK_JOBS host threads); every point builds
+ * its own cluster and mechanism, and the tables are assembled after
+ * the sweep in point order.
  */
 
 #include "bench_util.hh"
@@ -23,10 +28,11 @@ main()
         double warmMs = 0;
         double coldMs = 0;
     };
-    std::map<std::string, Baseline> baselines;
+    std::vector<Baseline> baselines(functions.size());
 
     // Baseline: local fork on a node without CXL involvement.
-    for (const auto &spec : functions) {
+    bench::runSweep(functions, [&](const faas::FunctionSpec &spec,
+                                   size_t i) {
         porter::Cluster cluster(bench::benchClusterConfig());
         auto parent = bench::deployWarmParent(cluster, spec);
         const auto run = bench::runLocalForkScenario(cluster, *parent);
@@ -41,8 +47,55 @@ main()
         child->invoke();
         child->invoke();
         b.warmMs = child->invoke().latency.toMs();
-        baselines[spec.name] = b;
-    }
+        baselines[i] = b;
+    });
+
+    struct Point
+    {
+        size_t fnIdx;
+        double latNs;
+    };
+    std::vector<Point> points;
+    for (size_t f = 0; f < functions.size(); ++f)
+        for (double latNs : latenciesNs)
+            points.push_back({f, latNs});
+
+    struct Ratios
+    {
+        double warm = 0;
+        double cold = 0;
+    };
+    std::vector<Ratios> ratios(points.size());
+
+    bench::runSweep(points, [&](const Point &p, size_t i) {
+        const faas::FunctionSpec &spec = functions[p.fnIdx];
+        sim::CostParams costs;
+        costs.cxlLatency = sim::SimTime::ns(p.latNs);
+        porter::Cluster cluster(bench::benchClusterConfig(costs));
+        auto parent = bench::deployWarmParent(cluster, spec);
+        rfork::CxlFork cxlf(cluster.fabric());
+        auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
+
+        rfork::RestoreStats rs;
+        auto task = cxlf.restore(handle, cluster.node(1), {}, &rs);
+        auto child = faas::FunctionInstance::adoptRestored(cluster.node(1),
+                                                           spec, task);
+        const double coldMs = (rs.latency + child->invoke().latency).toMs();
+        child->invoke();
+        const double warmMs = child->invoke().latency.toMs();
+
+        const Baseline &base = baselines[p.fnIdx];
+        const std::string lat = sim::Table::num(p.latNs, 0);
+        bench::recordValue("fig9.restore_ms." + lat + "ns",
+                           rs.latency.toMs());
+        bench::recordValue("fig9.warm_ratio." + lat + "ns",
+                           warmMs / base.warmMs);
+        bench::recordValue("fig9.cold_ratio." + lat + "ns",
+                           coldMs / base.coldMs);
+        bench::collectRestorePhases(cluster.machine(),
+                                    "fig9.phase." + lat + "ns");
+        ratios[i] = Ratios{warmMs / base.warmMs, coldMs / base.coldMs};
+    });
 
     sim::Table warm("Figure 9a: warm execution with CXLfork relative to "
                     "local fork (no CXL), vs CXL round-trip latency");
@@ -54,39 +107,13 @@ main()
     warm.setHeader(header);
     cold.setHeader(header);
 
+    size_t point = 0;
     for (const auto &spec : functions) {
         std::vector<std::string> warmRow{spec.name};
         std::vector<std::string> coldRow{spec.name};
-        for (double latNs : latenciesNs) {
-            sim::CostParams costs;
-            costs.cxlLatency = sim::SimTime::ns(latNs);
-            porter::Cluster cluster(bench::benchClusterConfig(costs));
-            auto parent = bench::deployWarmParent(cluster, spec);
-            rfork::CxlFork cxlf(cluster.fabric());
-            auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
-
-            rfork::RestoreStats rs;
-            auto task = cxlf.restore(handle, cluster.node(1), {}, &rs);
-            auto child = faas::FunctionInstance::adoptRestored(
-                cluster.node(1), spec, task);
-            const double coldMs =
-                (rs.latency + child->invoke().latency).toMs();
-            child->invoke();
-            const double warmMs = child->invoke().latency.toMs();
-
-            const std::string lat = sim::Table::num(latNs, 0);
-            bench::recordValue("fig9.restore_ms." + lat + "ns",
-                               rs.latency.toMs());
-            bench::recordValue("fig9.warm_ratio." + lat + "ns",
-                               warmMs / baselines[spec.name].warmMs);
-            bench::recordValue("fig9.cold_ratio." + lat + "ns",
-                               coldMs / baselines[spec.name].coldMs);
-            bench::collectRestorePhases(cluster.machine(),
-                                        "fig9.phase." + lat + "ns");
-            warmRow.push_back(sim::Table::num(
-                warmMs / baselines[spec.name].warmMs, 2));
-            coldRow.push_back(sim::Table::num(
-                coldMs / baselines[spec.name].coldMs, 2));
+        for (size_t l = 0; l < latenciesNs.size(); ++l, ++point) {
+            warmRow.push_back(sim::Table::num(ratios[point].warm, 2));
+            coldRow.push_back(sim::Table::num(ratios[point].cold, 2));
         }
         warm.addRow(std::move(warmRow));
         cold.addRow(std::move(coldRow));

@@ -139,6 +139,72 @@ BM_RestoreAttach(benchmark::State &state)
 }
 BENCHMARK(BM_RestoreAttach)->Unit(benchmark::kMicrosecond)->Iterations(50);
 
+// --- Hot-path micro-optimizations, measured A/B (DESIGN.md Sec. 8).
+
+/** VPN-order PTE writes with the last-leaf walk cache on vs off. */
+void
+BM_WalkLeafCache(benchmark::State &state)
+{
+    mem::Machine machine{mem::MachineConfig{}};
+    sim::SimClock clock;
+    os::PageTable pt(machine, machine.nodeDram(0), clock);
+    pt.setWalkCacheEnabled(state.range(0) != 0);
+    const mem::PhysAddr frame =
+        machine.nodeDram(0).alloc(mem::FrameUse::Data);
+    uint64_t vpn = 0x1234'0000;
+    for (auto _ : state) {
+        os::Pte p = os::Pte::make(frame, true);
+        p.set(os::Pte::kSoftCxl); // do not release our frame on unmap
+        pt.setPte(mem::VirtAddr::fromPageNumber(vpn++), p);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_WalkLeafCache)->Arg(0)->Arg(1);
+
+/** Counter bump through a cached handle vs a by-name map lookup. */
+void
+BM_MetricCachedHandle(benchmark::State &state)
+{
+    sim::MetricsRegistry reg;
+    sim::Counter *handle = &reg.counter("bm.hot.counter");
+    for (auto _ : state) {
+        handle->inc();
+        benchmark::DoNotOptimize(handle);
+    }
+}
+BENCHMARK(BM_MetricCachedHandle);
+
+void
+BM_MetricStringLookup(benchmark::State &state)
+{
+    sim::MetricsRegistry reg;
+    reg.counter("bm.hot.counter");
+    for (auto _ : state) {
+        reg.counter("bm.hot.counter").inc();
+        benchmark::DoNotOptimize(reg);
+    }
+}
+BENCHMARK(BM_MetricStringLookup);
+
+/** Physical-address tier/owner resolution (window arithmetic). */
+void
+BM_OwnerOf(benchmark::State &state)
+{
+    mem::MachineConfig cfg;
+    cfg.numNodes = 4;
+    mem::Machine machine{cfg};
+    std::vector<mem::PhysAddr> addrs;
+    for (uint32_t n = 0; n < cfg.numNodes; ++n)
+        addrs.push_back(machine.nodeDram(n).alloc(mem::FrameUse::Data));
+    addrs.push_back(machine.cxl().alloc(mem::FrameUse::Data));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(machine.ownerOf(addrs[i % addrs.size()]));
+        ++i;
+    }
+}
+BENCHMARK(BM_OwnerOf);
+
 void
 BM_WireEncodeDecode(benchmark::State &state)
 {
@@ -156,6 +222,38 @@ BM_WireEncodeDecode(benchmark::State &state)
 }
 BENCHMARK(BM_WireEncodeDecode);
 
+/**
+ * Console reporting plus one ns/op line per benchmark into
+ * $CXLFORK_WALLCLOCK_JSON (the perfcmp input), alongside the whole-
+ * bench wall-clock entries the macro benches emit via finishBench().
+ */
+class WallClockReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        ConsoleReporter::ReportRuns(runs);
+        for (const Run &run : runs) {
+            if (run.error_occurred || run.iterations == 0)
+                continue;
+            bench::appendWallClock("micro." + run.benchmark_name(),
+                                   run.real_accumulated_time * 1e9 /
+                                       double(run.iterations),
+                                   "ns/op");
+        }
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    WallClockReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    return 0;
+}

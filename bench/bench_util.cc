@@ -1,9 +1,12 @@
 #include "bench_util.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <utility>
 
 #include "sim/log.hh"
+#include "sim/thread_pool.hh"
 
 namespace cxlfork::bench {
 
@@ -148,11 +151,81 @@ armTracing(mem::Machine &machine)
         machine.tracer().setEnabled(true);
 }
 
+namespace {
+
+/// Host wall-clock epoch for finishBench(): static-initialized, so it
+/// predates main() and covers the whole bench run.
+const std::chrono::steady_clock::time_point g_processStart =
+    std::chrono::steady_clock::now();
+
+/**
+ * When a runSweep worker is executing a point, this points at the
+ * point's private registry and benchMetrics() resolves to it — the
+ * existing record helpers transparently stay deterministic without
+ * every bench threading a registry parameter around.
+ */
+thread_local sim::MetricsRegistry *t_pointRegistry = nullptr;
+
 sim::MetricsRegistry &
-benchMetrics()
+processBenchRegistry()
 {
     static sim::MetricsRegistry registry;
     return registry;
+}
+
+} // namespace
+
+sim::MetricsRegistry &
+benchMetrics()
+{
+    return t_pointRegistry ? *t_pointRegistry : processBenchRegistry();
+}
+
+unsigned
+sweepJobs()
+{
+    if (const char *env = std::getenv("CXLFORK_JOBS")) {
+        const long v = std::atol(env);
+        if (v >= 1)
+            return unsigned(v);
+        CXLF_WARN("ignoring CXLFORK_JOBS=%s (want an integer >= 1)", env);
+    }
+    return sim::ThreadPool::hardwareConcurrency();
+}
+
+void
+runSweepIndexed(size_t count, const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    // Every point gets a private registry regardless of job count, and
+    // the merge below replays them in point order: serial and parallel
+    // runs take the identical code path, so CXLFORK_JOBS can never
+    // change what a bench exports.
+    std::vector<sim::MetricsRegistry> pointMetrics(count);
+    const auto runPoint = [&](size_t i) {
+        sim::MetricsRegistry *prev = t_pointRegistry;
+        t_pointRegistry = &pointMetrics[i];
+        try {
+            fn(i);
+        } catch (...) {
+            t_pointRegistry = prev;
+            throw;
+        }
+        t_pointRegistry = prev;
+    };
+    const unsigned jobs =
+        unsigned(std::min<size_t>(sweepJobs(), count));
+    if (jobs <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            runPoint(i);
+    } else {
+        sim::ThreadPool pool(jobs);
+        pool.parallelIndexed(count, runPoint);
+    }
+    sim::MetricsRegistry &reg = processBenchRegistry();
+    for (const sim::MetricsRegistry &point : pointMetrics)
+        reg.mergeFrom(point);
 }
 
 void
@@ -252,6 +325,21 @@ maybeWriteChromeTrace(mem::Machine &machine, const std::string &tag)
 }
 
 void
+appendWallClock(const std::string &name, double value,
+                const std::string &unit)
+{
+    const char *path = std::getenv("CXLFORK_WALLCLOCK_JSON");
+    if (!path)
+        return;
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        sim::fatal("cannot append wall-clock JSON to %s", path);
+    out << "{\"bench\": \"" << name << "\", \"value\": "
+        << sim::format("%.3f", value) << ", \"unit\": \"" << unit
+        << "\", \"jobs\": " << sweepJobs() << "}\n";
+}
+
+void
 finishBench(const std::string &benchName)
 {
     sim::MetricsRegistry &reg = benchMetrics();
@@ -263,6 +351,10 @@ finishBench(const std::string &benchName)
     }
     if (traceEnabled() && !reg.empty())
         reg.toTable(benchName + ": bench metrics").print();
+    const auto elapsed = std::chrono::steady_clock::now() - g_processStart;
+    appendWallClock(
+        benchName,
+        std::chrono::duration<double, std::milli>(elapsed).count(), "ms");
 }
 
 } // namespace cxlfork::bench

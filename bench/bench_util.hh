@@ -17,10 +17,17 @@
  *  - CXLFORK_CXL_LATENCY_NS=<ns>: override the CXL access latency in
  *    benchClusterConfig() — the documented perturbation hook that the
  *    golden suite uses to prove it catches cost regressions.
+ *  - CXLFORK_JOBS=<n>: host worker threads for runSweep() (default:
+ *    hardware concurrency). Simulated results are identical at any
+ *    value; only host wall-clock changes.
+ *  - CXLFORK_WALLCLOCK_JSON=<path>: append host wall-clock entries
+ *    (JSON lines) on finishBench() — the perfcmp input format.
  */
 
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -79,6 +86,37 @@ RforkRun runColdScenario(porter::Cluster &cluster,
 RforkRun runLocalForkScenario(porter::Cluster &cluster,
                               faas::FunctionInstance &parent);
 
+// --- Parallel sweep execution.
+
+/** Host worker count for runSweep: CXLFORK_JOBS, else hardware concurrency. */
+unsigned sweepJobs();
+
+/**
+ * Non-template core of runSweep(): run fn(0..count-1), each call
+ * scoped to its own bench-metrics registry, then merge the per-point
+ * registries into the shared one in index order. The merge order is
+ * what makes exports byte-identical at every CXLFORK_JOBS value — the
+ * executor never lets host scheduling order leak into results.
+ */
+void runSweepIndexed(size_t count, const std::function<void(size_t)> &fn);
+
+/**
+ * Run one sweep point per element of `points`, possibly concurrently.
+ *
+ * Contract for fn(point, index): build all mutable simulation state
+ * (Cluster/Machine, RNGs, PerfModel, tracer consumers) inside the
+ * call — points must not share it — and write outputs only to the
+ * index'th slot of pre-sized result vectors. Calls to benchMetrics()/
+ * recordValue()/recordRun()/collectRestorePhases() inside fn land in a
+ * per-point registry that is merged in point order after the sweep.
+ */
+template <typename Point, typename Fn>
+void
+runSweep(const std::vector<Point> &points, Fn &&fn)
+{
+    runSweepIndexed(points.size(), [&](size_t i) { fn(points[i], i); });
+}
+
 // --- Observability helpers shared by every bench.
 
 /** True when CXLFORK_TRACE is set. */
@@ -128,8 +166,18 @@ void printPhaseBreakdown(const std::string &prefix,
 void maybeWriteChromeTrace(mem::Machine &machine, const std::string &tag);
 
 /**
+ * Append one `{"bench","value","unit","jobs"}` JSON line to
+ * $CXLFORK_WALLCLOCK_JSON (no-op when unset). Units in use: "ms" for
+ * whole-bench host wall-clock, "ns/op" for microbenchmarks.
+ */
+void appendWallClock(const std::string &name, double value,
+                     const std::string &unit);
+
+/**
  * End-of-bench hook: export benchMetrics() to $CXLFORK_METRICS_JSON
- * when set, and print the metrics table when CXLFORK_TRACE is set.
+ * when set, print the metrics table when CXLFORK_TRACE is set, and
+ * append the bench's host wall-clock (measured from process start) to
+ * $CXLFORK_WALLCLOCK_JSON when set.
  */
 void finishBench(const std::string &benchName);
 

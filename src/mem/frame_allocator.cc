@@ -29,12 +29,13 @@ FrameAllocator::FrameAllocator(std::string name, Tier tier, PhysAddr base,
         sim::fatal("tier %s: base not page aligned", name_.c_str());
     if (capacity_ % kPageSize != 0)
         sim::fatal("tier %s: capacity not a page multiple", name_.c_str());
-    frames_.resize(totalFrames_);
-    freeList_.reserve(totalFrames_);
-    // Hand out low addresses first: push high indices so pop_back yields
-    // index 0 first. Deterministic and cheap.
-    for (uint64_t i = totalFrames_; i > 0; --i)
-        freeList_.push_back(i - 1);
+    // Frame metadata is materialized lazily: fresh allocations bump the
+    // high-water mark and freed indices are reused LIFO, which yields
+    // the same address sequence as a prefilled descending free list
+    // (lowest never-used index when nothing has been freed) without
+    // zero-filling metadata for frames the workload never touches.
+    // reserve() keeps Frame references stable across alloc().
+    frames_.reserve(totalFrames_);
 }
 
 PhysAddr
@@ -42,13 +43,19 @@ FrameAllocator::alloc(FrameUse use, uint64_t content)
 {
     if (use == FrameUse::Free)
         sim::panic("allocating a frame as Free");
-    if (freeList_.empty()) {
+    if (usedFrames_ == totalFrames_) {
         throw sim::CapacityError(sim::format(
             "tier %s out of memory (%llu frames in use)", name_.c_str(),
             (unsigned long long)usedFrames_));
     }
-    const uint64_t idx = freeList_.back();
-    freeList_.pop_back();
+    uint64_t idx;
+    if (!freeList_.empty()) {
+        idx = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        idx = frames_.size();
+        frames_.emplace_back();
+    }
     Frame &f = frames_[idx];
     f.use = use;
     f.refcount = 1;
@@ -65,7 +72,11 @@ FrameAllocator::indexOf(PhysAddr addr) const
     if (!contains(addr))
         sim::panic("address %#llx outside tier %s",
                    (unsigned long long)addr.raw, name_.c_str());
-    return (addr.raw - base_.raw) / kPageSize;
+    const uint64_t idx = (addr.raw - base_.raw) / kPageSize;
+    if (idx >= frames_.size())
+        sim::panic("address %#llx in tier %s was never allocated",
+                   (unsigned long long)addr.raw, name_.c_str());
+    return idx;
 }
 
 void

@@ -36,7 +36,8 @@ class FrameAllocator
                    uint64_t capacityBytes);
 
     /**
-     * Allocate one frame.
+     * Allocate one frame. Deterministic order: the most recently freed
+     * frame is reused first; otherwise the lowest never-used address.
      * @return the frame's physical address, refcount 1.
      * @throws sim::CapacityError (a sim::FatalError) if the tier is
      *         exhausted; the allocator state is untouched, so callers

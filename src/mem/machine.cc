@@ -5,16 +5,6 @@
 
 namespace cxlfork::mem {
 
-namespace {
-
-// Disjoint, page-aligned physical windows. Node i's DRAM begins at
-// (i + 1) * 256 GB; the CXL device sits at 16 TB. Address 0 is never
-// handed out, so PhysAddr{0} can mean "null".
-constexpr uint64_t kNodeStride = 1ull << 38;
-constexpr uint64_t kCxlBase = 1ull << 44;
-
-} // namespace
-
 Machine::Machine(const MachineConfig &cfg)
     : costs_(cfg.costs), injector_(cfg.faults)
 {
@@ -22,6 +12,8 @@ Machine::Machine(const MachineConfig &cfg)
         sim::fatal("machine needs at least one node");
     if (cfg.dramPerNodeBytes > kNodeStride)
         sim::fatal("per-node DRAM exceeds the address window");
+    if (cfg.cxlCapacityBytes > kCxlBase)
+        sim::fatal("CXL capacity exceeds the address window");
     for (uint32_t i = 0; i < cfg.numNodes; ++i) {
         nodeDram_.push_back(std::make_unique<FrameAllocator>(
             sim::format("node%u-dram", i), Tier::LocalDram,
@@ -31,6 +23,13 @@ Machine::Machine(const MachineConfig &cfg)
     cxl_ = std::make_unique<FrameAllocator>(
         "cxl-device", Tier::Cxl, PhysAddr{kCxlBase}, cfg.cxlCapacityBytes);
     cxl_->setFaultInjector(&injector_);
+    cxlCapacity_ = cfg.cxlCapacityBytes;
+
+    cxlTxnCounter_ = &metrics_.counter("mem.cxl.transactions");
+    cxlRetryCounter_ = &metrics_.counter("mem.cxl.transient_retries");
+    cxlEscalatedCounter_ = &metrics_.counter("mem.cxl.transients_escalated");
+    cxlFrameReadCounter_ = &metrics_.counter("mem.cxl.frame_reads");
+    dramFrameReadCounter_ = &metrics_.counter("mem.dram.frame_reads");
 }
 
 void
@@ -42,14 +41,14 @@ Machine::setFaultConfig(const sim::FaultConfig &cfg)
 void
 Machine::cxlTransaction(sim::SimClock &clock, const char *site)
 {
-    metrics_.counter("mem.cxl.transactions").inc();
+    cxlTxnCounter_->inc();
     if (!injector_.armed())
         return;
     const sim::FaultConfig &cfg = injector_.config();
     for (uint32_t attempt = 1; injector_.drawTransient(); ++attempt) {
         if (attempt > cfg.maxRetries) {
             ++injector_.stats().transientsEscalated;
-            metrics_.counter("mem.cxl.transients_escalated").inc();
+            cxlEscalatedCounter_->inc();
             throw sim::TransientFaultError(sim::format(
                 "CXL transaction at %s failed %u times (budget %u)", site,
                 attempt, cfg.maxRetries));
@@ -58,7 +57,7 @@ Machine::cxlTransaction(sim::SimClock &clock, const char *site)
         // whether the retry itself fails.
         clock.advance(injector_.backoffFor(attempt));
         ++injector_.stats().transientsRetried;
-        metrics_.counter("mem.cxl.transient_retries").inc();
+        cxlRetryCounter_->inc();
     }
 }
 
@@ -73,30 +72,27 @@ Machine::readFrameChecked(PhysAddr addr, sim::SimClock &clock,
             (unsigned long long)addr.raw, site));
     }
     if (tierOf(addr) == Tier::Cxl) {
-        metrics_.counter("mem.cxl.frame_reads").inc();
+        cxlFrameReadCounter_->inc();
         cxlTransaction(clock, site);
     } else {
-        metrics_.counter("mem.dram.frame_reads").inc();
+        dramFrameReadCounter_->inc();
     }
     return f.content;
-}
-
-Tier
-Machine::tierOf(PhysAddr addr) const
-{
-    if (cxl_->contains(addr))
-        return Tier::Cxl;
-    return Tier::LocalDram;
 }
 
 FrameAllocator &
 Machine::ownerOf(PhysAddr addr)
 {
-    if (cxl_->contains(addr))
+    if (tierOf(addr) == Tier::Cxl)
         return *cxl_;
-    for (auto &dram : nodeDram_) {
-        if (dram->contains(addr))
-            return *dram;
+    // Node i's DRAM window starts at (i + 1) * kNodeStride, so the
+    // owning node index falls straight out of a divide; contains()
+    // still guards the capacity edge within the window.
+    const uint64_t slot = addr.raw / kNodeStride;
+    if (slot >= 1 && slot <= nodeDram_.size()) {
+        FrameAllocator &dram = *nodeDram_[slot - 1];
+        if (dram.contains(addr))
+            return dram;
     }
     sim::panic("physical address %#llx belongs to no tier",
                (unsigned long long)addr.raw);

@@ -41,6 +41,15 @@ struct MachineConfig
 class Machine
 {
   public:
+    /**
+     * Disjoint, page-aligned physical windows. Node i's DRAM begins at
+     * (i + 1) * 256 GB; the CXL device sits at 16 TB. Address 0 is
+     * never handed out, so PhysAddr{0} can mean "null". The fixed
+     * stride makes address→owner resolution pure arithmetic.
+     */
+    static constexpr uint64_t kNodeStride = 1ull << 38;
+    static constexpr uint64_t kCxlBase = 1ull << 44;
+
     explicit Machine(const MachineConfig &cfg);
 
     Machine(const Machine &) = delete;
@@ -94,10 +103,23 @@ class Machine
     uint64_t readFrameChecked(PhysAddr addr, sim::SimClock &clock,
                               const char *site);
 
-    /** Which tier an address lives on. */
-    Tier tierOf(PhysAddr addr) const;
+    /**
+     * Which tier an address lives on. Pure window arithmetic: anything
+     * inside the CXL window is Tier::Cxl, everything else reads as
+     * LocalDram (including unallocated addresses, which some callers
+     * probe speculatively).
+     */
+    Tier
+    tierOf(PhysAddr addr) const
+    {
+        return addr.raw - kCxlBase < cxlCapacity_ ? Tier::Cxl
+                                                  : Tier::LocalDram;
+    }
 
-    /** The allocator owning an address. */
+    /**
+     * The allocator owning an address, derived in O(1) from the window
+     * layout. Panics on addresses outside every window.
+     */
     FrameAllocator &ownerOf(PhysAddr addr);
 
     /** Frame metadata for any allocated address. */
@@ -140,6 +162,16 @@ class Machine
     std::vector<std::unique_ptr<FrameAllocator>> nodeDram_;
     std::unique_ptr<FrameAllocator> cxl_;
     std::vector<CacheModel> llc_;
+    uint64_t cxlCapacity_ = 0;
+
+    // Hot-path metric handles, resolved once at construction so the
+    // per-transaction cost is a pointer bump instead of a string-keyed
+    // map lookup. The registry's std::map storage keeps them stable.
+    sim::Counter *cxlTxnCounter_ = nullptr;
+    sim::Counter *cxlRetryCounter_ = nullptr;
+    sim::Counter *cxlEscalatedCounter_ = nullptr;
+    sim::Counter *cxlFrameReadCounter_ = nullptr;
+    sim::Counter *dramFrameReadCounter_ = nullptr;
 };
 
 } // namespace cxlfork::mem

@@ -103,6 +103,23 @@ NodeOs::NodeOs(mem::NodeId id, mem::Machine &machine,
 {
     if (id_ >= machine_.numNodes())
         sim::fatal("NodeOs id %u beyond machine nodes", id_);
+    // Resolve every fault-path metric handle up front; the fault loop
+    // then never touches a string-keyed map.
+    for (size_t k = 0; k < kFaultKindCount; ++k) {
+        const FaultKind kind = FaultKind(k);
+        faultKindCounters_[k] = &machine_.metrics().counter(
+            std::string("os.fault.") + faultMetricName(kind));
+        if (kind != FaultKind::None) {
+            faultKindStats_[k] = &stats_.counter(
+                std::string("fault.") + faultMetricName(kind));
+        }
+    }
+    faultFailedCounter_ = &machine_.metrics().counter("os.fault.failed");
+    leafCowStat_ = &stats_.counter("fault.leaf_cow");
+    tlbShootdownCounter_ = &machine_.metrics().counter("os.tlb.shootdowns");
+    pagesFromCxlCounter_ =
+        &machine_.metrics().counter("os.pages.copied_from_cxl");
+    faultLatency_ = &machine_.metrics().latency("os.fault.ns");
 }
 
 std::shared_ptr<Task>
@@ -189,7 +206,7 @@ NodeOs::munmap(Task &task, mem::VirtAddr lo, mem::VirtAddr hi)
     clock_.advance(machine_.costs().tlbShootdown +
                    machine_.costs().vmaSetup);
     stats_.counter("syscall.munmap").inc();
-    machine_.metrics().counter("os.tlb.shootdowns").inc();
+    tlbShootdownCounter_->inc();
 }
 
 void
@@ -251,7 +268,7 @@ NodeOs::mprotect(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
         task.mm().pageTable().setPte(va, pte);
     if (!updates.empty()) {
         clock_.advance(machine_.costs().tlbShootdown);
-        machine_.metrics().counter("os.tlb.shootdowns").inc();
+        tlbShootdownCounter_->inc();
     }
     stats_.counter("syscall.mprotect").inc();
 }
@@ -315,16 +332,13 @@ NodeOs::access(Task &task, mem::VirtAddr va, bool isWrite,
         // untouched so the access can simply be replayed.
         faultTime_ += clock_.now() - faultStart;
         span.attr("kind", "failed");
-        machine_.metrics().counter("os.fault.failed").inc();
+        faultFailedCounter_->inc();
         throw;
     }
     faultTime_ += clock_.now() - faultStart;
     span.attr("kind", faultKindName(res.fault));
-    machine_.metrics()
-        .counter(std::string("os.fault.") + faultMetricName(res.fault))
-        .inc();
-    machine_.metrics().latency("os.fault.ns").record(clock_.now() -
-                                                     faultStart);
+    faultKindCounters_[size_t(res.fault)]->inc();
+    faultLatency_->record(clock_.now() - faultStart);
     pt.hwSetAccessedDirty(va, isWrite);
     return res;
 }
@@ -353,12 +367,14 @@ NodeOs::migrateFromCheckpoint(Task &task, mem::VirtAddr va, const Vma &vma,
     res.fault = FaultKind::CxlMigrate;
     res.tier = mem::Tier::LocalDram;
     res.leafCow = setRes.leafCow;
-    stats_.counter("fault.cxl_migrate").inc();
-    machine_.metrics().counter("os.pages.copied_from_cxl").inc();
-    machine_.tracer().instant(
-        clock_, id_, "page_copy", "os",
-        {{"vpn", sim::TraceValue::of(va.pageNumber())},
-         {"reason", sim::TraceValue::of("migrate")}});
+    faultKindStats_[size_t(FaultKind::CxlMigrate)]->inc();
+    pagesFromCxlCounter_->inc();
+    if (machine_.tracer().enabled()) {
+        machine_.tracer().instant(
+            clock_, id_, "page_copy", "os",
+            {{"vpn", sim::TraceValue::of(va.pageNumber())},
+             {"reason", sim::TraceValue::of("migrate")}});
+    }
     return res;
 }
 
@@ -405,7 +421,7 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
                         mapped.set(Pte::kSoftHot);
                     const auto setRes = pt.setPte(va, mapped);
                     clock_.advance(costs.faultTrap);
-                    stats_.counter("fault.cxl_map").inc();
+                    faultKindStats_[size_t(FaultKind::CxlMapThrough)]->inc();
                     res.fault = FaultKind::CxlMapThrough;
                     res.tier = mem::Tier::Cxl;
                     res.leafCow = setRes.leafCow;
@@ -431,7 +447,7 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
             pt.setPte(va, newPte);
             guard.release();
             clock_.advance(costs.minorFault);
-            stats_.counter("fault.minor").inc();
+            faultKindStats_[size_t(FaultKind::Minor)]->inc();
             res.fault = FaultKind::Minor;
             res.tier = mem::Tier::LocalDram;
             return res;
@@ -454,7 +470,7 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
             pt.setPte(va, newPte);
             guard.release();
             clock_.advance(costs.majorFaultFs);
-            stats_.counter("fault.major").inc();
+            faultKindStats_[size_t(FaultKind::Major)]->inc();
             res.fault = FaultKind::Major;
             res.tier = mem::Tier::LocalDram;
             if (!isWrite)
@@ -483,15 +499,17 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
         const auto setRes = pt.setPte(va, newPte);
         guard.release();
         clock_.advance(costs.cxlCowFault());
-        stats_.counter("fault.cow_cxl").inc();
-        machine_.metrics().counter("os.pages.copied_from_cxl").inc();
-        machine_.metrics().counter("os.tlb.shootdowns").inc();
-        machine_.tracer().instant(
-            clock_, id_, "page_copy", "os",
-            {{"vpn", sim::TraceValue::of(va.pageNumber())},
-             {"reason", sim::TraceValue::of("cow_cxl")}});
+        faultKindStats_[size_t(FaultKind::CowCxl)]->inc();
+        pagesFromCxlCounter_->inc();
+        tlbShootdownCounter_->inc();
+        if (machine_.tracer().enabled()) {
+            machine_.tracer().instant(
+                clock_, id_, "page_copy", "os",
+                {{"vpn", sim::TraceValue::of(va.pageNumber())},
+                 {"reason", sim::TraceValue::of("cow_cxl")}});
+        }
         if (setRes.leafCow)
-            stats_.counter("fault.leaf_cow").inc();
+            leafCowStat_->inc();
         res.fault = FaultKind::CowCxl;
         res.tier = mem::Tier::LocalDram;
         res.leafCow = setRes.leafCow;
@@ -519,9 +537,9 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
             pt.setPte(va, newPte);
             guard.release();
             clock_.advance(costs.localCowFault());
-            machine_.metrics().counter("os.tlb.shootdowns").inc();
+            tlbShootdownCounter_->inc();
         }
-        stats_.counter("fault.cow_local").inc();
+        faultKindStats_[size_t(FaultKind::CowLocal)]->inc();
         res.fault = FaultKind::CowLocal;
         res.tier = mem::Tier::LocalDram;
         return res;

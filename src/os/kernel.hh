@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -35,6 +36,8 @@ enum class FaultKind : uint8_t {
     CxlMigrate,    ///< Migrate-on-access copy from the checkpoint tier.
     CxlMapThrough, ///< Hybrid: mapped the CXL frame in place (no copy).
 };
+
+constexpr size_t kFaultKindCount = size_t(FaultKind::CxlMapThrough) + 1;
 
 const char *faultKindName(FaultKind k);
 
@@ -157,6 +160,18 @@ class NodeOs
     sim::StatSet stats_;
     sim::SimTime faultTime_;
     std::map<int, std::shared_ptr<Task>> tasks_;
+
+    // Fault-path metric handles, resolved once at construction so each
+    // fault charges a pointer bump instead of building a key string and
+    // walking two map lookups. FaultKind indexes the per-kind arrays;
+    // map storage keeps the pointers stable for the NodeOs lifetime.
+    std::array<sim::Counter *, kFaultKindCount> faultKindCounters_{};
+    std::array<sim::Counter *, kFaultKindCount> faultKindStats_{};
+    sim::Counter *faultFailedCounter_ = nullptr;
+    sim::Counter *leafCowStat_ = nullptr;
+    sim::Counter *tlbShootdownCounter_ = nullptr;
+    sim::Counter *pagesFromCxlCounter_ = nullptr;
+    sim::LatencyHistogram *faultLatency_ = nullptr;
 };
 
 } // namespace cxlfork::os

@@ -38,7 +38,15 @@ PageTable::PageTable(mem::Machine &machine, mem::FrameAllocator &tableFrames,
 
 PageTable::~PageTable()
 {
+    invalidateWalkCache();
     releaseSubtree(*root_);
+}
+
+void
+PageTable::setWalkCacheEnabled(bool on)
+{
+    walkCacheEnabled_ = on;
+    invalidateWalkCache();
 }
 
 uint32_t
@@ -60,6 +68,9 @@ PageTable::makeTablePage(int level)
 TablePage *
 PageTable::walkToParentOfLeaf(uint64_t vpn, bool create)
 {
+    const uint64_t leafIdx = leafIndexOf(vpn);
+    if (cachedParent_ && cachedLeafIdx_ == leafIdx)
+        return cachedParent_;
     TablePage *node = root_.get();
     for (int level = 3; level >= 2; --level) {
         const uint32_t idx = indexAt(vpn, level);
@@ -71,12 +82,18 @@ PageTable::walkToParentOfLeaf(uint64_t vpn, bool create)
         }
         node = slot.get();
     }
+    rememberWalk(leafIdx, node, node->child(indexAt(vpn, 1)).get());
     return node;
 }
 
 TablePage *
 PageTable::walk(uint64_t vpn, bool create)
 {
+    const uint64_t leafIdx = leafIndexOf(vpn);
+    if (cachedParent_ && cachedLeafIdx_ == leafIdx &&
+        (cachedLeaf_ || !create)) {
+        return cachedLeaf_;
+    }
     TablePage *parent = walkToParentOfLeaf(vpn, create);
     if (!parent)
         return nullptr;
@@ -87,6 +104,7 @@ PageTable::walk(uint64_t vpn, bool create)
             return nullptr;
         slot = makeTablePage(0);
     }
+    rememberWalk(leafIdx, parent, slot.get());
     return slot.get();
 }
 
@@ -127,6 +145,9 @@ PageTable::cowSealedLeaf(TablePage *parent, uint32_t idx)
                    machine_.costs().cxlLatency);
     std::shared_ptr<TablePage> copy = old->cloneLeaf(backing, true);
     parent->child(idx) = copy;
+    // The slot now points at a different leaf object; a stale cached
+    // pointer to the sealed original must not serve later walks.
+    invalidateWalkCache();
     return copy;
 }
 
@@ -135,18 +156,28 @@ PageTable::setPte(mem::VirtAddr va, Pte pte)
 {
     SetPteResult res;
     const uint64_t vpn = va.pageNumber();
-    const uint64_t before = ownedTablePages_;
-    TablePage *parent = walkToParentOfLeaf(vpn, true);
-    const uint32_t leafSlot = indexAt(vpn, 1);
-    std::shared_ptr<TablePage> leaf = parent->child(leafSlot);
-    if (!leaf) {
-        parent->child(leafSlot) = makeTablePage(0);
-        leaf = parent->child(leafSlot);
-    } else if (leaf->sealed()) {
-        leaf = cowSealedLeaf(parent, leafSlot);
-        res.leafCow = true;
+    TablePage *leaf;
+    const uint64_t leafIdx = leafIndexOf(vpn);
+    if (cachedParent_ && cachedLeafIdx_ == leafIdx && cachedLeaf_ &&
+        !cachedLeaf_->sealed()) {
+        // Sequential stores into one 2 MB leaf skip the root walk.
+        leaf = cachedLeaf_;
+    } else {
+        const uint64_t before = ownedTablePages_;
+        TablePage *parent = walkToParentOfLeaf(vpn, true);
+        const uint32_t leafSlot = indexAt(vpn, 1);
+        std::shared_ptr<TablePage> leafSp = parent->child(leafSlot);
+        if (!leafSp) {
+            parent->child(leafSlot) = makeTablePage(0);
+            leafSp = parent->child(leafSlot);
+        } else if (leafSp->sealed()) {
+            leafSp = cowSealedLeaf(parent, leafSlot);
+            res.leafCow = true;
+        }
+        res.created = ownedTablePages_ != before;
+        leaf = leafSp.get();
+        rememberWalk(leafIdx, parent, leaf);
     }
-    res.created = ownedTablePages_ != before;
     Pte &slot = leaf->pte(indexAt(vpn, 0));
     // Overwriting a live translation releases the process-owned frame
     // it mapped (checkpoint-owned frames belong to their image).
@@ -171,6 +202,8 @@ PageTable::attachLeaf(uint64_t leafBaseVpn, std::shared_ptr<TablePage> leaf)
                    (unsigned long long)leafBaseVpn);
     slot = std::move(leaf);
     ++attachedLeafCount_;
+    // A cached "slot empty" entry for this leaf index is now wrong.
+    invalidateWalkCache();
     // Attaching is a single pointer store plus bookkeeping.
     clock_.advance(machine_.costs().pteWrite);
 }
@@ -200,6 +233,7 @@ PageTable::unmapRange(mem::VirtAddr lo, mem::VirtAddr hi)
             if (vpn == leafBase && chunkEnd == leafEnd) {
                 // Fully covered: detach; the checkpoint owns its frames.
                 parent->child(leafSlot) = nullptr;
+                invalidateWalkCache();
                 CXLF_ASSERT(attachedLeafCount_ > 0);
                 --attachedLeafCount_;
                 vpn = chunkEnd;

@@ -166,6 +166,15 @@ class PageTable
     uint64_t leafCowCount() const { return leafCowCount_; }
     uint64_t attachedLeafCount() const { return attachedLeafCount_; }
 
+    /**
+     * Enable/disable the last-leaf walk cache (on by default). The
+     * cache only short-circuits the host-side pointer chase; simulated
+     * costs are identical either way, so this knob exists purely for
+     * A/B microbenchmarks. Disabling drops the cached entry.
+     */
+    void setWalkCacheEnabled(bool on);
+    bool walkCacheEnabled() const { return walkCacheEnabled_; }
+
     TablePage &root() { return *root_; }
 
   private:
@@ -182,6 +191,24 @@ class PageTable
     std::shared_ptr<TablePage> cowSealedLeaf(TablePage *parent, uint32_t idx);
     void releaseSubtree(TablePage &page);
 
+    void
+    rememberWalk(uint64_t leafIdx, TablePage *parent, TablePage *leaf)
+    {
+        if (!walkCacheEnabled_)
+            return;
+        cachedLeafIdx_ = leafIdx;
+        cachedParent_ = parent;
+        cachedLeaf_ = leaf;
+    }
+
+    void
+    invalidateWalkCache()
+    {
+        cachedLeafIdx_ = ~0ull;
+        cachedParent_ = nullptr;
+        cachedLeaf_ = nullptr;
+    }
+
     mem::Machine &machine_;
     mem::FrameAllocator &tableFrames_;
     sim::SimClock &clock_;
@@ -189,6 +216,17 @@ class PageTable
     uint64_t ownedTablePages_ = 0;
     uint64_t leafCowCount_ = 0;
     uint64_t attachedLeafCount_ = 0;
+
+    // Last-leaf walk cache: checkpoint/restore touch pages in VPN
+    // order, so consecutive setPte/lookup calls overwhelmingly land in
+    // the same 2 MB leaf. Caching the level-1 parent and the leaf for
+    // the last-walked slot turns those into O(1) host work. Any
+    // structural change to a leaf slot (leaf CoW, attach, detach)
+    // invalidates the entry; a cached null leaf records "slot empty".
+    bool walkCacheEnabled_ = true;
+    uint64_t cachedLeafIdx_ = ~0ull;
+    TablePage *cachedParent_ = nullptr;
+    TablePage *cachedLeaf_ = nullptr;
 };
 
 } // namespace cxlfork::os

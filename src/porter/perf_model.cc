@@ -31,10 +31,18 @@ PerfModel::profile(const FunctionSpec &spec, Mechanism mech,
                    os::TieringPolicy policy)
 {
     const ProfileKey key{spec.name, mech, policy};
-    auto it = cache_.find(key);
-    if (it == cache_.end())
-        it = cache_.emplace(key, measure(spec, mech, policy)).first;
-    return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+    }
+    // Measure outside the lock: concurrent sweep points may duplicate
+    // a measurement, but measure() is deterministic so both compute
+    // the same profile and emplace keeps the first.
+    PerfProfile p = measure(spec, mech, policy);
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.emplace(key, p).first->second;
 }
 
 PerfProfile

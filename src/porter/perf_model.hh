@@ -12,6 +12,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "faas/function.hh"
@@ -59,7 +60,10 @@ struct ProfileKey
 
 /**
  * Measures and caches PerfProfiles on a scratch cluster sized for the
- * largest function.
+ * largest function. Thread-safe: one model can be shared by all the
+ * points of a parallel sweep, so each profile is measured once per
+ * process. measure() is deterministic (it builds its own scratch
+ * cluster), so cache contents are independent of thread interleaving.
  */
 class PerfModel
 {
@@ -75,6 +79,7 @@ class PerfModel
                         os::TieringPolicy policy) const;
 
     sim::CostParams costs_;
+    std::mutex mu_;
     std::map<ProfileKey, PerfProfile> cache_;
 };
 

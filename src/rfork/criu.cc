@@ -65,8 +65,8 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     cs.vmas = image.vmas.size();
     cs.bytesToCxl = simBytes;
     ckptSpan.attr("pages", cs.pages).attr("bytes_to_cxl", cs.bytesToCxl);
-    machine.metrics().counter("rfork.criu.checkpoints").inc();
-    machine.metrics().latency("rfork.criu.checkpoint_ns").record(cs.latency);
+    checkpointsCounter_->inc();
+    checkpointLatency_->record(cs.latency);
     if (stats)
         *stats = cs;
     node.stats().counter("criu.checkpoint").inc();
@@ -141,10 +141,12 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
             target.localDram().alloc(mem::FrameUse::Data, pm.content);
         task->mm().pageTable().setPte(va, Pte::make(frame, vma->writable()));
         ++rs.pagesCopied;
-        machine.tracer().instant(
-            clock, target.id(), "page_copy", "rfork",
-            {{"vpn", sim::TraceValue::of(pm.vpn)},
-             {"reason", sim::TraceValue::of("criu_copy")}});
+        if (machine.tracer().enabled()) {
+            machine.tracer().instant(
+                clock, target.id(), "page_copy", "rfork",
+                {{"vpn", sim::TraceValue::of(pm.vpn)},
+                 {"reason", sim::TraceValue::of("criu_copy")}});
+        }
     }
     rs.memoryState = clock.now() - memStart;
     memSpan.attr("pages_copied", rs.pagesCopied).finish();
@@ -163,14 +165,14 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
 
     } catch (...) {
         target.exitTask(task);
-        machine.metrics().counter("rfork.criu.restore_failed").inc();
+        restoreFailedCounter_->inc();
         throw;
     }
 
     rs.latency = clock.now() - start;
     restoreSpan.attr("pages_copied", rs.pagesCopied).finish();
-    machine.metrics().counter("rfork.criu.restores").inc();
-    machine.metrics().latency("rfork.criu.restore_ns").record(rs.latency);
+    restoresCounter_->inc();
+    restoreLatency_->record(rs.latency);
     if (stats)
         *stats = rs;
     target.stats().counter("criu.restore").inc();

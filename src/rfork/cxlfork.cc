@@ -164,13 +164,10 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
         .attr("leaves", cs.leaves)
         .attr("bytes_to_cxl", cs.bytesToCxl)
         .finish();
-    machine.metrics().counter("rfork.cxlfork.checkpoints").inc();
-    machine.metrics().counter("rfork.cxlfork.pages_checkpointed")
-        .inc(cs.pages);
-    machine.metrics().counter("rfork.cxlfork.bytes_to_cxl")
-        .inc(cs.bytesToCxl);
-    machine.metrics().latency("rfork.cxlfork.checkpoint_ns")
-        .record(cs.latency);
+    checkpointsCounter_->inc();
+    pagesCkptCounter_->inc(cs.pages);
+    bytesToCxlCounter_->inc(cs.bytesToCxl);
+    checkpointLatency_->record(cs.latency);
     if (stats)
         *stats = cs;
     node.stats().counter("cxlfork.checkpoint").inc();
@@ -201,7 +198,7 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
             clock, target.id(), "restore.integrity", "rfork.phase");
         if (img->integritySealed()) {
             if (auto bad = img->verifyIntegrity()) {
-                machine.metrics().counter("rfork.cxlfork.crc_rejects").inc();
+                crcRejectCounter_->inc();
                 throw sim::CorruptImageError(sim::format(
                     "checkpoint '%s': %s segment failed CRC (torn write?)",
                     img->name().c_str(), bad->c_str()));
@@ -293,10 +290,12 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
             task->mm().pageTable().setPte(va, fresh);
             clock.advance(costs.cxlRead(kPageSize));
             ++rs.pagesCopied;
-            machine.tracer().instant(
-                clock, target.id(), "page_copy", "rfork",
-                {{"vpn", sim::TraceValue::of(va.pageNumber())},
-                 {"reason", sim::TraceValue::of("prefetch")}});
+            if (machine.tracer().enabled()) {
+                machine.tracer().instant(
+                    clock, target.id(), "page_copy", "rfork",
+                    {{"vpn", sim::TraceValue::of(va.pageNumber())},
+                     {"reason", sim::TraceValue::of("prefetch")}});
+            }
         });
         rs.dataCopy = clock.now() - copyStart;
         prefetchSpan.attr("pages_copied", rs.pagesCopied);
@@ -304,7 +303,7 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
 
     } catch (...) {
         target.exitTask(task);
-        machine.metrics().counter("rfork.cxlfork.restore_failed").inc();
+        restoreFailedCounter_->inc();
         throw;
     }
 
@@ -312,10 +311,9 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     restoreSpan.attr("pages_copied", rs.pagesCopied)
         .attr("leaves_attached", rs.leavesAttached)
         .finish();
-    machine.metrics().counter("rfork.cxlfork.restores").inc();
-    machine.metrics().counter("rfork.cxlfork.pages_prefetched")
-        .inc(rs.pagesCopied);
-    machine.metrics().latency("rfork.cxlfork.restore_ns").record(rs.latency);
+    restoresCounter_->inc();
+    pagesPrefetchedCounter_->inc(rs.pagesCopied);
+    restoreLatency_->record(rs.latency);
     if (stats)
         *stats = rs;
     target.stats().counter("cxlfork.restore").inc();

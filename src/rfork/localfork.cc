@@ -33,6 +33,13 @@ LocalFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     }
     (void)opts;
     mem::Machine &machine = target.machine();
+    if (handleMachine_ != &machine) {
+        handleMachine_ = &machine;
+        restoresCounter_ =
+            &machine.metrics().counter("rfork.localfork.restores");
+        restoreLatency_ =
+            &machine.metrics().latency("rfork.localfork.restore_ns");
+    }
     const sim::SimTime start = target.clock().now();
     sim::SpanScope restoreSpan = machine.tracer().span(
         target.clock(), target.id(), "localfork.restore", "rfork.restore");
@@ -42,10 +49,8 @@ LocalFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
         target.localFork(*h->parent(), h->parent()->name() + "+fork");
     forkSpan.finish();
     restoreSpan.finish();
-    machine.metrics().counter("rfork.localfork.restores").inc();
-    machine.metrics()
-        .latency("rfork.localfork.restore_ns")
-        .record(target.clock().now() - start);
+    restoresCounter_->inc();
+    restoreLatency_->record(target.clock().now() - start);
     if (stats) {
         *stats = RestoreStats{};
         stats->latency = target.clock().now() - start;

@@ -49,6 +49,14 @@ class LocalFork : public RemoteForkMechanism
     restore(const std::shared_ptr<CheckpointHandle> &handle,
             os::NodeOs &target, const RestoreOptions &opts = {},
             RestoreStats *stats = nullptr) override;
+
+  private:
+    // LocalFork is default-constructed with no machine in sight, so its
+    // metric handles resolve lazily on first restore, keyed by machine:
+    // benches reuse one LocalFork across per-point machines.
+    mem::Machine *handleMachine_ = nullptr;
+    sim::Counter *restoresCounter_ = nullptr;
+    sim::LatencyHistogram *restoreLatency_ = nullptr;
 };
 
 } // namespace cxlfork::rfork

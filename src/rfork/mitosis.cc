@@ -158,9 +158,8 @@ MitosisCxl::checkpoint(os::NodeOs &node, os::Task &parent,
 
     cs.latency = clock.now() - start;
     ckptSpan.attr("pages", cs.pages).attr("bytes_local", cs.bytesLocal);
-    machine.metrics().counter("rfork.mitosis.checkpoints").inc();
-    machine.metrics().latency("rfork.mitosis.checkpoint_ns")
-        .record(cs.latency);
+    checkpointsCounter_->inc();
+    checkpointLatency_->record(cs.latency);
     if (stats)
         *stats = cs;
     node.stats().counter("mitosis.checkpoint").inc();
@@ -236,14 +235,14 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
 
     } catch (...) {
         target.exitTask(task);
-        machine.metrics().counter("rfork.mitosis.restore_failed").inc();
+        restoreFailedCounter_->inc();
         throw;
     }
 
     rs.latency = clock.now() - start;
     restoreSpan.finish();
-    machine.metrics().counter("rfork.mitosis.restores").inc();
-    machine.metrics().latency("rfork.mitosis.restore_ns").record(rs.latency);
+    restoresCounter_->inc();
+    restoreLatency_->record(rs.latency);
     if (stats)
         *stats = rs;
     target.stats().counter("mitosis.restore").inc();

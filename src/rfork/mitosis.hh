@@ -112,7 +112,15 @@ class MitosisHandle : public CheckpointHandle, public os::CheckpointBacking
 class MitosisCxl : public RemoteForkMechanism
 {
   public:
-    explicit MitosisCxl(cxl::CxlFabric &fabric) : fabric_(fabric) {}
+    explicit MitosisCxl(cxl::CxlFabric &fabric) : fabric_(fabric)
+    {
+        sim::MetricsRegistry &m = fabric_.machine().metrics();
+        checkpointsCounter_ = &m.counter("rfork.mitosis.checkpoints");
+        checkpointLatency_ = &m.latency("rfork.mitosis.checkpoint_ns");
+        restoresCounter_ = &m.counter("rfork.mitosis.restores");
+        restoreFailedCounter_ = &m.counter("rfork.mitosis.restore_failed");
+        restoreLatency_ = &m.latency("rfork.mitosis.restore_ns");
+    }
 
     const char *name() const override { return "Mitosis-CXL"; }
 
@@ -127,6 +135,11 @@ class MitosisCxl : public RemoteForkMechanism
 
   private:
     cxl::CxlFabric &fabric_;
+    sim::Counter *checkpointsCounter_ = nullptr;
+    sim::LatencyHistogram *checkpointLatency_ = nullptr;
+    sim::Counter *restoresCounter_ = nullptr;
+    sim::Counter *restoreFailedCounter_ = nullptr;
+    sim::LatencyHistogram *restoreLatency_ = nullptr;
 };
 
 } // namespace cxlfork::rfork

@@ -1,5 +1,6 @@
 #include "log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,19 +8,21 @@
 namespace cxlfork::sim {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic so bench worker threads can log (or change verbosity) without
+// a data race; relaxed ordering suffices for a monotone filter knob.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -47,7 +50,7 @@ format(const char *fmt, ...)
 void
 logAt(LogLevel level, const char *prefix, const char *fmt, ...)
 {
-    if (level < g_level)
+    if (level < g_level.load(std::memory_order_relaxed))
         return;
     std::va_list ap;
     va_start(ap, fmt);

@@ -21,6 +21,19 @@ LatencyHistogram::record(double ns)
     max_ = std::max(max_, ns);
 }
 
+void
+LatencyHistogram::merge(const LatencyHistogram &o)
+{
+    if (o.count_ == 0)
+        return;
+    for (uint32_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
 uint32_t
 LatencyHistogram::bucketIndex(double ns)
 {
@@ -155,6 +168,19 @@ MetricsRegistry::toTable(const std::string &title) const
     for (const auto &[name, value] : flatten())
         t.addRow({name, json::formatNumber(value)});
     return t;
+}
+
+void
+MetricsRegistry::mergeFrom(const MetricsRegistry &o)
+{
+    for (const auto &[name, c] : o.counters_)
+        counters_[name].inc(c.value());
+    for (const auto &[name, g] : o.gauges_)
+        gauges_[name].set(g.value());
+    for (const auto &[name, s] : o.summaries_)
+        summaries_[name].merge(s);
+    for (const auto &[name, h] : o.latencies_)
+        latencies_[name].merge(h);
 }
 
 void

@@ -57,6 +57,9 @@ class LatencyHistogram
     void record(SimTime t) { record(t.toNs()); }
     void record(double ns);
 
+    /** Bucket-wise fold of another histogram into this one. */
+    void merge(const LatencyHistogram &o);
+
     uint64_t count() const { return count_; }
     double sumNs() const { return sum_; }
     double minNs() const { return count_ ? min_ : 0.0; }
@@ -149,6 +152,16 @@ class MetricsRegistry
 
     /** Forget every metric. */
     void clear();
+
+    /**
+     * Fold every metric of `o` into this registry, as if each event had
+     * been recorded here directly. Gauges take `o`'s value when `o`
+     * carries the name (last-writer-wins, matching sequential replay).
+     * Used by the parallel sweep runner to merge per-point registries
+     * in point order, which keeps exports byte-identical to a serial
+     * run.
+     */
+    void mergeFrom(const MetricsRegistry &o);
 
   private:
     std::map<std::string, Counter> counters_;

@@ -18,6 +18,17 @@ Summary::add(double v)
 }
 
 void
+Summary::merge(const Summary &o)
+{
+    if (o.count_ == 0)
+        return;
+    count_ += o.count_;
+    total_ += o.total_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+}
+
+void
 Histogram::add(double v)
 {
     samples_.push_back(v);

@@ -34,6 +34,9 @@ class Summary
   public:
     void add(double v);
 
+    /** Fold another summary in, as if its samples had been add()ed here. */
+    void merge(const Summary &o);
+
     uint64_t count() const { return count_; }
     double total() const { return total_; }
     double mean() const { return count_ ? total_ / double(count_) : 0.0; }

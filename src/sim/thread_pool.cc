@@ -1,0 +1,126 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace cxlfork::sim {
+
+unsigned
+ThreadPool::hardwareConcurrency()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareConcurrency();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idleCv_.wait(lk, [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and nothing left to run
+            task = std::move(queue_.front());
+            queue_.erase(queue_.begin());
+            ++inFlight_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --inFlight_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelIndexed(size_t count, const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (count == 1 || workers_.empty()) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    struct Shared
+    {
+        std::atomic<size_t> next{0};
+        std::mutex errMu;
+        size_t firstErrIdx;
+        std::exception_ptr firstErr;
+
+        Shared() : firstErrIdx(size_t(-1)), firstErr(nullptr) {}
+    };
+    Shared shared;
+
+    auto drain = [&] {
+        for (;;) {
+            const size_t i =
+                shared.next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(shared.errMu);
+                if (i < shared.firstErrIdx) {
+                    shared.firstErrIdx = i;
+                    shared.firstErr = std::current_exception();
+                }
+            }
+        }
+    };
+
+    // The calling thread participates too, so JOBS=N means N runners.
+    const size_t helpers = std::min<size_t>(workers_.size(), count) - 1;
+    for (size_t h = 0; h < helpers; ++h)
+        submit(drain);
+    drain();
+    wait();
+
+    if (shared.firstErr)
+        std::rethrow_exception(shared.firstErr);
+}
+
+} // namespace cxlfork::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A host-side worker pool for running independent simulation points
+ * concurrently (bench sweeps, parameter studies).
+ *
+ * The pool is strictly an execution vehicle: simulated results must be
+ * identical no matter how many workers run. Callers guarantee that by
+ * confining every mutable simulation object (Machine, RNG, metrics
+ * registry) to one task and merging outputs in task-index order after
+ * join. parallelIndexed() is the primitive that makes that discipline
+ * easy: each index runs exactly once, exceptions are captured and the
+ * first one (by index) is rethrown on the calling thread after all
+ * workers drain.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cxlfork::sim {
+
+/** A fixed-size pool of host worker threads. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means hardwareConcurrency().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const { return unsigned(workers_.size()); }
+
+    /** Enqueue one task. Tasks must not submit to the same pool. */
+    void submit(std::function<void()> fn);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Run fn(0) .. fn(count-1), each exactly once, across the pool and
+     * the calling thread. Blocks until all complete. If any task threw,
+     * rethrows the exception of the lowest-indexed failing task after
+     * the join (so cleanup/merge code never sees partial execution).
+     *
+     * With threadCount() == 0 (or count <= 1) everything runs inline on
+     * the calling thread, in index order.
+     */
+    void parallelIndexed(size_t count,
+                         const std::function<void(size_t)> &fn);
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static unsigned hardwareConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;      ///< Wakes workers for new tasks.
+    std::condition_variable idleCv_;  ///< Wakes wait()ers when drained.
+    std::vector<std::function<void()>> queue_;
+    size_t inFlight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace cxlfork::sim

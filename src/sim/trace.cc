@@ -135,11 +135,9 @@ SpanScope::finish()
 }
 
 SpanScope
-Tracer::span(const SimClock &clock, uint32_t track, std::string_view name,
-             std::string_view category)
+Tracer::spanSlow(const SimClock &clock, uint32_t track, std::string_view name,
+                 std::string_view category)
 {
-    if (!enabled_)
-        return {};
     TraceSpan s;
     s.id = uint32_t(spans_.size());
     s.track = track;
@@ -158,11 +156,9 @@ Tracer::span(const SimClock &clock, uint32_t track, std::string_view name,
 }
 
 void
-Tracer::instantAt(SimTime at, uint32_t track, std::string_view name,
-                  std::string_view category, TraceAttrs attrs)
+Tracer::instantSlow(SimTime at, uint32_t track, std::string_view name,
+                    std::string_view category, TraceAttrs attrs)
 {
-    if (!enabled_)
-        return;
     TraceInstant i;
     i.track = track;
     i.name = std::string(name);

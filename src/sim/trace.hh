@@ -186,22 +186,37 @@ class Tracer
     /**
      * Open a span on `track`, timed on `clock`, nested under the
      * innermost open span of the same track. Returns an inert handle
-     * when tracing is disabled.
+     * when tracing is disabled: the disabled path is a single inlined
+     * branch, so span() is free on hot paths when tracing is off.
      */
-    SpanScope span(const SimClock &clock, uint32_t track,
-                   std::string_view name, std::string_view category);
+    SpanScope
+    span(const SimClock &clock, uint32_t track, std::string_view name,
+         std::string_view category)
+    {
+        if (!enabled_)
+            return {};
+        return spanSlow(clock, track, name, category);
+    }
 
     /** Record an instant event at the clock's current time. */
     void
     instant(const SimClock &clock, uint32_t track, std::string_view name,
             std::string_view category, TraceAttrs attrs = {})
     {
-        instantAt(clock.now(), track, name, category, std::move(attrs));
+        if (!enabled_)
+            return;
+        instantSlow(clock.now(), track, name, category, std::move(attrs));
     }
 
     /** Record an instant event at an explicit simulated time. */
-    void instantAt(SimTime at, uint32_t track, std::string_view name,
-                   std::string_view category, TraceAttrs attrs = {});
+    void
+    instantAt(SimTime at, uint32_t track, std::string_view name,
+              std::string_view category, TraceAttrs attrs = {})
+    {
+        if (!enabled_)
+            return;
+        instantSlow(at, track, name, category, std::move(attrs));
+    }
 
     // --- Introspection (tests, breakdown tables).
 
@@ -232,6 +247,10 @@ class Tracer
 
   private:
     friend class SpanScope;
+    SpanScope spanSlow(const SimClock &clock, uint32_t track,
+                       std::string_view name, std::string_view category);
+    void instantSlow(SimTime at, uint32_t track, std::string_view name,
+                     std::string_view category, TraceAttrs attrs);
     void endSpan(uint32_t id, SimTime at);
     void addAttr(uint32_t id, std::string_view key, TraceValue value);
 

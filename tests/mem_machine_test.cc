@@ -27,6 +27,47 @@ TEST(Machine, TiersAreDisjointAndResolvable)
     EXPECT_EQ(&m.ownerOf(c), &m.cxl());
 }
 
+TEST(Machine, WindowArithmeticCoversEveryBoundaryByte)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 3;
+    cfg.dramPerNodeBytes = mib(64);
+    cfg.cxlCapacityBytes = mib(128);
+    Machine m(cfg);
+
+    // First and last byte of every node's DRAM window resolve O(1) to
+    // that node's allocator (node i lives at (i + 1) * kNodeStride).
+    for (NodeId n = 0; n < cfg.numNodes; ++n) {
+        const uint64_t base = (uint64_t(n) + 1) * Machine::kNodeStride;
+        const PhysAddr first{base};
+        const PhysAddr last{base + cfg.dramPerNodeBytes - 1};
+        EXPECT_EQ(m.tierOf(first), Tier::LocalDram);
+        EXPECT_EQ(m.tierOf(last), Tier::LocalDram);
+        EXPECT_EQ(&m.ownerOf(first), &m.nodeDram(n));
+        EXPECT_EQ(&m.ownerOf(last), &m.nodeDram(n));
+    }
+
+    // Same for the CXL device window at kCxlBase.
+    const PhysAddr cxlFirst{Machine::kCxlBase};
+    const PhysAddr cxlLast{Machine::kCxlBase + cfg.cxlCapacityBytes - 1};
+    EXPECT_EQ(m.tierOf(cxlFirst), Tier::Cxl);
+    EXPECT_EQ(m.tierOf(cxlLast), Tier::Cxl);
+    EXPECT_EQ(&m.ownerOf(cxlFirst), &m.cxl());
+    EXPECT_EQ(&m.ownerOf(cxlLast), &m.cxl());
+
+    // One past the end of either window kind is out of range.
+    EXPECT_EQ(m.tierOf(PhysAddr{Machine::kCxlBase + cfg.cxlCapacityBytes}),
+              Tier::LocalDram);
+    EXPECT_DEATH(m.ownerOf(PhysAddr{Machine::kNodeStride +
+                                    cfg.dramPerNodeBytes}),
+                 "belongs to no tier");
+    EXPECT_DEATH(m.ownerOf(PhysAddr{0}), "belongs to no tier");
+    // The slot past the last node has no allocator either.
+    EXPECT_DEATH(m.ownerOf(PhysAddr{(uint64_t(cfg.numNodes) + 1) *
+                                    Machine::kNodeStride}),
+                 "belongs to no tier");
+}
+
 TEST(Machine, AccessLatencyByTier)
 {
     Machine m(MachineConfig{});

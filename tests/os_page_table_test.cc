@@ -259,5 +259,87 @@ TEST_F(PageTableTest, FullUnmapOfSealedLeafDetaches)
     EXPECT_FALSE(pt_.lookup(VirtAddr::fromPageNumber(baseVpn)).present());
 }
 
+TEST_F(PageTableTest, WalkCacheHitsMatchUncachedResults)
+{
+    // Same access pattern against a cached and an uncached table must
+    // produce identical mappings — the cache is a host-side shortcut
+    // with no simulated-cost or result differences.
+    PageTable uncached(machine_, machine_.nodeDram(0), clock_);
+    uncached.setWalkCacheEnabled(false);
+    EXPECT_TRUE(pt_.walkCacheEnabled());
+    EXPECT_FALSE(uncached.walkCacheEnabled());
+
+    std::vector<VirtAddr> vas;
+    for (uint64_t i = 0; i < 1200; ++i) // crosses two leaf boundaries
+        vas.push_back(VirtAddr::fromPageNumber(0x4'0000 + i));
+    for (const VirtAddr va : vas) {
+        const PhysAddr f = dataFrame(va.raw);
+        Pte p = Pte::make(f, true);
+        p.set(Pte::kSoftCxl); // keep our handle on the frames
+        pt_.setPte(va, p);
+        uncached.setPte(va, p);
+    }
+    for (const VirtAddr va : vas) {
+        EXPECT_EQ(pt_.lookup(va).raw(), uncached.lookup(va).raw());
+        EXPECT_TRUE(pt_.lookup(va).present());
+    }
+    EXPECT_EQ(pt_.ownedTablePages(), uncached.ownedTablePages());
+}
+
+TEST_F(PageTableTest, WalkCacheInvalidatedByUnmap)
+{
+    const VirtAddr va{0x9'0000'0000ull};
+    pt_.setPte(va, Pte::make(dataFrame(), true)); // cache now holds the leaf
+    pt_.unmapRange(va, va.plus(kPageSize));
+    EXPECT_FALSE(pt_.lookup(va).present());
+    // Re-map through the (invalidated) cache path.
+    pt_.setPte(va, Pte::make(dataFrame(7), true));
+    EXPECT_TRUE(pt_.lookup(va).present());
+}
+
+TEST_F(PageTableTest, WalkCacheInvalidatedByLeafCow)
+{
+    // Populate a slot, then attach-adjacent behavior: seal via CoW. A
+    // setPte on a cached-but-now-sealed leaf must not bypass the CoW.
+    auto leaf = std::make_shared<TablePage>(
+        0, machine_.cxl().alloc(mem::FrameUse::PageTable), false);
+    const PhysAddr f = machine_.cxl().alloc(mem::FrameUse::Data, 1);
+    Pte entry = Pte::make(f, false);
+    entry.set(Pte::kSoftCxl);
+    leaf->pte(0) = entry;
+    leaf->seal();
+    const uint64_t baseVpn = 512 * 21;
+    pt_.attachLeaf(baseVpn, leaf);
+
+    // First write CoWs the sealed leaf; a second write through the
+    // refreshed cache must land in the copy, not the sealed original.
+    const VirtAddr va0 = VirtAddr::fromPageNumber(baseVpn);
+    const VirtAddr va1 = VirtAddr::fromPageNumber(baseVpn + 1);
+    EXPECT_TRUE(pt_.setPte(va0, Pte::make(dataFrame(2), true)).leafCow);
+    EXPECT_FALSE(pt_.setPte(va1, Pte::make(dataFrame(3), true)).leafCow);
+    EXPECT_FALSE(leaf->pte(1).present()) << "sealed leaf must stay pristine";
+    EXPECT_TRUE(pt_.lookup(va1).writable());
+}
+
+TEST_F(PageTableTest, WalkCacheSurvivesVpnOrderSweep)
+{
+    // The checkpoint/restore access pattern: strictly VPN-ordered
+    // writes then reads across many leaves.
+    const uint64_t baseVpn = 0x7'0000;
+    for (uint64_t i = 0; i < 4 * 512; ++i) {
+        Pte p = Pte::make(dataFrame(i), true);
+        p.set(Pte::kSoftCxl);
+        pt_.setPte(VirtAddr::fromPageNumber(baseVpn + i), p);
+    }
+    uint64_t present = 0;
+    pt_.forEachPresent(VirtAddr::fromPageNumber(baseVpn),
+                       VirtAddr::fromPageNumber(baseVpn + 4 * 512),
+                       [&](VirtAddr, Pte &p) {
+                           EXPECT_TRUE(p.present());
+                           ++present;
+                       });
+    EXPECT_EQ(present, 4u * 512u);
+}
+
 } // namespace
 } // namespace cxlfork::os

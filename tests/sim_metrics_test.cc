@@ -185,6 +185,77 @@ TEST(MetricsRegistry, JsonExportRoundTrips)
     EXPECT_TRUE(none.object.empty());
 }
 
+TEST(MetricsRegistry, MergeFromFoldsEveryMetricKind)
+{
+    MetricsRegistry a;
+    MetricsRegistry b;
+    a.counter("c").inc(2);
+    b.counter("c").inc(3);
+    b.counter("b_only").inc(1);
+    a.gauge("g").set(1.0);
+    b.gauge("g").set(4.0);
+    a.summary("s").add(1.0);
+    b.summary("s").add(3.0);
+    b.summary("s").add(5.0);
+    a.latency("l").record(SimTime::ns(100));
+    b.latency("l").record(SimTime::ns(800));
+
+    a.mergeFrom(b);
+    EXPECT_EQ(a.counterValue("c"), 5u);
+    EXPECT_EQ(a.counterValue("b_only"), 1u);
+    // Gauges are last-writer-wins, matching sequential replay.
+    EXPECT_EQ(a.gaugeValue("g"), 4.0);
+    const Summary *s = a.findSummary("s");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->count(), 3u);
+    EXPECT_EQ(s->total(), 9.0);
+    EXPECT_EQ(s->min(), 1.0);
+    EXPECT_EQ(s->max(), 5.0);
+    const LatencyHistogram *l = a.findLatency("l");
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->count(), 2u);
+    EXPECT_EQ(l->sumNs(), 900.0);
+    EXPECT_EQ(l->minNs(), 100.0);
+    EXPECT_EQ(l->maxNs(), 800.0);
+    EXPECT_EQ(l->bucketCount(LatencyHistogram::bucketIndex(100.0)), 1u);
+    EXPECT_EQ(l->bucketCount(LatencyHistogram::bucketIndex(800.0)), 1u);
+}
+
+TEST(MetricsRegistry, MergeFromMatchesSequentialRecordingExactly)
+{
+    // The parallel-sweep property: recording split across per-point
+    // registries and merged in order exports byte-identically to
+    // recording everything into one registry.
+    MetricsRegistry sequential;
+    MetricsRegistry p1;
+    MetricsRegistry p2;
+    const auto record = [](MetricsRegistry &r, double v) {
+        r.counter("runs").inc();
+        r.summary("ms").add(v);
+        r.latency("ns").record(SimTime::ns(v * 10));
+        r.gauge("last").set(v);
+    };
+    record(sequential, 3.25);
+    record(sequential, 7.5);
+    record(p1, 3.25);
+    record(p2, 7.5);
+
+    MetricsRegistry merged;
+    merged.mergeFrom(p1);
+    merged.mergeFrom(p2);
+    EXPECT_EQ(merged.toJson(), sequential.toJson());
+}
+
+TEST(MetricsRegistry, MergeFromEmptyIsIdentity)
+{
+    MetricsRegistry a;
+    a.counter("c").inc(7);
+    a.summary("s").add(2.0);
+    const std::string before = a.toJson();
+    a.mergeFrom(MetricsRegistry{});
+    EXPECT_EQ(a.toJson(), before);
+}
+
 TEST(MetricsRegistry, ToTableListsEveryFlatEntry)
 {
     MetricsRegistry reg;

@@ -84,6 +84,33 @@ TEST(Histogram, PercentileOutOfRangePanics)
     EXPECT_DEATH(h.percentile(1.5), "out of");
 }
 
+TEST(Summary, MergeFoldsCountTotalAndExtrema)
+{
+    Summary a;
+    a.add(2.0);
+    a.add(10.0);
+    Summary b;
+    b.add(-1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.total(), 11.0);
+    EXPECT_EQ(a.min(), -1.0);
+    EXPECT_EQ(a.max(), 10.0);
+
+    // Merging an empty summary changes nothing (not even min/max).
+    a.merge(Summary{});
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.min(), -1.0);
+
+    // Merging into an empty summary adopts the source wholesale.
+    Summary c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 3u);
+    EXPECT_EQ(c.total(), 11.0);
+    EXPECT_EQ(c.min(), -1.0);
+    EXPECT_EQ(c.max(), 10.0);
+}
+
 TEST(StatSet, NamedCountersAndSummaries)
 {
     StatSet s;

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+namespace cxlfork::sim {
+namespace {
+
+TEST(ThreadPool, HardwareConcurrencyIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ParallelIndexedVisitsEachIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.parallelIndexed(kCount,
+                         [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelIndexedSerialFallback)
+{
+    // A single-thread pool must still complete (the caller drains).
+    ThreadPool pool(1);
+    std::vector<int> order;
+    pool.parallelIndexed(8, [&](size_t i) { order.push_back(int(i)); });
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i); // serial fallback preserves index order
+}
+
+TEST(ThreadPool, ParallelIndexedZeroCountIsNoop)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelIndexed(0, [&](size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelIndexedRethrowsLowestIndexError)
+{
+    ThreadPool pool(4);
+    const auto run = [&] {
+        pool.parallelIndexed(64, [&](size_t i) {
+            if (i == 7 || i == 40)
+                throw std::runtime_error("boom " + std::to_string(i));
+        });
+    };
+    try {
+        run();
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 7");
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossRounds)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<size_t> sum{0};
+        pool.parallelIndexed(50, [&](size_t i) { sum.fetch_add(i); });
+        EXPECT_EQ(sum.load(), 50u * 49u / 2u);
+    }
+}
+
+} // namespace
+} // namespace cxlfork::sim

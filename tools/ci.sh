@@ -15,11 +15,36 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== Running full test suite"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "== Running golden-benchmark regression suite"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
+echo "== Running golden-benchmark regression suite (CXLFORK_JOBS=1)"
+CXLFORK_JOBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
+
+echo "== Running golden-benchmark regression suite (CXLFORK_JOBS=8)"
+CXLFORK_JOBS=8 ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
+
+echo "== Checking host wall-clock against the checked-in baseline"
+WALLCLOCK_OUT="$BUILD_DIR/BENCH_WALLCLOCK.json"
+rm -f "$WALLCLOCK_OUT"
+for jobs in 1 8; do
+    CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
+        "$BUILD_DIR/bench/bench_checkpoint" > /dev/null
+    CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
+        "$BUILD_DIR/bench/bench_fig8_tiering" > /dev/null
+done
+if ! "$BUILD_DIR/tools/perfcmp" \
+        "$REPO_ROOT/tests/perf/BENCH_WALLCLOCK.json" "$WALLCLOCK_OUT" \
+        0.20; then
+    echo "ci: wall-clock regressed >20% vs tests/perf/BENCH_WALLCLOCK.json" >&2
+    echo "ci: if intentional, refresh with: cp $WALLCLOCK_OUT" \
+         "$REPO_ROOT/tests/perf/BENCH_WALLCLOCK.json" >&2
+    exit 1
+fi
 
 echo "== Running ASan/UBSan fault smoke (sanitized rebuild + full suite)"
 BUILD_DIR="${ASAN_BUILD_DIR:-$REPO_ROOT/build-asan}" JOBS="$JOBS" \
     "$REPO_ROOT/tools/fault_smoke.sh"
+
+echo "== Running ThreadSanitizer smoke (parallel sweep executor)"
+BUILD_DIR="${TSAN_BUILD_DIR:-$REPO_ROOT/build-tsan}" JOBS="$JOBS" \
+    "$REPO_ROOT/tools/tsan_smoke.sh"
 
 echo "== ci: all checks passed"

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Prove a bench's exported metrics are independent of the host thread
+# count: run it at CXLFORK_JOBS=1 and CXLFORK_JOBS=8 and require the
+# two metrics-JSON exports to be byte-identical. Runs with
+# CXLFORK_TRACE=1 so the per-phase restore metrics are part of the
+# compared surface, exactly like the golden suite.
+#
+# Usage: determinism_check.sh <bench-binary>
+set -eu
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 <bench-binary>" >&2
+    exit 2
+fi
+
+bench=$1
+serial=$(mktemp)
+parallel=$(mktemp)
+trap 'rm -f "$serial" "$parallel"' EXIT
+
+CXLFORK_JOBS=1 CXLFORK_TRACE=1 CXLFORK_METRICS_JSON="$serial" \
+    "$bench" > /dev/null
+CXLFORK_JOBS=8 CXLFORK_TRACE=1 CXLFORK_METRICS_JSON="$parallel" \
+    "$bench" > /dev/null
+
+if ! cmp -s "$serial" "$parallel"; then
+    echo "determinism_check: $bench metrics differ between" \
+         "CXLFORK_JOBS=1 and CXLFORK_JOBS=8" >&2
+    diff "$serial" "$parallel" | head -40 >&2 || true
+    exit 1
+fi
+echo "determinism_check: $bench is CXLFORK_JOBS-invariant"

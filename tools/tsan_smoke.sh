@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# ThreadSanitizer smoke for the parallel sweep executor: rebuild the
+# sweep benches with -DCXLFORK_TSAN=ON and run them with CXLFORK_JOBS>1
+# so the worker threads actually contend. TSan makes the process exit
+# non-zero when it reports a race, so a clean pass is the assertion.
+#
+# Environment:
+#   BUILD_DIR   sanitized build tree (default <repo>/build-tsan)
+#   JOBS        host build parallelism (default nproc)
+#   SWEEP_JOBS  CXLFORK_JOBS for the bench runs (default 4)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-tsan}"
+JOBS="${JOBS:-$(nproc)}"
+SWEEP_JOBS="${SWEEP_JOBS:-4}"
+
+# fig10 exercises the shared (mutex-protected) porter::PerfModel cache.
+BENCHES=(bench_fig8_tiering bench_ext_scaling bench_fig10_porter)
+
+echo "== Configuring TSan build in $BUILD_DIR"
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCXLFORK_TSAN=ON
+cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}" \
+    sim_threadpool_test
+
+echo "== ThreadPool unit test under TSan"
+"$BUILD_DIR/tests/sim_threadpool_test"
+
+for bench in "${BENCHES[@]}"; do
+    echo "== $bench under TSan with CXLFORK_JOBS=$SWEEP_JOBS"
+    CXLFORK_JOBS="$SWEEP_JOBS" CXLFORK_TRACE=1 \
+        "$BUILD_DIR/bench/$bench" > /dev/null
+done
+
+echo "tsan_smoke: clean"
