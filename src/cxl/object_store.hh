@@ -4,6 +4,23 @@
  * <user, function> tuples to checkpoint identifiers (CIDs) of
  * CXL-stored checkpoints. Header-only and generic over the stored
  * object type so the fabric layer stays independent of rfork.
+ *
+ * Publication is a two-phase, crash-consistent protocol backed by a
+ * journal that models a CXL-resident record per checkpoint:
+ *
+ *   stage()    -> STAGED: the object is registered (its frames are
+ *                 pinned by the store, surviving the creator's crash)
+ *                 but invisible to lookup().
+ *   publish()  -> PUBLISHED: the <user, function> tuple flips to the
+ *                 CID atomically. Idempotent.
+ *   reclaim()  -> the CID's object, journal record, and (if it is the
+ *                 tuple's latest) lookup entry are all erased.
+ *
+ * A node that dies between stage() and publish() leaves a STAGED
+ * orphan; recoverOrphans() walks the journal on simulated restart and
+ * either completes (verifies + publishes) or garbage-collects each
+ * one. lookup() therefore never exposes a torn image: it only ever
+ * sees PUBLISHED checkpoints.
  */
 
 #pragma once
@@ -21,24 +38,97 @@ namespace cxlfork::cxl {
 /** Checkpoint identifier. */
 using Cid = uint64_t;
 
+/** Journal state of one stored checkpoint. */
+enum class JournalState : uint8_t {
+    Staged,    ///< Registered, pinned, invisible to lookup().
+    Published, ///< The tuple's lookup entry may point here.
+};
+
+inline const char *
+journalStateName(JournalState s)
+{
+    switch (s) {
+      case JournalState::Staged:
+        return "staged";
+      case JournalState::Published:
+        return "published";
+    }
+    return "?";
+}
+
+/** One journal record: who staged what, and how far it got. */
+struct JournalRecord
+{
+    std::string user;
+    std::string function;
+    uint32_t ownerNode = 0; ///< Node that staged it (kAnyNode if unknown).
+    JournalState state = JournalState::Staged;
+};
+
+/** What a recovery pass did. */
+struct RecoveryReport
+{
+    uint64_t scanned = 0;   ///< STAGED records examined.
+    uint64_t completed = 0; ///< Verified complete and published.
+    uint64_t reclaimed = 0; ///< Incomplete; object + record erased.
+};
+
 /**
  * Keyed store of shared checkpoint objects.
  *
- * put() registers a new checkpoint for <user, function> and returns
- * its CID; lookup() returns the latest CID for the tuple; reclaim()
- * drops a checkpoint (e.g. under CXL memory pressure).
+ * put() registers and publishes a checkpoint for <user, function> in
+ * one step (the pre-journal API, kept for callers that cannot crash
+ * mid-build); stage()/publish() split that into the crash-consistent
+ * two-phase protocol; lookup() returns the latest PUBLISHED CID for
+ * the tuple; reclaim() drops a checkpoint (e.g. under CXL memory
+ * pressure), erasing its lookup entry with it.
  */
 template <typename T>
 class ObjectStore
 {
   public:
+    /** Owner value for records staged outside any node context. */
+    static constexpr uint32_t kAnyNode = ~uint32_t(0);
+
+    /**
+     * Phase one: register the object under a STAGED journal record.
+     * The store's reference keeps the object (and every frame it owns)
+     * alive even if the staging node dies before publishing — staged
+     * state models CXL-resident data that survives node crashes.
+     */
     Cid
-    put(const std::string &user, const std::string &function,
-        std::shared_ptr<T> object)
+    stage(const std::string &user, const std::string &function,
+          std::shared_ptr<T> object, uint32_t ownerNode = kAnyNode)
     {
         const Cid cid = nextCid_++;
         objects_[cid] = std::move(object);
-        latest_[{user, function}] = cid;
+        journal_[cid] = JournalRecord{user, function, ownerNode,
+                                      JournalState::Staged};
+        return cid;
+    }
+
+    /**
+     * Phase two: atomically flip the tuple's lookup entry to this CID.
+     * Idempotent — republishing a PUBLISHED CID is a no-op, so a
+     * retried publish step never double-publishes.
+     */
+    void
+    publish(Cid cid)
+    {
+        auto it = journal_.find(cid);
+        if (it == journal_.end() || it->second.state == JournalState::Published)
+            return;
+        it->second.state = JournalState::Published;
+        latest_[{it->second.user, it->second.function}] = cid;
+    }
+
+    /** stage() + publish() in one step (cannot be made crash-safe). */
+    Cid
+    put(const std::string &user, const std::string &function,
+        std::shared_ptr<T> object, uint32_t ownerNode = kAnyNode)
+    {
+        const Cid cid = stage(user, function, std::move(object), ownerNode);
+        publish(cid);
         return cid;
     }
 
@@ -47,9 +137,6 @@ class ObjectStore
     {
         auto it = latest_.find({user, function});
         if (it == latest_.end())
-            return std::nullopt;
-        // The checkpoint may have been reclaimed meanwhile.
-        if (!objects_.count(it->second))
             return std::nullopt;
         return it->second;
     }
@@ -61,10 +148,103 @@ class ObjectStore
         return it == objects_.end() ? nullptr : it->second;
     }
 
-    /** Drop the store's reference; the image dies once unattached. */
-    void reclaim(Cid cid) { objects_.erase(cid); }
+    /**
+     * Drop the store's reference; the image dies once unattached. The
+     * CID's journal record goes with it, and so does the tuple's
+     * lookup entry when it still points here — reclaim leaves no stale
+     * state behind.
+     */
+    void
+    reclaim(Cid cid)
+    {
+        auto jt = journal_.find(cid);
+        if (jt != journal_.end()) {
+            auto lt = latest_.find({jt->second.user, jt->second.function});
+            if (lt != latest_.end() && lt->second == cid)
+                latest_.erase(lt);
+            journal_.erase(jt);
+        }
+        objects_.erase(cid);
+    }
+
+    /**
+     * Recovery pass over STAGED records (simulated node restart).
+     * Records owned by `ownerNode` (or all records with kAnyNode) are
+     * verified: verify(object) == true completes the publication;
+     * anything else — including objects the store somehow lost — is
+     * garbage-collected, returning every pinned frame to its allocator
+     * when the last reference drops.
+     */
+    template <typename Verify>
+    RecoveryReport
+    recoverOrphans(uint32_t ownerNode, Verify &&verify)
+    {
+        RecoveryReport rep;
+        for (auto it = journal_.begin(); it != journal_.end();) {
+            const Cid cid = it->first;
+            JournalRecord &rec = it->second;
+            if (rec.state != JournalState::Staged ||
+                (ownerNode != kAnyNode && rec.ownerNode != ownerNode)) {
+                ++it;
+                continue;
+            }
+            ++rep.scanned;
+            auto obj = get(cid);
+            if (obj && verify(obj)) {
+                rec.state = JournalState::Published;
+                latest_[{rec.user, rec.function}] = cid;
+                ++rep.completed;
+                ++it;
+            } else {
+                objects_.erase(cid);
+                it = journal_.erase(it);
+                ++rep.reclaimed;
+            }
+        }
+        return rep;
+    }
+
+    /** Visit every journal record (diagnostics, cluster recovery). */
+    template <typename Fn>
+    void
+    forEachJournal(Fn &&fn) const
+    {
+        for (const auto &[cid, rec] : journal_)
+            fn(cid, rec);
+    }
+
+    /** The CID's journal record, if it exists. */
+    std::optional<JournalRecord>
+    journalRecord(Cid cid) const
+    {
+        auto it = journal_.find(cid);
+        if (it == journal_.end())
+            return std::nullopt;
+        return it->second;
+    }
 
     size_t size() const { return objects_.size(); }
+
+    /** Number of live <user, function> lookup entries. */
+    size_t latestCount() const { return latest_.size(); }
+
+    size_t
+    stagedCount() const
+    {
+        size_t n = 0;
+        for (const auto &[cid, rec] : journal_)
+            n += rec.state == JournalState::Staged;
+        return n;
+    }
+
+    size_t
+    publishedCount() const
+    {
+        size_t n = 0;
+        for (const auto &[cid, rec] : journal_)
+            n += rec.state == JournalState::Published;
+        return n;
+    }
 
     std::vector<Cid>
     cids() const
@@ -79,6 +259,7 @@ class ObjectStore
   private:
     Cid nextCid_ = 1;
     std::map<Cid, std::shared_ptr<T>> objects_;
+    std::map<Cid, JournalRecord> journal_;
     std::map<std::pair<std::string, std::string>, Cid> latest_;
 };
 

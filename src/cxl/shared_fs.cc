@@ -1,6 +1,7 @@
 #include "shared_fs.hh"
 
 #include "sim/crc32.hh"
+#include "sim/error.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::cxl {
@@ -30,6 +31,13 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
                 machine_.cxl().alloc(mem::FrameUse::FileCache));
         }
         machine_.cxlTransaction(clock, "shared-fs write");
+    } catch (const sim::NodeCrashError &) {
+        // The writing node crashed mid-write: it cannot run its own
+        // cleanup, so the partial allocation stays on the device as an
+        // orphan until a recovery pass reclaims it.
+        if (!file.frames.empty())
+            orphans_.push_back(std::move(file.frames));
+        throw;
     } catch (...) {
         for (mem::PhysAddr f : file.frames)
             machine_.cxl().decRef(f);
@@ -94,6 +102,31 @@ SharedFs::remove(const std::string &name)
         return;
     releaseFrames(it->second);
     files_.erase(it);
+}
+
+uint64_t
+SharedFs::reclaimOrphans()
+{
+    uint64_t reclaimed = 0;
+    for (std::vector<mem::PhysAddr> &frames : orphans_) {
+        for (mem::PhysAddr f : frames)
+            machine_.cxl().decRef(f);
+        reclaimed += frames.size();
+    }
+    orphans_.clear();
+    if (reclaimed)
+        machine_.metrics().counter("cxl.fs.orphan_frames_reclaimed")
+            .inc(reclaimed);
+    return reclaimed;
+}
+
+uint64_t
+SharedFs::orphanFrameCount() const
+{
+    uint64_t n = 0;
+    for (const std::vector<mem::PhysAddr> &frames : orphans_)
+        n += frames.size();
+    return n;
 }
 
 void

@@ -70,6 +70,16 @@ class SharedFs
     /** Remove a file, releasing its CXL frames. */
     void remove(const std::string &name);
 
+    /**
+     * Release frames orphaned by an injected node crash mid-write (a
+     * crashed writer cannot run its own cleanup, so write() parks them
+     * here instead of freeing them). Called by the recovery pass.
+     * @return number of frames returned to the CXL allocator.
+     */
+    uint64_t reclaimOrphans();
+
+    uint64_t orphanFrameCount() const;
+
     uint64_t fileCount() const { return files_.size(); }
     uint64_t usedBytes() const { return usedBytes_; }
 
@@ -78,6 +88,7 @@ class SharedFs
 
     mem::Machine &machine_;
     std::map<std::string, CxlFsFile> files_;
+    std::vector<std::vector<mem::PhysAddr>> orphans_;
     uint64_t usedBytes_ = 0;
 };
 

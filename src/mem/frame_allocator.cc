@@ -43,6 +43,10 @@ FrameAllocator::alloc(FrameUse use, uint64_t content)
 {
     if (use == FrameUse::Free)
         sim::panic("allocating a frame as Free");
+    // Crash site *before* any state mutation: a crash here leaves the
+    // allocator untouched, so an unregistered frame can never leak.
+    if (injector_)
+        injector_->crashPoint("frame.alloc");
     if (usedFrames_ == totalFrames_) {
         throw sim::CapacityError(sim::format(
             "tier %s out of memory (%llu frames in use)", name_.c_str(),
@@ -101,6 +105,58 @@ FrameAllocator::decRef(PhysAddr addr)
     --usedFrames_;
     freeList_.push_back(indexOf(addr));
     return true;
+}
+
+FrameAudit
+FrameAllocator::auditLive() const
+{
+    FrameAudit audit;
+    auto fail = [&](std::string why) {
+        if (audit.consistent) {
+            audit.consistent = false;
+            audit.detail = sim::format("tier %s: %s", name_.c_str(),
+                                       why.c_str());
+        }
+    };
+    std::vector<uint8_t> onFreeList(frames_.size(), 0);
+    for (uint64_t idx : freeList_) {
+        if (idx >= frames_.size()) {
+            fail(sim::format("free-list index %llu past watermark %zu",
+                             (unsigned long long)idx, frames_.size()));
+            continue;
+        }
+        if (onFreeList[idx])
+            fail(sim::format("frame %llu on free list twice",
+                             (unsigned long long)idx));
+        onFreeList[idx] = 1;
+    }
+    for (uint64_t i = 0; i < frames_.size(); ++i) {
+        const Frame &f = frames_[i];
+        if (f.allocated()) {
+            ++audit.liveFrames;
+            if (f.refcount == 0)
+                fail(sim::format("allocated frame %llu has refcount 0",
+                                 (unsigned long long)i));
+            if (onFreeList[i])
+                fail(sim::format("allocated frame %llu also on free list",
+                                 (unsigned long long)i));
+        } else {
+            ++audit.freeFrames;
+            if (f.refcount != 0)
+                fail(sim::format("free frame %llu has refcount %u",
+                                 (unsigned long long)i, f.refcount));
+            if (!onFreeList[i])
+                fail(sim::format("free frame %llu missing from free list",
+                                 (unsigned long long)i));
+        }
+    }
+    if (audit.liveFrames != usedFrames_) {
+        fail(sim::format("walk found %llu live frames but usedFrames is "
+                         "%llu",
+                         (unsigned long long)audit.liveFrames,
+                         (unsigned long long)usedFrames_));
+    }
+    return audit;
 }
 
 Frame &

@@ -20,6 +20,20 @@ class FaultInjector;
 namespace cxlfork::mem {
 
 /**
+ * Result of FrameAllocator::auditLive(): bookkeeping cross-check used
+ * by the crash-enumeration harness ("zero leaked frames" must mean the
+ * allocator's internal state agrees with itself, not just that a
+ * counter returned to its baseline).
+ */
+struct FrameAudit
+{
+    uint64_t liveFrames = 0;  ///< Allocated frames found by the walk.
+    uint64_t freeFrames = 0;  ///< Materialized free frames found.
+    bool consistent = true;   ///< All invariants held.
+    std::string detail;       ///< First violated invariant, if any.
+};
+
+/**
  * Allocates page frames from [base, base + capacity) and tracks their
  * metadata and reference counts.
  */
@@ -89,6 +103,14 @@ class FrameAllocator
     /** Peak concurrent usage since construction/reset, in bytes. */
     uint64_t peakUsedBytes() const { return peakUsedFrames_ * kPageSize; }
     void resetPeak() { peakUsedFrames_ = usedFrames_; }
+
+    /**
+     * Walk every materialized frame and cross-check the allocator's
+     * bookkeeping: allocated frames must carry a nonzero refcount and a
+     * non-Free use, the free list must reference only Free frames with
+     * no duplicates, and the walk's live count must equal usedFrames().
+     */
+    FrameAudit auditLive() const;
 
   private:
     uint64_t indexOf(PhysAddr addr) const;

@@ -23,7 +23,13 @@ Machine::Machine(const MachineConfig &cfg)
     cxl_ = std::make_unique<FrameAllocator>(
         "cxl-device", Tier::Cxl, PhysAddr{kCxlBase}, cfg.cxlCapacityBytes);
     cxl_->setFaultInjector(&injector_);
+    // DRAM tiers see the injector too: not for poison draws (those are
+    // CXL-only), but so every frame allocation is a crash site for the
+    // deterministic enumeration harness.
+    for (auto &dram : nodeDram_)
+        dram->setFaultInjector(&injector_);
     cxlCapacity_ = cfg.cxlCapacityBytes;
+    injector_.attachMetrics(&metrics_);
 
     cxlTxnCounter_ = &metrics_.counter("mem.cxl.transactions");
     cxlRetryCounter_ = &metrics_.counter("mem.cxl.transient_retries");
@@ -42,12 +48,15 @@ void
 Machine::cxlTransaction(sim::SimClock &clock, const char *site)
 {
     cxlTxnCounter_->inc();
+    // Every fabric transaction is a crash site: the issuing node can
+    // die before the transaction commits. Free when crash mode is off.
+    injector_.crashPoint(site);
     if (!injector_.armed())
         return;
     const sim::FaultConfig &cfg = injector_.config();
     for (uint32_t attempt = 1; injector_.drawTransient(); ++attempt) {
         if (attempt > cfg.maxRetries) {
-            ++injector_.stats().transientsEscalated;
+            injector_.noteTransientEscalated();
             cxlEscalatedCounter_->inc();
             throw sim::TransientFaultError(sim::format(
                 "CXL transaction at %s failed %u times (budget %u)", site,
@@ -56,7 +65,7 @@ Machine::cxlTransaction(sim::SimClock &clock, const char *site)
         // Retry after backoff, in simulated time; the next draw decides
         // whether the retry itself fails.
         clock.advance(injector_.backoffFor(attempt));
-        ++injector_.stats().transientsRetried;
+        injector_.noteTransientRetried();
         cxlRetryCounter_->inc();
     }
 }

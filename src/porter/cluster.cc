@@ -1,5 +1,7 @@
 #include "cluster.hh"
 
+#include "sim/log.hh"
+
 namespace cxlfork::porter {
 
 Cluster::Cluster(const ClusterConfig &cfg)
@@ -13,6 +15,85 @@ Cluster::Cluster(const ClusterConfig &cfg)
         containerMgrs_.push_back(
             std::make_unique<faas::ContainerManager>(*nodes_.back()));
     }
+}
+
+NodeRecovery
+Cluster::recoverNode(mem::NodeId n)
+{
+    os::NodeOs &self = node(n);
+    sim::SimClock &clock = self.clock();
+    const sim::CostParams &costs = machine_->costs();
+    const sim::SimTime start = clock.now();
+    NodeRecovery out;
+
+    uint64_t usedBefore = machine_->cxl().usedFrames();
+    for (uint32_t i = 0; i < machine_->numNodes(); ++i)
+        usedBefore += machine_->nodeDram(i).usedFrames();
+
+    sim::SpanScope span = machine_->tracer().span(
+        clock, n, "porter.recover_node", "porter.recovery");
+
+    // Pass 1: STAGED orphans this node left behind. Each record costs
+    // one fabric transaction to read back; the verifier's verdict is
+    // "fully built and not pinned to any node's local DRAM".
+    const cxl::RecoveryReport rep = checkpoints_.recoverOrphans(
+        n, [&](const std::shared_ptr<rfork::CheckpointHandle> &h) {
+            machine_->cxlTransaction(clock, "journal recover");
+            clock.advance(costs.cxlRead(rfork::kJournalRecordBytes));
+            return h->complete() && h->localBytes() == 0;
+        });
+    out.orphansScanned = rep.scanned;
+    out.orphansCompleted = rep.completed;
+    out.orphansReclaimed = rep.reclaimed;
+    clock.advance(costs.cxlWrite(rfork::kJournalRecordBytes) *
+                  double(rep.completed + rep.reclaimed));
+
+    // Pass 2: PUBLISHED checkpoints that died with this node — they
+    // pin its DRAM (Mitosis shadow copies, LocalFork's live parent) or
+    // no longer verify. lookup() must stop returning them.
+    std::vector<cxl::Cid> deadPublished;
+    checkpoints_.forEachJournal(
+        [&](cxl::Cid cid, const cxl::JournalRecord &rec) {
+            if (rec.state != cxl::JournalState::Published ||
+                rec.ownerNode != n)
+                return;
+            auto h = checkpoints_.get(cid);
+            if (!h || h->localBytes() > 0 || !h->complete())
+                deadPublished.push_back(cid);
+        });
+    for (cxl::Cid cid : deadPublished) {
+        machine_->cxlTransaction(clock, "journal recover");
+        clock.advance(costs.cxlRead(rfork::kJournalRecordBytes) +
+                      costs.cxlWrite(rfork::kJournalRecordBytes));
+        checkpoints_.reclaim(cid);
+        ++out.orphansReclaimed;
+    }
+
+    // Pass 3: SharedFs frames stranded by writes the crash interrupted.
+    out.fsFramesReclaimed = fabric_->sharedFs().reclaimOrphans();
+
+    uint64_t usedAfter = machine_->cxl().usedFrames();
+    for (uint32_t i = 0; i < machine_->numNodes(); ++i)
+        usedAfter += machine_->nodeDram(i).usedFrames();
+    out.framesReclaimed =
+        usedBefore > usedAfter ? usedBefore - usedAfter : 0;
+    // Returning a frame updates its allocator free list on the device.
+    clock.advance(costs.cxlWrite(64) * double(out.framesReclaimed));
+
+    out.recoveryTime = clock.now() - start;
+    span.attr("orphans_scanned", out.orphansScanned)
+        .attr("orphans_completed", out.orphansCompleted)
+        .attr("orphans_reclaimed", out.orphansReclaimed)
+        .attr("frames_reclaimed", out.framesReclaimed);
+
+    sim::MetricsRegistry &m = machine_->metrics();
+    m.counter("porter.recovery.passes").inc();
+    m.counter("porter.recovery.orphans_completed").inc(out.orphansCompleted);
+    m.counter("porter.recovery.orphans_reclaimed").inc(out.orphansReclaimed);
+    m.counter("porter.recovery.frames_reclaimed").inc(out.framesReclaimed);
+    machine_->faults().noteRecovery(out.orphansReclaimed,
+                                    out.orphansCompleted);
+    return out;
 }
 
 } // namespace cxlfork::porter

@@ -15,8 +15,20 @@
 #include "faas/container.hh"
 #include "mem/machine.hh"
 #include "os/kernel.hh"
+#include "rfork/rfork.hh"
 
 namespace cxlfork::porter {
+
+/** What Cluster::recoverNode did on one simulated node restart. */
+struct NodeRecovery
+{
+    uint64_t orphansScanned = 0;   ///< STAGED journal records examined.
+    uint64_t orphansCompleted = 0; ///< Verified complete and published.
+    uint64_t orphansReclaimed = 0; ///< Journal records garbage-collected.
+    uint64_t fsFramesReclaimed = 0; ///< SharedFs frames from torn writes.
+    uint64_t framesReclaimed = 0;  ///< Total CXL frames returned.
+    sim::SimTime recoveryTime;     ///< Simulated cost of the pass.
+};
 
 /** Cluster construction parameters. */
 struct ClusterConfig
@@ -48,6 +60,20 @@ class Cluster
         return *containerMgrs_.at(n);
     }
 
+    /** The cluster-wide checkpoint object store (paper Sec. 5). */
+    rfork::CheckpointStore &checkpoints() { return checkpoints_; }
+
+    /**
+     * Simulated restart recovery for node n: walk the checkpoint
+     * journal, complete every STAGED orphan that verifies as fully
+     * built and not node-coupled, garbage-collect the rest (including
+     * PUBLISHED checkpoints that pin the dead node's DRAM), and return
+     * SharedFs frames orphaned by writes the crash interrupted. After
+     * this pass, every lookup() hit is restorable and no frame from an
+     * interrupted checkpoint remains allocated.
+     */
+    NodeRecovery recoverNode(mem::NodeId n);
+
   private:
     ClusterConfig cfg_;
     std::unique_ptr<mem::Machine> machine_;
@@ -56,6 +82,7 @@ class Cluster
     os::NamespaceRegistry nsRegistry_;
     std::vector<std::unique_ptr<os::NodeOs>> nodes_;
     std::vector<std::unique_ptr<faas::ContainerManager>> containerMgrs_;
+    rfork::CheckpointStore checkpoints_;
 };
 
 } // namespace cxlfork::porter

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic crash-point enumeration harness.
+ *
+ * For one mechanism and one small workload, the harness first counts
+ * the crash sites a published checkpoint passes through (dry run in
+ * FaultInjector count mode), then replays the checkpoint once per site
+ * k on a fresh cluster with the injector armed to crash exactly at k.
+ * After each crash it runs the node-restart recovery pass and audits
+ * the machine-wide invariants:
+ *
+ *   - no frame from the interrupted checkpoint remains allocated,
+ *   - every frame allocator passes its refcount/free-list audit,
+ *   - lookup() either misses or returns an image that restores and
+ *     reproduces every page token,
+ *   - no STAGED journal record survives recovery.
+ *
+ * Running the same enumeration with PublishPolicy::DirectPutUnsafe
+ * demonstrably fails: mid-build crashes leave a half-built image
+ * visible to lookup().
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "porter/cluster.hh"
+#include "rfork/rfork.hh"
+
+namespace cxlfork::porter {
+
+/** Which remote-fork mechanism the enumeration drives. */
+enum class CrashMechanism : uint8_t
+{
+    CxlFork,
+    Criu,
+    Mitosis,
+    LocalFork,
+};
+
+const char *crashMechanismName(CrashMechanism m);
+
+/** One enumeration campaign. */
+struct CrashEnumConfig
+{
+    CrashMechanism mechanism = CrashMechanism::CxlFork;
+    uint64_t heapPages = 16; ///< Parent heap footprint, in pages.
+    rfork::PublishPolicy policy = rfork::PublishPolicy::TwoPhase;
+};
+
+/** What happened when the checkpoint crashed (or ran) at one site. */
+struct CrashSiteResult
+{
+    uint64_t site = 0;
+    bool crashed = false;        ///< NodeCrashError fired at this site.
+    bool imageAvailable = false; ///< lookup() hit after recovery.
+    bool restored = false;       ///< The published image restored + verified.
+    bool violation = false;
+    std::string detail;          ///< First violated invariant, if any.
+    uint64_t framesLeaked = 0;
+    uint64_t framesReclaimed = 0; ///< Frames the recovery pass returned.
+    sim::SimTime recoveryTime;
+};
+
+/** The full site sweep for one config. */
+struct CrashEnumReport
+{
+    uint64_t sites = 0; ///< Crash sites counted in the dry run.
+    /** One entry per k in [0, sites]; k == sites is the crash-free control. */
+    std::vector<CrashSiteResult> results;
+    bool pass = true;
+    std::string firstViolation;
+};
+
+/**
+ * Dry-run the published checkpoint in count mode.
+ * @return the number of crash sites it passes through.
+ */
+uint64_t countCrashSites(const CrashEnumConfig &cfg);
+
+/**
+ * Checkpoint on a fresh cluster with a crash armed at `site`, then
+ * recover, restore-verify, tear down, and audit. site >= the counted
+ * total runs the crash-free control.
+ */
+CrashSiteResult runCrashAtSite(const CrashEnumConfig &cfg, uint64_t site);
+
+/** Run every site plus the crash-free control. */
+CrashEnumReport enumerateCrashSites(const CrashEnumConfig &cfg);
+
+} // namespace cxlfork::porter

@@ -126,6 +126,12 @@ CheckpointImage::verifyIntegrity() const
     return std::nullopt;
 }
 
+bool
+CheckpointImage::complete() const
+{
+    return activated_ && crcs_.sealed && !verifyIntegrity().has_value();
+}
+
 void
 CheckpointImage::corruptDataBit(uint64_t victimBit)
 {

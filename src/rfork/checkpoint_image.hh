@@ -156,6 +156,13 @@ class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
     uint64_t cxlBytes() const override;
     uint64_t localBytes() const override { return 0; }
 
+    /**
+     * Restorable iff the image finished building (activated + CRCs
+     * sealed) and every segment still verifies. This is the recovery
+     * verdict for STAGED orphans found after a node crash.
+     */
+    bool complete() const override;
+
   private:
     mem::Machine &machine_;
     std::string name_;

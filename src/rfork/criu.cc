@@ -24,6 +24,16 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
         clock, node.id(), "criu.checkpoint", "rfork.checkpoint");
     ckptSpan.attr("task", parent.name());
 
+    // The handle exists (and is staged, under checkpointPublished)
+    // before the image file does: a crash mid-serialization or
+    // mid-write leaves a discoverable, incomplete orphan whose
+    // reclamation also removes whatever part of the file landed.
+    const std::string name = sim::format("criu/%s.%llu.img",
+                                         parent.name().c_str(),
+                                         (unsigned long long)nextImageId_++);
+    auto handle = std::make_shared<CriuHandle>(name, &fabric_.sharedFs());
+    stageHandle(handle, node);
+
     // Serialize everything: global state, CPU, VMAs, page map + data.
     proto::CriuImageMsg image;
     image.global = captureGlobalState(parent);
@@ -55,10 +65,11 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
 
     // Cache the image files in the shared in-CXL filesystem (the write
     // cost is charged by SharedFs).
-    const std::string name = sim::format("criu/%s.%llu.img",
-                                         parent.name().c_str(),
-                                         (unsigned long long)nextImageId_++);
+    machine.faults().crashPoint("criu.serialize");
     fabric_.sharedFs().write(name, enc.take(), simBytes, clock);
+    handle->setContents(simBytes, image.pages.size(), records);
+    machine.faults().crashPoint("criu.commit");
+    handle->markCommitted();
 
     cs.latency = clock.now() - start;
     cs.pages = image.pages.size();
@@ -70,8 +81,7 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     if (stats)
         *stats = cs;
     node.stats().counter("criu.checkpoint").inc();
-    return std::make_shared<CriuHandle>(name, simBytes,
-                                        image.pages.size(), records);
+    return handle;
 }
 
 std::shared_ptr<os::Task>

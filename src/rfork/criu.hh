@@ -13,19 +13,48 @@
 #pragma once
 
 #include "cxl/fabric.hh"
+#include "cxl/shared_fs.hh"
 #include "rfork.hh"
 
 namespace cxlfork::rfork {
 
-/** Handle to a CRIU image file set on the shared CXL filesystem. */
+/**
+ * Handle to a CRIU image file set on the shared CXL filesystem. Owns
+ * its file: the handle's destruction (or its reclaim from the
+ * checkpoint store) removes the file, returning its CXL frames — so a
+ * garbage-collected orphan cannot strand file frames on the device.
+ */
 class CriuHandle : public CheckpointHandle
 {
   public:
-    CriuHandle(std::string fileName, uint64_t simBytes, uint64_t pages,
-               uint64_t records)
-        : fileName_(std::move(fileName)), simBytes_(simBytes),
-          pages_(pages), records_(records)
+    /**
+     * Created empty before serialization begins so the handle can be
+     * STAGED ahead of the image-file write; setContents() +
+     * markCommitted() complete it.
+     */
+    CriuHandle(std::string fileName, cxl::SharedFs *fs)
+        : fileName_(std::move(fileName)), fs_(fs)
     {}
+
+    ~CriuHandle() override
+    {
+        if (fs_)
+            fs_->remove(fileName_); // no-op when the file never landed
+    }
+
+    CriuHandle(const CriuHandle &) = delete;
+    CriuHandle &operator=(const CriuHandle &) = delete;
+
+    void
+    setContents(uint64_t simBytes, uint64_t pages, uint64_t records)
+    {
+        simBytes_ = simBytes;
+        pages_ = pages;
+        records_ = records;
+    }
+
+    /** The image file is fully on the device and its CRC is sealed. */
+    void markCommitted() { committed_ = true; }
 
     const std::string &fileName() const { return fileName_; }
     uint64_t simulatedBytes() const { return simBytes_; }
@@ -35,11 +64,20 @@ class CriuHandle : public CheckpointHandle
     uint64_t cxlBytes() const override { return simBytes_; }
     uint64_t localBytes() const override { return 0; }
 
+    bool
+    complete() const override
+    {
+        return committed_ && fs_ && fs_->open(fileName_) != nullptr &&
+               fs_->verify(fileName_);
+    }
+
   private:
     std::string fileName_;
-    uint64_t simBytes_;
-    uint64_t pages_;
-    uint64_t records_;
+    cxl::SharedFs *fs_ = nullptr;
+    bool committed_ = false;
+    uint64_t simBytes_ = 0;
+    uint64_t pages_ = 0;
+    uint64_t records_ = 0;
 };
 
 /** The CRIU-CXL mechanism. */

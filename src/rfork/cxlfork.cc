@@ -35,6 +35,10 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     ckptSpan.attr("task", parent.name());
 
     auto img = std::make_shared<CheckpointImage>(machine, parent.name());
+    // Under checkpointPublished the empty image is STAGED now, before
+    // any frame is allocated: a crash at any later site leaves every
+    // frame reachable through the store's journal, never leaked.
+    stageHandle(img, node);
     CheckpointStats cs;
 
     // (1)-(5) Copy private state as-is to CXL with non-temporal stores:
@@ -147,8 +151,12 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
 
     // Make the image attachable on this fabric mapping, then seal
     // per-segment CRCs over the finished bits so restores can detect
-    // torn writes.
+    // torn writes. Both are crash sites: "all frames written, not yet
+    // attachable" and "attachable, CRCs not yet sealed" are distinct
+    // recovery states.
+    machine.faults().crashPoint("cxlfork.activate");
     img->activate();
+    machine.faults().crashPoint("cxlfork.seal");
     img->sealIntegrity();
 
     // Injected torn write: one of the non-temporal stores silently
@@ -192,17 +200,25 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
 
     // Reject torn/corrupted checkpoints up front, before any task
     // state exists on this node. The device computes the CRCs inline
-    // with the mapped reads, so no extra latency is charged.
+    // with the mapped reads, so no extra latency is charged. An image
+    // that never finished building (not activated / not sealed — a
+    // half-published orphan) is corrupt by definition.
     {
         sim::SpanScope phase = machine.tracer().span(
             clock, target.id(), "restore.integrity", "rfork.phase");
-        if (img->integritySealed()) {
-            if (auto bad = img->verifyIntegrity()) {
-                crcRejectCounter_->inc();
-                throw sim::CorruptImageError(sim::format(
-                    "checkpoint '%s': %s segment failed CRC (torn write?)",
-                    img->name().c_str(), bad->c_str()));
-            }
+        if (!img->activated() || !img->integritySealed()) {
+            crcRejectCounter_->inc();
+            throw sim::CorruptImageError(sim::format(
+                "checkpoint '%s': incomplete image (%s)",
+                img->name().c_str(),
+                img->activated() ? "integrity never sealed"
+                                 : "never activated"));
+        }
+        if (auto bad = img->verifyIntegrity()) {
+            crcRejectCounter_->inc();
+            throw sim::CorruptImageError(sim::format(
+                "checkpoint '%s': %s segment failed CRC (torn write?)",
+                img->name().c_str(), bad->c_str()));
         }
     }
 

@@ -15,7 +15,12 @@ LocalFork::checkpoint(os::NodeOs &node, os::Task &parent,
     if (!task)
         sim::fatal("LocalFork: parent pid %d not on node %u", parent.pid(),
                    node.id());
-    return std::make_shared<LocalForkHandle>(std::move(task), &node);
+    auto handle = std::make_shared<LocalForkHandle>(std::move(task), &node);
+    // Even a zero-copy "checkpoint" gets a journal record under
+    // checkpointPublished: the record is what lets recovery observe
+    // that the image died with its node.
+    stageHandle(handle, node);
+    return handle;
 }
 
 std::shared_ptr<os::Task>

@@ -30,6 +30,17 @@ class LocalForkHandle : public CheckpointHandle
         return parent_->mm().localFootprintBytes();
     }
 
+    /**
+     * The checkpoint *is* the live parent: it is complete exactly while
+     * the parent still runs on its node. After a node crash the pid is
+     * gone, so recovery always reclaims LocalFork journal records.
+     */
+    bool
+    complete() const override
+    {
+        return node_ && parent_ && node_->findTask(parent_->pid()) != nullptr;
+    }
+
   private:
     std::shared_ptr<os::Task> parent_;
     os::NodeOs *node_;

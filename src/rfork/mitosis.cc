@@ -86,6 +86,10 @@ MitosisCxl::checkpoint(os::NodeOs &node, os::Task &parent,
 
     auto handle = std::make_shared<MitosisHandle>(machine, node.id(),
                                                   parent.name());
+    // Staged before any shadow frame is allocated: a crash mid-copy
+    // leaves a discoverable orphan whose reclamation frees the partial
+    // shadow set (the journal record, not the C++ unwind, owns it).
+    stageHandle(handle, node);
 
     // Shadow-copy the parent's memory into the parent node's DRAM.
     parent.mm().pageTable().forEachLeaf([&](uint64_t baseVpn,
@@ -155,6 +159,7 @@ MitosisCxl::checkpoint(os::NodeOs &node, os::Task &parent,
 
     handle->setOsState(enc.take(), metaBytes, records, std::move(global),
                        parent.cpu(), std::move(vmaRecords));
+    handle->markComplete();
 
     cs.latency = clock.now() - start;
     ckptSpan.attr("pages", cs.pages).attr("bytes_local", cs.bytesLocal);

@@ -90,10 +90,23 @@ class MitosisHandle : public CheckpointHandle, public os::CheckpointBacking
         return shadowFrames_.size() * mem::kPageSize;
     }
 
+    /** All shadow copies + OS state landed; the handle is restorable. */
+    void markComplete() { complete_ = true; }
+
+    /**
+     * A Mitosis checkpoint is never recoverable by another node even
+     * when fully built: it pins parent-node DRAM (localBytes() > 0), so
+     * the crash-recovery pass reclaims it regardless. complete() still
+     * reports build progress so recovery can distinguish "torn" from
+     * "finished but node-coupled" in its accounting.
+     */
+    bool complete() const override { return complete_ && !parentFailed_; }
+
   private:
     mem::Machine &machine_;
     mem::NodeId parentNode_;
     bool parentFailed_ = false;
+    bool complete_ = false;
     std::string name_;
     std::map<uint64_t, std::shared_ptr<os::TablePage>> leaves_;
     std::vector<mem::PhysAddr> shadowFrames_;

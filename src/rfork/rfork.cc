@@ -33,11 +33,84 @@ classify(const sim::SimError &e)
         return RestoreError::CapacityExhausted;
     case sim::ErrClass::CorruptImage: return RestoreError::CorruptImage;
     case sim::ErrClass::NodeFailed: return RestoreError::ParentNodeFailed;
+    // A crash of the restoring node itself is never retryable on that
+    // node; the caller must pick another node (or recover this one).
+    case sim::ErrClass::NodeCrashed: return RestoreError::Other;
     }
     return RestoreError::Other;
 }
 
 } // namespace
+
+void
+RemoteForkMechanism::stageHandle(
+    const std::shared_ptr<CheckpointHandle> &handle, os::NodeOs &node)
+{
+    if (!pubCtx_)
+        return; // plain checkpoint(): no store, no cost, no crash sites
+    CXLF_ASSERT(pubCtx_->stagedCid == 0);
+    mem::Machine &machine = node.machine();
+    // Writing the STAGED journal record is itself a fabric transaction
+    // (and therefore a crash site); a crash before it commits leaves
+    // nothing behind, a crash after it leaves a discoverable orphan.
+    machine.faults().crashPoint("journal.stage");
+    machine.cxlTransaction(node.clock(), "journal stage");
+    node.clock().advance(machine.costs().cxlWrite(kJournalRecordBytes));
+    pubCtx_->stagedCid = pubCtx_->store->stage(
+        pubCtx_->id->user, pubCtx_->id->function, handle, node.id());
+    if (pubCtx_->policy == PublishPolicy::DirectPutUnsafe) {
+        // Legacy put(): visible to lookup() before a single page was
+        // copied. The crash harness proves why this is wrong.
+        pubCtx_->store->publish(pubCtx_->stagedCid);
+    }
+    machine.faults().crashPoint("journal.staged");
+}
+
+PublishedCheckpoint
+RemoteForkMechanism::checkpointPublished(
+    CheckpointStore &store, const PublishIdentity &id, os::NodeOs &node,
+    os::Task &parent, CheckpointStats *stats, PublishPolicy policy)
+{
+    CXLF_ASSERT(pubCtx_ == nullptr);
+    PublishContext ctx;
+    ctx.store = &store;
+    ctx.id = &id;
+    ctx.policy = policy;
+    pubCtx_ = &ctx;
+
+    PublishedCheckpoint out;
+    try {
+        out.handle = checkpoint(node, parent, stats);
+    } catch (...) {
+        pubCtx_ = nullptr;
+        throw;
+    }
+    pubCtx_ = nullptr;
+    if (ctx.stagedCid == 0) {
+        // The mechanism never staged (a mechanism added without a
+        // stageHandle call): fall back to an atomic put so the image
+        // is at least never half-published.
+        ctx.stagedCid = store.put(id.user, id.function, out.handle,
+                                  node.id());
+        out.cid = ctx.stagedCid;
+        return out;
+    }
+
+    if (policy == PublishPolicy::TwoPhase) {
+        mem::Machine &machine = node.machine();
+        // The publish step: one more journal write flips the tuple's
+        // lookup entry. Crash before it -> STAGED orphan (recovery
+        // completes or reclaims it); crash after it -> the published,
+        // fully-built image survives the node.
+        machine.faults().crashPoint("journal.publish");
+        machine.cxlTransaction(node.clock(), "journal publish");
+        node.clock().advance(machine.costs().cxlWrite(kJournalRecordBytes));
+        store.publish(ctx.stagedCid);
+        machine.faults().crashPoint("journal.published");
+    }
+    out.cid = ctx.stagedCid;
+    return out;
+}
 
 RestoreOutcome
 RemoteForkMechanism::tryRestore(

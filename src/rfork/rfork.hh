@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "cxl/object_store.hh"
 #include "os/kernel.hh"
 #include "sim/time.hh"
 
@@ -31,6 +32,56 @@ class CheckpointHandle
 
     /** Bytes the checkpoint pins in some node's local memory. */
     virtual uint64_t localBytes() const = 0;
+
+    /**
+     * True once the checkpoint reached a restorable state: every
+     * segment is committed and integrity-verifiable. Recovery uses
+     * this to decide whether a STAGED orphan can be completed or must
+     * be garbage-collected. Mechanisms whose handles are born complete
+     * (LocalFork's live parent) inherit the default.
+     */
+    virtual bool complete() const { return true; }
+};
+
+/** The cluster-wide store of published checkpoint handles. */
+using CheckpointStore = cxl::ObjectStore<CheckpointHandle>;
+
+/**
+ * Simulated size of one journal record: what a stage/publish write or
+ * a recovery-scan read moves over the fabric.
+ */
+constexpr uint64_t kJournalRecordBytes = 256;
+
+/** The <user, function> tuple a checkpoint is published under. */
+struct PublishIdentity
+{
+    std::string user;
+    std::string function;
+};
+
+/** How checkpointPublished commits to the store. */
+enum class PublishPolicy : uint8_t
+{
+    /**
+     * Stage under a journal record first, publish only after the
+     * image is fully built — the crash-consistent default.
+     */
+    TwoPhase,
+
+    /**
+     * Publish at stage time, before the image is built (the legacy
+     * direct-put semantics). Exists so the crash-enumeration harness
+     * can demonstrate the torn-image window it opens; never use it
+     * outside that negative test.
+     */
+    DirectPutUnsafe,
+};
+
+/** Result of a published checkpoint: the CID and the handle. */
+struct PublishedCheckpoint
+{
+    cxl::Cid cid = 0;
+    std::shared_ptr<CheckpointHandle> handle;
 };
 
 /** Checkpoint-side measurements. */
@@ -142,6 +193,48 @@ class RemoteForkMechanism
                os::NodeOs &target, const RestoreOptions &opts = {},
                const RestoreRetryPolicy &policy = {},
                RestoreStats *stats = nullptr);
+
+    /**
+     * Crash-consistent checkpoint publication: run checkpoint() with
+     * the handle STAGED in `store` from the moment it exists (the
+     * mechanism calls stageHandle() right after creating it), then
+     * publish the finished image under `id`. A node crash anywhere in
+     * between leaves a STAGED orphan whose frames the store keeps
+     * alive for Cluster::recoverNode, never a torn lookup() hit.
+     *
+     * Journal and publish writes are CXL transactions charged to the
+     * acting node's clock; plain checkpoint() (no store) charges
+     * nothing extra and stays bit-identical to pre-journal behaviour.
+     *
+     * Not reentrant per mechanism instance (benches share mechanisms
+     * across sequential runs, never concurrent ones).
+     */
+    PublishedCheckpoint
+    checkpointPublished(CheckpointStore &store, const PublishIdentity &id,
+                        os::NodeOs &node, os::Task &parent,
+                        CheckpointStats *stats = nullptr,
+                        PublishPolicy policy = PublishPolicy::TwoPhase);
+
+  protected:
+    /**
+     * Called by mechanisms at the top of checkpoint(), as soon as the
+     * (empty) handle exists: inside checkpointPublished() this writes
+     * the STAGED journal record; in a plain checkpoint() it is a free
+     * no-op.
+     */
+    void stageHandle(const std::shared_ptr<CheckpointHandle> &handle,
+                     os::NodeOs &node);
+
+  private:
+    struct PublishContext
+    {
+        CheckpointStore *store = nullptr;
+        const PublishIdentity *id = nullptr;
+        PublishPolicy policy = PublishPolicy::TwoPhase;
+        cxl::Cid stagedCid = 0;
+    };
+
+    PublishContext *pubCtx_ = nullptr;
 };
 
 } // namespace cxlfork::rfork

@@ -26,6 +26,8 @@ enum class ErrClass : uint8_t {
                        ///< freeing memory or choosing another tier.
     CorruptImage,      ///< Checkpoint integrity (CRC) violation.
     NodeFailed,        ///< The remote node holding required state died.
+    NodeCrashed,       ///< Injected whole-node crash at a deterministic
+                       ///< crash site (FaultInjector::armCrashSite).
 };
 
 const char *errClassName(ErrClass c);
@@ -86,6 +88,20 @@ class NodeFailedError : public SimError
   public:
     explicit NodeFailedError(const std::string &what)
         : SimError(ErrClass::NodeFailed, what)
+    {}
+};
+
+/**
+ * The acting node itself just crashed (deterministic crash-site
+ * injection). Unlike NodeFailedError — a *remote* dependency died —
+ * this unwinds whatever the node was doing mid-operation; recovery is
+ * Cluster::recoverNode on simulated restart, never a retry.
+ */
+class NodeCrashError : public SimError
+{
+  public:
+    explicit NodeCrashError(const std::string &what)
+        : SimError(ErrClass::NodeCrashed, what)
     {}
 };
 

@@ -1,6 +1,7 @@
 #include "fault_injector.hh"
 
 #include "error.hh"
+#include "metrics.hh"
 
 namespace cxlfork::sim {
 
@@ -18,6 +19,8 @@ errClassName(ErrClass c)
         return "corrupt-image";
       case ErrClass::NodeFailed:
         return "node-failed";
+      case ErrClass::NodeCrashed:
+        return "node-crashed";
     }
     return "?";
 }
@@ -48,6 +51,74 @@ FaultInjector::setConfig(const FaultConfig &cfg)
     poisonRng_ = Rng(cfg.seed ^ kPoisonSalt);
     tornRng_ = Rng(cfg.seed ^ kTornSalt);
     stats_ = FaultStats{};
+    // Full reset semantics: a reconfigured injector starts with crash
+    // sites off, like a freshly constructed one.
+    crashMode_ = CrashMode::Off;
+    crashSiteCursor_ = 0;
+    crashTarget_ = 0;
+}
+
+void
+FaultInjector::crashPointSlow(const char *site)
+{
+    const uint64_t idx = crashSiteCursor_++;
+    if (crashMode_ != CrashMode::Armed || idx != crashTarget_)
+        return;
+    ++stats_.crashesInjected;
+    if (crashCounter_)
+        crashCounter_->inc();
+    // One-shot: disarm before throwing so recovery and any later
+    // operations in the same run execute crash-free.
+    crashMode_ = CrashMode::Off;
+    throw NodeCrashError(format(
+        "node crash injected at site %llu (%s)",
+        (unsigned long long)idx, site));
+}
+
+void
+FaultInjector::attachMetrics(MetricsRegistry *m)
+{
+    if (!m) {
+        injectedCounter_ = retriedCounter_ = escalatedCounter_ = nullptr;
+        poisonedCounter_ = tornCounter_ = crashCounter_ = nullptr;
+        orphansReclaimedCounter_ = orphansCompletedCounter_ = nullptr;
+        return;
+    }
+    injectedCounter_ = &m->counter("sim.faults.transients_injected");
+    retriedCounter_ = &m->counter("sim.faults.transients_retried");
+    escalatedCounter_ = &m->counter("sim.faults.transients_escalated");
+    poisonedCounter_ = &m->counter("sim.faults.frames_poisoned");
+    tornCounter_ = &m->counter("sim.faults.torn_writes");
+    crashCounter_ = &m->counter("sim.faults.crashes_injected");
+    orphansReclaimedCounter_ = &m->counter("sim.faults.orphans_reclaimed");
+    orphansCompletedCounter_ = &m->counter("sim.faults.orphans_completed");
+}
+
+void
+FaultInjector::noteTransientRetried()
+{
+    ++stats_.transientsRetried;
+    if (retriedCounter_)
+        retriedCounter_->inc();
+}
+
+void
+FaultInjector::noteTransientEscalated()
+{
+    ++stats_.transientsEscalated;
+    if (escalatedCounter_)
+        escalatedCounter_->inc();
+}
+
+void
+FaultInjector::noteRecovery(uint64_t reclaimed, uint64_t completed)
+{
+    stats_.orphansReclaimed += reclaimed;
+    stats_.orphansCompleted += completed;
+    if (orphansReclaimedCounter_)
+        orphansReclaimedCounter_->inc(reclaimed);
+    if (orphansCompletedCounter_)
+        orphansCompletedCounter_->inc(completed);
 }
 
 bool
@@ -58,6 +129,8 @@ FaultInjector::drawTransient()
     if (!transientRng_.chance(cfg_.cxlTransientRate))
         return false;
     ++stats_.transientsInjected;
+    if (injectedCounter_)
+        injectedCounter_->inc();
     return true;
 }
 
@@ -69,6 +142,8 @@ FaultInjector::drawPoison()
     if (!poisonRng_.chance(cfg_.framePoisonRate))
         return false;
     ++stats_.framesPoisoned;
+    if (poisonedCounter_)
+        poisonedCounter_->inc();
     return true;
 }
 
@@ -80,6 +155,8 @@ FaultInjector::drawTornWrite()
     if (!tornRng_.chance(cfg_.tornWriteRate))
         return false;
     ++stats_.tornWrites;
+    if (tornCounter_)
+        tornCounter_->inc();
     return true;
 }
 

@@ -21,6 +21,9 @@
 
 namespace cxlfork::sim {
 
+class Counter;
+class MetricsRegistry;
+
 /** Injection knobs, CostParams-style: plain values, zero by default. */
 struct FaultConfig
 {
@@ -59,6 +62,22 @@ struct FaultStats
     uint64_t transientsEscalated = 0; ///< Budget exhausted; error thrown.
     uint64_t framesPoisoned = 0;
     uint64_t tornWrites = 0;
+    uint64_t crashesInjected = 0;    ///< Armed crash sites that fired.
+    uint64_t orphansReclaimed = 0;   ///< Staged checkpoints GC'd on recovery.
+    uint64_t orphansCompleted = 0;   ///< Staged checkpoints published on
+                                     ///< recovery (verified complete).
+};
+
+/**
+ * How crash sites behave. Independent of the Bernoulli streams: the
+ * same run can arm a deterministic crash *and* nonzero fault rates, and
+ * the crash schedule never consumes a Bernoulli draw (site enumeration
+ * composes with, but does not perturb, probabilistic injection).
+ */
+enum class CrashMode : uint8_t {
+    Off,   ///< Crash sites are free no-ops (the default).
+    Count, ///< Dry run: sites only advance the site counter.
+    Armed, ///< The k-th site hit after arming throws NodeCrashError.
 };
 
 /**
@@ -101,6 +120,71 @@ class FaultInjector
     FaultStats &stats() { return stats_; }
     const FaultStats &stats() const { return stats_; }
 
+    // --- Deterministic crash-site enumeration.
+
+    /**
+     * One crash site. Every CXL transaction, frame allocation, journal
+     * write, and publish step passes through here; each call advances
+     * the site counter by exactly one in Count and Armed modes. With
+     * crash sites off (the default) this is a branch and a return —
+     * free on the hot path and bit-identical to not calling it.
+     */
+    void
+    crashPoint(const char *site)
+    {
+        if (crashMode_ == CrashMode::Off)
+            return;
+        crashPointSlow(site);
+    }
+
+    /** Begin a counting dry run: sites tick crashSitesSeen(), no crash. */
+    void
+    beginCrashCount()
+    {
+        crashMode_ = CrashMode::Count;
+        crashSiteCursor_ = 0;
+    }
+
+    /**
+     * Arm a deterministic crash: the k-th crash site hit after this
+     * call (0-based) throws sim::NodeCrashError, then the injector
+     * disarms itself so recovery code runs crash-free. Arming with k >=
+     * the run's site count is the no-crash control: nothing fires.
+     */
+    void
+    armCrashSite(uint64_t k)
+    {
+        crashMode_ = CrashMode::Armed;
+        crashSiteCursor_ = 0;
+        crashTarget_ = k;
+    }
+
+    /** Turn crash sites back into free no-ops. */
+    void disarmCrash() { crashMode_ = CrashMode::Off; }
+
+    CrashMode crashMode() const { return crashMode_; }
+
+    /** Sites passed since beginCrashCount()/armCrashSite(). */
+    uint64_t crashSitesSeen() const { return crashSiteCursor_; }
+
+    // --- Metrics export (satellite of the machine registry).
+
+    /**
+     * Mirror every stat bump into `sim.faults.*` counters of the given
+     * registry (nullptr detaches). The counters live in the machine's
+     * registry — observation only, never charged simulated time.
+     */
+    void attachMetrics(MetricsRegistry *m);
+
+    /** A transient retry that went on to succeed (Machine's ladder). */
+    void noteTransientRetried();
+
+    /** A transient that exhausted the retry budget. */
+    void noteTransientEscalated();
+
+    /** A recovery pass finished: orphans reclaimed / completed. */
+    void noteRecovery(uint64_t reclaimed, uint64_t completed);
+
     /** Backoff before retry number `attempt` (1-based), in sim time. */
     SimTime
     backoffFor(uint32_t attempt) const
@@ -112,12 +196,28 @@ class FaultInjector
     }
 
   private:
+    void crashPointSlow(const char *site);
+
     FaultConfig cfg_;
     bool armed_ = false;
     Rng transientRng_;
     Rng poisonRng_;
     Rng tornRng_;
     FaultStats stats_;
+
+    CrashMode crashMode_ = CrashMode::Off;
+    uint64_t crashSiteCursor_ = 0;
+    uint64_t crashTarget_ = 0;
+
+    // Mirrored sim.faults.* counter handles; null when detached.
+    Counter *injectedCounter_ = nullptr;
+    Counter *retriedCounter_ = nullptr;
+    Counter *escalatedCounter_ = nullptr;
+    Counter *poisonedCounter_ = nullptr;
+    Counter *tornCounter_ = nullptr;
+    Counter *crashCounter_ = nullptr;
+    Counter *orphansReclaimedCounter_ = nullptr;
+    Counter *orphansCompletedCounter_ = nullptr;
 };
 
 } // namespace cxlfork::sim

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Deterministic crash-point enumeration: for every mechanism, run
+ * checkpoint-publish with a crash injected at every site k, recover
+ * the node, and audit the machine-wide invariants (no leaked frames,
+ * consistent allocators, lookup restorable-or-absent). Also proves the
+ * harness has teeth: reverting two-phase publication to direct put
+ * (PublishPolicy::DirectPutUnsafe) must make the enumeration fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include "porter/crash_harness.hh"
+#include "sim/error.hh"
+
+namespace cxlfork::porter {
+namespace {
+
+/** Small footprint keeps the per-site cluster rebuild cheap. */
+constexpr uint64_t kHeapPages = 8;
+
+CrashEnumConfig
+configFor(CrashMechanism m,
+          rfork::PublishPolicy policy = rfork::PublishPolicy::TwoPhase)
+{
+    CrashEnumConfig cfg;
+    cfg.mechanism = m;
+    cfg.heapPages = kHeapPages;
+    cfg.policy = policy;
+    return cfg;
+}
+
+std::string
+describe(const CrashEnumReport &rep)
+{
+    if (rep.pass)
+        return "pass";
+    return rep.firstViolation;
+}
+
+TEST(CrashEnum, SiteCountIsDeterministic)
+{
+    const CrashEnumConfig cfg = configFor(CrashMechanism::CxlFork);
+    const uint64_t a = countCrashSites(cfg);
+    const uint64_t b = countCrashSites(cfg);
+    EXPECT_EQ(a, b);
+    // A checkpoint that allocates frames and journals must pass through
+    // a meaningful number of crash sites: at least stage, one
+    // allocation per page, publish, and the post-publish site.
+    EXPECT_GE(a, kHeapPages + 4);
+}
+
+TEST(CrashEnum, EverySiteRecoversCxlFork)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(configFor(CrashMechanism::CxlFork));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_EQ(rep.results.size(), rep.sites + 1);
+    // The crash-free control must publish a restorable image.
+    const CrashSiteResult &control = rep.results.back();
+    EXPECT_FALSE(control.crashed);
+    EXPECT_TRUE(control.imageAvailable);
+    EXPECT_TRUE(control.restored);
+}
+
+TEST(CrashEnum, EverySiteRecoversCriu)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(configFor(CrashMechanism::Criu));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_TRUE(rep.results.back().restored);
+}
+
+TEST(CrashEnum, EverySiteRecoversMitosis)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(configFor(CrashMechanism::Mitosis));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_TRUE(rep.results.back().restored);
+    // A Mitosis checkpoint dies with its node: no crashed run may
+    // leave the image available (it pins the dead node's DRAM).
+    for (uint64_t k = 0; k < rep.sites; ++k)
+        EXPECT_FALSE(rep.results[k].imageAvailable)
+            << "site " << k << " left a node-coupled image published";
+}
+
+TEST(CrashEnum, EverySiteRecoversLocalFork)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(configFor(CrashMechanism::LocalFork));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_TRUE(rep.results.back().restored);
+    for (uint64_t k = 0; k < rep.sites; ++k)
+        EXPECT_FALSE(rep.results[k].imageAvailable)
+            << "site " << k << " kept a dead parent published";
+}
+
+TEST(CrashEnum, LatePublishCrashesLeaveRestorableImage)
+{
+    // For decoupled mechanisms, a crash at the post-publish site must
+    // leave the already-published image restorable from another node —
+    // the CXL-persistence property the paper's Sec. 5 store relies on.
+    for (CrashMechanism m :
+         {CrashMechanism::CxlFork, CrashMechanism::Criu}) {
+        const CrashEnumConfig cfg = configFor(m);
+        const uint64_t sites = countCrashSites(cfg);
+        ASSERT_GT(sites, 0u);
+        const CrashSiteResult last = runCrashAtSite(cfg, sites - 1);
+        EXPECT_TRUE(last.crashed) << crashMechanismName(m);
+        EXPECT_FALSE(last.violation)
+            << crashMechanismName(m) << ": " << last.detail;
+        EXPECT_TRUE(last.imageAvailable) << crashMechanismName(m);
+        EXPECT_TRUE(last.restored) << crashMechanismName(m);
+    }
+}
+
+TEST(CrashEnum, SomeMidBuildCrashIsCompletedOrReclaimed)
+{
+    // Across the sweep, recovery must exercise both verdicts for
+    // CXLfork: early crashes reclaim (incomplete image), while the
+    // crash at the publish-step site completes the fully-built orphan.
+    const CrashEnumReport rep =
+        enumerateCrashSites(configFor(CrashMechanism::CxlFork));
+    ASSERT_TRUE(rep.pass) << describe(rep);
+    bool sawReclaimed = false;
+    bool sawCompleted = false;
+    for (uint64_t k = 0; k < rep.sites; ++k) {
+        if (!rep.results[k].crashed)
+            continue;
+        if (rep.results[k].imageAvailable)
+            sawCompleted = true;
+        else
+            sawReclaimed = true;
+    }
+    EXPECT_TRUE(sawReclaimed);
+    EXPECT_TRUE(sawCompleted);
+}
+
+TEST(CrashEnum, DirectPutUnsafeFailsTheEnumeration)
+{
+    // The negative control: with publication reverted to direct put,
+    // lookup() exposes half-built images and the invariant audit must
+    // catch at least one site. If this test ever "passes" the sweep,
+    // the harness lost its teeth.
+    const CrashEnumReport rep = enumerateCrashSites(configFor(
+        CrashMechanism::CxlFork, rfork::PublishPolicy::DirectPutUnsafe));
+    EXPECT_FALSE(rep.pass);
+    uint64_t violations = 0;
+    bool sawTornExposure = false;
+    for (const CrashSiteResult &r : rep.results) {
+        violations += r.violation;
+        if (r.detail.find("half-built") != std::string::npos)
+            sawTornExposure = true;
+    }
+    EXPECT_GT(violations, 1u);
+    EXPECT_TRUE(sawTornExposure);
+}
+
+TEST(CrashEnum, CrashMetricsLandInMachineRegistry)
+{
+    Cluster cluster({[] {
+        mem::MachineConfig mc;
+        mc.numNodes = 2;
+        mc.dramPerNodeBytes = mem::mib(128);
+        mc.cxlCapacityBytes = mem::mib(256);
+        mc.llcBytes = mem::mib(8);
+        return mc;
+    }()});
+    sim::FaultInjector &faults = cluster.machine().faults();
+    faults.beginCrashCount();
+    faults.crashPoint("a");
+    faults.crashPoint("b");
+    EXPECT_EQ(faults.crashSitesSeen(), 2u);
+    faults.armCrashSite(1);
+    faults.crashPoint("a");
+    EXPECT_THROW(faults.crashPoint("b"), sim::NodeCrashError);
+    // One-shot: after firing the injector disarms itself.
+    faults.crashPoint("c");
+    EXPECT_EQ(faults.stats().crashesInjected, 1u);
+    EXPECT_EQ(cluster.machine()
+                  .metrics()
+                  .counter("sim.faults.crashes_injected")
+                  .value(),
+              1u);
+}
+
+} // namespace
+} // namespace cxlfork::porter

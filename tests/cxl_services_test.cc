@@ -94,6 +94,87 @@ TEST(ObjectStore, TuplesAreIndependent)
     EXPECT_EQ(store.cids().size(), 2u);
 }
 
+// Regression: reclaim() used to erase the object but leave the
+// tuple's latest_ entry behind, so lookup() kept returning a CID whose
+// get() was null. Reclaiming must erase exactly the entry that points
+// at the reclaimed CID — no stale entries, no collateral erasure.
+TEST(ObjectStore, ReclaimErasesOnlyItsOwnLatestEntry)
+{
+    ObjectStore<int> store;
+    const Cid c1 = store.put("u", "f", std::make_shared<int>(1));
+    const Cid c2 = store.put("u", "f", std::make_shared<int>(2));
+
+    // c1 was superseded: reclaiming it must not disturb c2's entry.
+    store.reclaim(c1);
+    ASSERT_TRUE(store.lookup("u", "f").has_value());
+    EXPECT_EQ(*store.lookup("u", "f"), c2);
+    EXPECT_EQ(store.latestCount(), 1u);
+
+    // Reclaiming the tuple's current latest erases the entry with it:
+    // a subsequent lookup must miss rather than dangle.
+    store.reclaim(c2);
+    EXPECT_FALSE(store.lookup("u", "f").has_value());
+    EXPECT_EQ(store.latestCount(), 0u);
+    EXPECT_EQ(store.size(), 0u);
+
+    // Churning one tuple leaves no residue behind.
+    for (int i = 0; i < 64; ++i)
+        store.reclaim(store.put("u", "f", std::make_shared<int>(i)));
+    EXPECT_EQ(store.latestCount(), 0u);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ObjectStore, StagedIsPinnedButInvisible)
+{
+    ObjectStore<int> store;
+    auto obj = std::make_shared<int>(7);
+    const Cid cid = store.stage("u", "f", obj, 3);
+
+    // Invisible to lookup, but the store's reference pins the object.
+    EXPECT_FALSE(store.lookup("u", "f").has_value());
+    EXPECT_EQ(store.stagedCount(), 1u);
+    EXPECT_EQ(store.publishedCount(), 0u);
+    obj.reset();
+    ASSERT_NE(store.get(cid), nullptr);
+    EXPECT_EQ(*store.get(cid), 7);
+    ASSERT_TRUE(store.journalRecord(cid).has_value());
+    EXPECT_EQ(store.journalRecord(cid)->ownerNode, 3u);
+    EXPECT_EQ(store.journalRecord(cid)->state, JournalState::Staged);
+
+    store.publish(cid);
+    EXPECT_EQ(store.lookup("u", "f"), cid);
+    EXPECT_EQ(store.stagedCount(), 0u);
+    EXPECT_EQ(store.publishedCount(), 1u);
+
+    // publish() is idempotent: a retried publish cannot double-flip.
+    store.publish(cid);
+    EXPECT_EQ(store.lookup("u", "f"), cid);
+    EXPECT_EQ(store.latestCount(), 1u);
+}
+
+TEST(ObjectStore, RecoverOrphansCompletesOrReclaims)
+{
+    ObjectStore<int> store;
+    // Owner 0 left a "complete" orphan (value >= 0) and a torn one.
+    const Cid good = store.stage("u", "good", std::make_shared<int>(1), 0);
+    const Cid torn = store.stage("u", "torn", std::make_shared<int>(-1), 0);
+    // A different node's orphan must not be touched by node 0 recovery.
+    const Cid other = store.stage("u", "other", std::make_shared<int>(5), 1);
+
+    const RecoveryReport rep = store.recoverOrphans(
+        0, [](const std::shared_ptr<int> &v) { return *v >= 0; });
+    EXPECT_EQ(rep.scanned, 2u);
+    EXPECT_EQ(rep.completed, 1u);
+    EXPECT_EQ(rep.reclaimed, 1u);
+
+    EXPECT_EQ(store.lookup("u", "good"), good);
+    EXPECT_FALSE(store.lookup("u", "torn").has_value());
+    EXPECT_EQ(store.get(torn), nullptr);
+    EXPECT_FALSE(store.lookup("u", "other").has_value());
+    EXPECT_NE(store.get(other), nullptr);
+    EXPECT_EQ(store.stagedCount(), 1u); // node 1's orphan untouched
+}
+
 TEST(Fabric, TracksDeviceUsage)
 {
     mem::Machine machine{mem::MachineConfig{}};

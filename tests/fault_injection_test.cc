@@ -97,6 +97,76 @@ TEST(FaultInjector, BackoffGrowsExponentially)
     EXPECT_EQ(inj.backoffFor(3), SimTime::us(40));
 }
 
+TEST(FaultInjector, CrashSitesNeverPerturbBernoulliStreams)
+{
+    // Crash-site counting/arming must not consume a single draw from
+    // the probabilistic fault streams: the transient schedule with
+    // crash mode engaged is bit-identical to the schedule without it.
+    sim::FaultConfig cfg;
+    cfg.seed = 42;
+    cfg.cxlTransientRate = 0.3;
+    sim::FaultInjector plain(cfg), counting(cfg);
+    counting.beginCrashCount();
+    for (int i = 0; i < 500; ++i) {
+        counting.crashPoint("x");
+        EXPECT_EQ(plain.drawTransient(), counting.drawTransient());
+    }
+    EXPECT_EQ(counting.crashSitesSeen(), 500u);
+}
+
+TEST(FaultInjector, ArmedCrashFiresExactlyOnceAtItsSite)
+{
+    sim::FaultInjector inj{};
+    inj.armCrashSite(3);
+    inj.crashPoint("s0");
+    inj.crashPoint("s1");
+    inj.crashPoint("s2");
+    EXPECT_THROW(inj.crashPoint("s3"), sim::NodeCrashError);
+    // One-shot: the injector disarmed itself when it fired.
+    EXPECT_EQ(inj.crashMode(), sim::CrashMode::Off);
+    for (int i = 0; i < 16; ++i)
+        inj.crashPoint("after");
+    EXPECT_EQ(inj.stats().crashesInjected, 1u);
+}
+
+TEST(FaultInjector, CountModeIsDeterministicAndNeverThrows)
+{
+    auto countSites = [] {
+        sim::FaultInjector inj{};
+        inj.beginCrashCount();
+        for (int i = 0; i < 37; ++i)
+            inj.crashPoint("site");
+        return inj.crashSitesSeen();
+    };
+    EXPECT_EQ(countSites(), 37u);
+    EXPECT_EQ(countSites(), countSites());
+}
+
+TEST(FaultInjector, StatsMirrorIntoAttachedMachineRegistry)
+{
+    // FaultStats must be exported through the machine's registry so
+    // observability tooling sees injections without reaching into the
+    // injector (satellite: sim.faults.* metrics).
+    mem::MachineConfig mcfg;
+    mcfg.faults.seed = 11;
+    mcfg.faults.cxlTransientRate = 0.5;
+    mcfg.faults.maxRetries = 8;
+    mem::Machine machine{mcfg};
+    sim::SimClock clock;
+    for (int i = 0; i < 64; ++i)
+        machine.cxlTransaction(clock, "test");
+    const sim::FaultStats &st = machine.faults().stats();
+    EXPECT_GT(st.transientsInjected, 0u);
+    sim::MetricsRegistry &m = machine.metrics();
+    EXPECT_EQ(m.counter("sim.faults.transients_injected").value(),
+              st.transientsInjected);
+    EXPECT_EQ(m.counter("sim.faults.transients_retried").value(),
+              st.transientsRetried);
+    EXPECT_EQ(m.counter("sim.faults.transients_escalated").value(),
+              st.transientsEscalated);
+    EXPECT_EQ(m.counter("sim.faults.crashes_injected").value(), 0u);
+}
+
 // --- CRC32.
 
 TEST(Crc32, CatchesEverySingleBitFlip)

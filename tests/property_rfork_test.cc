@@ -13,6 +13,8 @@
 #include "rfork/criu.hh"
 #include "rfork/cxlfork.hh"
 #include "rfork/mitosis.hh"
+#include "sim/error.hh"
+#include "sim/fault_injector.hh"
 #include "sim/rng.hh"
 #include "sim/trace.hh"
 #include "test_util.hh"
@@ -301,6 +303,155 @@ TEST(TraceOracleMonotone, RestoreTotalMonotoneInCxlLatency)
         const double ns = restoreNs(lat);
         EXPECT_GE(ns, prev) << "restore got cheaper at " << lat << " ns";
         prev = ns;
+    }
+}
+
+// --- Two-phase publication under transient faults.
+
+namespace {
+
+constexpr uint64_t kPubPages = 6;
+
+std::pair<std::shared_ptr<os::Task>, VirtAddr>
+makePublishParent(World &world)
+{
+    os::NodeOs &node = world.node(0);
+    auto task = node.createTask("pub");
+    os::Vma &heap = node.mapAnon(*task, kPubPages * kPageSize,
+                                 os::kVmaRead | os::kVmaWrite, "heap");
+    for (uint64_t i = 0; i < kPubPages; ++i)
+        node.write(*task, heap.start.plus(i * kPageSize), 0xabc000 + i);
+    return {task, heap.start};
+}
+
+} // namespace
+
+/**
+ * A transient fault that escalates exactly at the publish-step fabric
+ * transaction must not double-publish, must not expose the image to
+ * lookup(), and must leave a complete STAGED orphan that one recovery
+ * pass (and only one) turns into a restorable published checkpoint.
+ * An armed-but-silent injector must not change the simulated cost of
+ * publication at all.
+ */
+TEST(PublishFaultProperty, TransientAtPublishStepIsCrashConsistent)
+{
+    // Baseline: faults off. Count the fabric transactions one
+    // published checkpoint issues — the last one is the publish
+    // journal write — and its exact simulated cost.
+    uint64_t txns = 0;
+    double baselineCostNs = 0.0;
+    {
+        World world(test::smallConfig());
+        auto [task, heap] = makePublishParent(world);
+        CxlFork mech(*world.fabric);
+        CheckpointStore store;
+        sim::Counter &txnCounter =
+            world.machine->metrics().counter("mem.cxl.transactions");
+        const uint64_t before = txnCounter.value();
+        const sim::SimTime t0 = world.node(0).clock().now();
+        const PublishedCheckpoint pub = mech.checkpointPublished(
+            store, {"u", "f"}, world.node(0), *task);
+        txns = txnCounter.value() - before;
+        baselineCostNs = (world.node(0).clock().now() - t0).toNs();
+        EXPECT_EQ(store.latestCount(), 1u);
+        EXPECT_EQ(store.lookup("u", "f"), pub.cid);
+        // Retried publishes are idempotent: no double publication.
+        store.publish(pub.cid);
+        EXPECT_EQ(store.latestCount(), 1u);
+        EXPECT_EQ(store.publishedCount(), 1u);
+    }
+    ASSERT_GE(txns, 3u);
+
+    sim::FaultConfig fc;
+    fc.cxlTransientRate = 0.04;
+    fc.maxRetries = 0; // first injected transient escalates
+
+    // With maxRetries == 0 each transaction consumes exactly one draw
+    // from the transient stream, so the standalone injector predicts
+    // which transaction a seed escalates at. Find one seed that fires
+    // exactly on the publish write and one that spares the whole call.
+    auto firstTrueDraw = [&fc](uint64_t seed, uint64_t limit) {
+        sim::FaultInjector inj;
+        sim::FaultConfig c = fc;
+        c.seed = seed;
+        inj.setConfig(c);
+        for (uint64_t i = 0; i < limit; ++i) {
+            if (inj.drawTransient())
+                return i;
+        }
+        return limit;
+    };
+    uint64_t seedAtPublish = 0;
+    uint64_t seedClean = 0;
+    for (uint64_t s = 1; s < 200000 && (!seedAtPublish || !seedClean);
+         ++s) {
+        const uint64_t first = firstTrueDraw(s, txns + 1);
+        if (!seedAtPublish && first == txns - 1)
+            seedAtPublish = s;
+        else if (!seedClean && first >= txns)
+            seedClean = s;
+    }
+    ASSERT_NE(seedAtPublish, 0u);
+    ASSERT_NE(seedClean, 0u);
+
+    // Armed but silent: identical cost, single publication.
+    {
+        World world(test::smallConfig());
+        auto [task, heap] = makePublishParent(world);
+        CxlFork mech(*world.fabric);
+        CheckpointStore store;
+        sim::FaultConfig c = fc;
+        c.seed = seedClean;
+        world.machine->setFaultConfig(c);
+        const sim::SimTime t0 = world.node(0).clock().now();
+        mech.checkpointPublished(store, {"u", "f"}, world.node(0), *task);
+        EXPECT_EQ((world.node(0).clock().now() - t0).toNs(),
+                  baselineCostNs);
+        EXPECT_EQ(store.latestCount(), 1u);
+        EXPECT_EQ(store.publishedCount(), 1u);
+    }
+
+    // Escalation at the publish step.
+    World world(test::smallConfig());
+    auto [task, heap] = makePublishParent(world);
+    CxlFork mech(*world.fabric);
+    CheckpointStore store;
+    sim::FaultConfig c = fc;
+    c.seed = seedAtPublish;
+    world.machine->setFaultConfig(c);
+    EXPECT_THROW(mech.checkpointPublished(store, {"u", "f"},
+                                          world.node(0), *task),
+                 sim::TransientFaultError);
+
+    // Not published, not visible, not double-charged — but the fully
+    // built image survived as a STAGED orphan.
+    EXPECT_EQ(store.latestCount(), 0u);
+    EXPECT_FALSE(store.lookup("u", "f").has_value());
+    ASSERT_EQ(store.stagedCount(), 1u);
+    EXPECT_EQ(store.publishedCount(), 0u);
+
+    // One recovery pass completes it; a second finds nothing.
+    const cxl::RecoveryReport rep = store.recoverOrphans(
+        world.node(0).id(), [](const std::shared_ptr<CheckpointHandle> &h) {
+            return h->complete() && h->localBytes() == 0;
+        });
+    EXPECT_EQ(rep.scanned, 1u);
+    EXPECT_EQ(rep.completed, 1u);
+    EXPECT_EQ(rep.reclaimed, 0u);
+    const cxl::RecoveryReport again = store.recoverOrphans(
+        world.node(0).id(),
+        [](const std::shared_ptr<CheckpointHandle> &) { return true; });
+    EXPECT_EQ(again.scanned, 0u);
+
+    // The recovered checkpoint restores and reproduces the image.
+    auto cid = store.lookup("u", "f");
+    ASSERT_TRUE(cid.has_value());
+    world.machine->setFaultConfig(sim::FaultConfig{});
+    auto child = mech.restore(store.get(*cid), world.node(1));
+    for (uint64_t i = 0; i < kPubPages; ++i) {
+        EXPECT_EQ(world.node(1).read(*child, heap.plus(i * kPageSize)),
+                  0xabc000 + i);
     }
 }
 

@@ -15,6 +15,10 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== Running full test suite"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== Running crash-point enumeration sweep (ctest -L crash)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash
+"$BUILD_DIR/tools/crash_sweep"
+
 echo "== Running golden-benchmark regression suite (CXLFORK_JOBS=1)"
 CXLFORK_JOBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
 

@@ -17,6 +17,10 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== Running tests under ASan/UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== Running crash-point enumeration under ASan/UBSan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash
+"$BUILD_DIR/tools/crash_sweep"
+
 echo "== Running fault sweep benchmark (nonzero injection) twice"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run1.txt"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run2.txt"
