@@ -1,7 +1,8 @@
 /**
  * @file
  * The CXL fabric context: the shared device plus fabric-level services
- * (the in-CXL shared filesystem) and accounting.
+ * (the content-addressed page pool, the in-CXL shared filesystem) and
+ * accounting.
  */
 
 #pragma once
@@ -9,6 +10,7 @@
 #include <memory>
 
 #include "mem/machine.hh"
+#include "page_store.hh"
 #include "shared_fs.hh"
 #include "sim/stats.hh"
 
@@ -18,8 +20,9 @@ namespace cxlfork::cxl {
 class CxlFabric
 {
   public:
-    explicit CxlFabric(mem::Machine &machine)
-        : machine_(machine), sharedFs_(machine)
+    explicit CxlFabric(mem::Machine &machine, PageStoreConfig pageStoreCfg = {})
+        : machine_(machine), pageStore_(machine, pageStoreCfg),
+          sharedFs_(machine, pageStore_)
     {}
 
     CxlFabric(const CxlFabric &) = delete;
@@ -27,6 +30,7 @@ class CxlFabric
 
     mem::Machine &machine() { return machine_; }
     mem::FrameAllocator &device() { return machine_.cxl(); }
+    PageStore &pageStore() { return pageStore_; }
     SharedFs &sharedFs() { return sharedFs_; }
     sim::StatSet &stats() { return stats_; }
 
@@ -36,6 +40,7 @@ class CxlFabric
 
   private:
     mem::Machine &machine_;
+    PageStore pageStore_; ///< Before sharedFs_: the FS writes through it.
     SharedFs sharedFs_;
     sim::StatSet stats_;
 };

@@ -21,11 +21,22 @@
  * either completes (verifies + publishes) or garbage-collects each
  * one. lookup() therefore never exposes a torn image: it only ever
  * sees PUBLISHED checkpoints.
+ *
+ * A STAGED record additionally carries a page manifest: the physical
+ * addresses of every shared-pool page the half-built checkpoint has
+ * pinned so far, each entry holding one extra frame reference taken at
+ * append time. The manifest is the crash-durable record of staged
+ * refcounts: publication releases the pins (ownership passes solely to
+ * the finished object), and any path that retires a STAGED record —
+ * reclaim(), a recovery garbage-collect, or a recovery completion —
+ * releases each pin exactly once through the installed releaser, so a
+ * creator crash can neither leak nor double-free shared frames.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -63,6 +74,13 @@ struct JournalRecord
     std::string function;
     uint32_t ownerNode = 0; ///< Node that staged it (kAnyNode if unknown).
     JournalState state = JournalState::Staged;
+
+    /**
+     * Shared-pool pages pinned by this record while STAGED; each entry
+     * holds one extra frame reference, released exactly once when the
+     * record publishes or is retired.
+     */
+    std::vector<uint64_t> manifest;
 };
 
 /** What a recovery pass did. */
@@ -90,6 +108,15 @@ class ObjectStore
     /** Owner value for records staged outside any node context. */
     static constexpr uint32_t kAnyNode = ~uint32_t(0);
 
+    ObjectStore() = default;
+
+    /** Pins die with the store: no record may strand its references. */
+    ~ObjectStore()
+    {
+        for (auto &[cid, rec] : journal_)
+            releaseManifest(rec);
+    }
+
     /**
      * Phase one: register the object under a STAGED journal record.
      * The store's reference keeps the object (and every frame it owns)
@@ -103,14 +130,56 @@ class ObjectStore
         const Cid cid = nextCid_++;
         objects_[cid] = std::move(object);
         journal_[cid] = JournalRecord{user, function, ownerNode,
-                                      JournalState::Staged};
+                                      JournalState::Staged, {}};
         return cid;
+    }
+
+    /**
+     * Install the function that returns one staged manifest pin (an
+     * extra frame reference) to its pool. Without a releaser installed
+     * appendManifest() refuses to record pins, so standalone stores
+     * (unit tests, ad-hoc callers) never strand references.
+     */
+    void
+    setManifestReleaser(std::function<void(uint64_t)> release)
+    {
+        manifestReleaser_ = std::move(release);
+    }
+
+    /**
+     * Record one pinned shared-pool page under a STAGED record. The
+     * caller takes the extra frame reference iff this returns true;
+     * the store releases it exactly once (publish or retirement).
+     * Returns false — record nothing, pin nothing — for unknown CIDs,
+     * already-PUBLISHED records (DirectPutUnsafe publishes at stage
+     * time), or when no releaser is installed.
+     */
+    bool
+    appendManifest(Cid cid, uint64_t pageAddr)
+    {
+        if (!manifestReleaser_)
+            return false;
+        auto it = journal_.find(cid);
+        if (it == journal_.end() ||
+            it->second.state != JournalState::Staged)
+            return false;
+        it->second.manifest.push_back(pageAddr);
+        return true;
+    }
+
+    /** Staged pins currently recorded for the CID (0 if none). */
+    size_t
+    manifestSize(Cid cid) const
+    {
+        auto it = journal_.find(cid);
+        return it == journal_.end() ? 0 : it->second.manifest.size();
     }
 
     /**
      * Phase two: atomically flip the tuple's lookup entry to this CID.
      * Idempotent — republishing a PUBLISHED CID is a no-op, so a
-     * retried publish step never double-publishes.
+     * retried publish step never double-publishes (and never
+     * double-releases the staged manifest pins).
      */
     void
     publish(Cid cid)
@@ -120,6 +189,9 @@ class ObjectStore
             return;
         it->second.state = JournalState::Published;
         latest_[{it->second.user, it->second.function}] = cid;
+        // The finished object now solely owns its pages; drop the
+        // staged safety pins.
+        releaseManifest(it->second);
     }
 
     /** stage() + publish() in one step (cannot be made crash-safe). */
@@ -162,6 +234,7 @@ class ObjectStore
             auto lt = latest_.find({jt->second.user, jt->second.function});
             if (lt != latest_.end() && lt->second == cid)
                 latest_.erase(lt);
+            releaseManifest(jt->second);
             journal_.erase(jt);
         }
         objects_.erase(cid);
@@ -193,9 +266,14 @@ class ObjectStore
             if (obj && verify(obj)) {
                 rec.state = JournalState::Published;
                 latest_[{rec.user, rec.function}] = cid;
+                releaseManifest(rec);
                 ++rep.completed;
                 ++it;
             } else {
+                // Retire the orphan: the manifest pins and the store's
+                // object reference each return their frame references,
+                // and each exactly once.
+                releaseManifest(rec);
                 objects_.erase(cid);
                 it = journal_.erase(it);
                 ++rep.reclaimed;
@@ -257,10 +335,23 @@ class ObjectStore
     }
 
   private:
+    /** Drop every pin the record holds; idempotent per record. */
+    void
+    releaseManifest(JournalRecord &rec)
+    {
+        if (rec.manifest.empty())
+            return;
+        std::vector<uint64_t> pins;
+        pins.swap(rec.manifest); // emptied before releasing: re-entry safe
+        for (uint64_t addr : pins)
+            manifestReleaser_(addr);
+    }
+
     Cid nextCid_ = 1;
     std::map<Cid, std::shared_ptr<T>> objects_;
     std::map<Cid, JournalRecord> journal_;
     std::map<std::pair<std::string, std::string>, Cid> latest_;
+    std::function<void(uint64_t)> manifestReleaser_;
 };
 
 } // namespace cxlfork::cxl

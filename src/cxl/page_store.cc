@@ -1,0 +1,172 @@
+#include "page_store.hh"
+
+#include <algorithm>
+
+#include "sim/fault_injector.hh"
+#include "sim/log.hh"
+
+namespace cxlfork::cxl {
+
+namespace {
+
+/** splitmix64 finalizer: the 64-bit content hash. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+PageStore::PageStore(mem::Machine &machine, PageStoreConfig cfg)
+    : machine_(machine), cfg_(cfg)
+{
+    if (cfg_.hashBits == 0 || cfg_.hashBits > 64)
+        sim::fatal("PageStore: hashBits must be in [1, 64]");
+    sim::MetricsRegistry &m = machine_.metrics();
+    hitsCounter_ = &m.counter("cxl.dedup.hits");
+    uniqueCounter_ = &m.counter("cxl.dedup.unique");
+    bytesSavedCounter_ = &m.counter("cxl.dedup.bytes_saved");
+    collisionsCounter_ = &m.counter("cxl.dedup.collisions");
+}
+
+uint64_t
+PageStore::hashContent(uint64_t content) const
+{
+    const uint64_t h = mix64(content);
+    return cfg_.hashBits >= 64 ? h : h & ((uint64_t(1) << cfg_.hashBits) - 1);
+}
+
+InternResult
+PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
+{
+    if (!cfg_.dedup) {
+        // Pass-through: identical to the pre-store allocation path, no
+        // index, no extra cost, no counters.
+        return {machine_.cxl().alloc(use, content), false};
+    }
+
+    mem::FrameAllocator &cxl = machine_.cxl();
+    const uint64_t h = hashContent(content);
+    auto bucket = index_.find(h);
+    if (bucket != index_.end()) {
+        // The hash only nominates candidates; the byte compare (one
+        // mapped read of the candidate frame) decides. A same-hash,
+        // different-bytes candidate is a recorded collision, never a
+        // false share.
+        bool comparedAny = false;
+        mem::PhysAddr match{0};
+        for (mem::PhysAddr cand : bucket->second) {
+            comparedAny = true;
+            if (cxl.frame(cand).content == content) {
+                match = cand;
+                break;
+            }
+        }
+        if (comparedAny) {
+            machine_.cxlTransaction(clock, "pagestore collision check");
+            clock.advance(machine_.costs().cxlRead(mem::kPageSize));
+        }
+        if (match.raw != 0) {
+            // Crash site before the only mutation (the extra ref): a
+            // crash here changes no refcount and can leak nothing.
+            machine_.faults().crashPoint("pagestore.hit");
+            cxl.incRef(match);
+            hitsCounter_->inc();
+            bytesSavedCounter_->inc(mem::kPageSize);
+            if (machine_.tracer().enabled()) {
+                machine_.tracer().instant(
+                    clock, mem::kInvalidNode, "dedup_hit", "cxl.pagestore",
+                    {{"hash", sim::TraceValue::of(h)}});
+            }
+            return {match, true};
+        }
+        collisionsCounter_->inc();
+    }
+
+    const mem::PhysAddr addr = cxl.alloc(use, content);
+    index_[h].push_back(addr);
+    pages_[addr.raw] = h;
+    uniqueCounter_->inc();
+    return {addr, false};
+}
+
+void
+PageStore::ref(mem::PhysAddr addr)
+{
+    machine_.cxl().incRef(addr);
+}
+
+bool
+PageStore::release(mem::PhysAddr addr)
+{
+    auto it = pages_.find(addr.raw);
+    const bool freed = machine_.cxl().decRef(addr);
+    if (freed && it != pages_.end()) {
+        auto bucket = index_.find(it->second);
+        CXLF_ASSERT(bucket != index_.end());
+        auto &frames = bucket->second;
+        frames.erase(std::remove(frames.begin(), frames.end(), addr),
+                     frames.end());
+        if (frames.empty())
+            index_.erase(bucket);
+        pages_.erase(it);
+    }
+    return freed;
+}
+
+PageStoreAudit
+PageStore::audit() const
+{
+    PageStoreAudit out;
+    out.uniquePages = pages_.size();
+    auto fail = [&](std::string why) {
+        if (out.consistent) {
+            out.consistent = false;
+            out.detail = "pagestore: " + why;
+        }
+    };
+    uint64_t indexed = 0;
+    for (const auto &[h, frames] : index_) {
+        if (frames.empty())
+            fail(sim::format("empty bucket %#llx retained",
+                             (unsigned long long)h));
+        for (mem::PhysAddr f : frames) {
+            ++indexed;
+            auto it = pages_.find(f.raw);
+            if (it == pages_.end()) {
+                fail(sim::format("frame %#llx indexed but not owned",
+                                 (unsigned long long)f.raw));
+                continue;
+            }
+            if (it->second != h) {
+                fail(sim::format("frame %#llx filed under hash %#llx, "
+                                 "owns %#llx",
+                                 (unsigned long long)f.raw,
+                                 (unsigned long long)h,
+                                 (unsigned long long)it->second));
+            }
+            // Every indexed frame must still be live, hash to its
+            // bucket, and carry at least one reference.
+            const mem::Frame &frame = machine_.cxl().frame(f);
+            if (hashContent(frame.content) != h) {
+                fail(sim::format("frame %#llx content no longer hashes "
+                                 "to its bucket",
+                                 (unsigned long long)f.raw));
+            }
+            if (frame.refcount == 0)
+                fail(sim::format("indexed frame %#llx has refcount 0",
+                                 (unsigned long long)f.raw));
+        }
+    }
+    if (indexed != pages_.size()) {
+        fail(sim::format("index holds %llu frames, ownership map %zu",
+                         (unsigned long long)indexed, pages_.size()));
+    }
+    return out;
+}
+
+} // namespace cxlfork::cxl

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Content-addressed, refcounted page pool on the CXL tier.
+ *
+ * Every checkpoint page a mechanism materializes on the shared device
+ * goes through intern(): the frame's contents are hashed (64-bit, and
+ * any candidate with the same hash is confirmed by a byte compare, so
+ * hash collisions can never alias two different pages), and a frame
+ * already holding identical bytes is shared — across functions, users,
+ * and re-checkpoints — by taking one more reference instead of writing
+ * a duplicate. The allocator's per-frame refcount is the single source
+ * of truth for sharing; the store only adds the content index that
+ * finds share candidates.
+ *
+ * With dedup disabled (the default) intern() degenerates to a plain
+ * allocation with zero bookkeeping, keeping every existing bench
+ * bit-identical. Restore-side sharing needs no new machinery: restored
+ * children attach checkpoint frames read-only and the existing CXL CoW
+ * fault path breaks sharing on write (checkpoint PTE mappings hold no
+ * frame references, so images — and through them this store — remain
+ * the sole owners).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/machine.hh"
+#include "sim/clock.hh"
+
+namespace cxlfork::cxl {
+
+/** PageStore tunables. */
+struct PageStoreConfig
+{
+    /**
+     * Content-address checkpoint pages and share identical ones. Off
+     * by default: the store is then a pass-through allocator and every
+     * simulated cost stays bit-identical to the pre-dedup code.
+     */
+    bool dedup = false;
+
+    /**
+     * Width of the content hash used for bucketing, in bits. The full
+     * 64 in production; tests narrow it to force hash collisions and
+     * exercise the byte-compare confirmation path.
+     */
+    uint32_t hashBits = 64;
+};
+
+/** Result of one intern(): the frame, and whether it was shared. */
+struct InternResult
+{
+    mem::PhysAddr addr{0};
+    bool shared = false; ///< An existing identical page was reused.
+};
+
+/** Bookkeeping cross-check (see FrameAllocator::auditLive). */
+struct PageStoreAudit
+{
+    uint64_t uniquePages = 0; ///< Live content-indexed pages.
+    bool consistent = true;
+    std::string detail;
+};
+
+/** The content-addressed page pool of one CXL device. */
+class PageStore
+{
+  public:
+    explicit PageStore(mem::Machine &machine, PageStoreConfig cfg = {});
+
+    PageStore(const PageStore &) = delete;
+    PageStore &operator=(const PageStore &) = delete;
+
+    bool dedupEnabled() const { return cfg_.dedup; }
+
+    /**
+     * Materialize a CXL frame holding `content`. With dedup enabled, a
+     * live frame with byte-identical contents is shared (one extra
+     * reference, one collision-check read charged to `clock`) instead
+     * of allocated; a miss allocates and indexes the new frame. The
+     * caller owns one reference either way and must return it through
+     * release(). The data-write cost of a miss stays with the caller —
+     * exactly where it was before the store existed.
+     */
+    InternResult intern(uint64_t content, mem::FrameUse use,
+                        sim::SimClock &clock);
+
+    /** Take one more reference on any CXL frame (store-owned or not). */
+    void ref(mem::PhysAddr addr);
+
+    /**
+     * Drop one reference. Frames the store indexed are un-indexed when
+     * they actually free; frames it never saw (metadata, pre-store
+     * allocations) fall through to the plain allocator decRef, so
+     * every owner can release uniformly through the store.
+     * @return true if the frame was freed.
+     */
+    bool release(mem::PhysAddr addr);
+
+    /** True if the store's content index owns this frame. */
+    bool owns(mem::PhysAddr addr) const
+    {
+        return pages_.find(addr.raw) != pages_.end();
+    }
+
+    /** Live content-indexed pages (the deduplicated census). */
+    uint64_t uniquePages() const { return pages_.size(); }
+
+    /** Cross-check the content index against the frame allocator. */
+    PageStoreAudit audit() const;
+
+  private:
+    uint64_t hashContent(uint64_t content) const;
+
+    mem::Machine &machine_;
+    PageStoreConfig cfg_;
+
+    /** Content hash -> live frames whose contents hash there. */
+    std::unordered_map<uint64_t, std::vector<mem::PhysAddr>> index_;
+    /** Live store-owned frame -> its content hash (for un-indexing). */
+    std::unordered_map<uint64_t, uint64_t> pages_;
+
+    sim::Counter *hitsCounter_ = nullptr;
+    sim::Counter *uniqueCounter_ = nullptr;
+    sim::Counter *bytesSavedCounter_ = nullptr;
+    sim::Counter *collisionsCounter_ = nullptr;
+};
+
+} // namespace cxlfork::cxl

@@ -1,10 +1,35 @@
 #include "shared_fs.hh"
 
+#include <algorithm>
+
 #include "sim/crc32.hh"
 #include "sim/error.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::cxl {
+
+namespace {
+
+/**
+ * Content token for one file page: a digest of the page's slice of the
+ * encoded bytes plus its index, so byte-identical files produce
+ * identical per-page tokens (and thus dedup) while differing files
+ * cannot alias. The encoded form is token-compressed, so slices are
+ * assigned proportionally across the file's simulated pages.
+ */
+uint64_t
+filePageToken(const std::vector<uint8_t> &data, uint64_t pageIdx,
+              uint64_t pages)
+{
+    const uint64_t len = data.size();
+    const uint64_t begin = pages ? len * pageIdx / pages : 0;
+    const uint64_t end = pages ? len * (pageIdx + 1) / pages : 0;
+    const uint32_t crc = sim::crc32(data.data() + begin, end - begin);
+    return (uint64_t(crc) << 32) ^ (pageIdx * 0x9e3779b97f4a7c15ull) ^
+           (end - begin);
+}
+
+} // namespace
 
 SharedFs::~SharedFs()
 {
@@ -24,11 +49,24 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
     const uint64_t pages = mem::pagesFor(simulatedBytes);
     file.frames.reserve(pages);
     // Allocate the backing before dropping any previous version: a
-    // failed overwrite must leave the old file readable.
+    // failed overwrite must leave the old file readable. Frames come
+    // from the content-addressed pool: with dedup on, a page whose
+    // slice matches an already-stored file's is shared, not written.
+    uint64_t sharedPages = 0;
     try {
-        for (uint64_t i = 0; i < pages; ++i) {
-            file.frames.push_back(
-                machine_.cxl().alloc(mem::FrameUse::FileCache));
+        if (pageStore_.dedupEnabled()) {
+            for (uint64_t i = 0; i < pages; ++i) {
+                const InternResult r = pageStore_.intern(
+                    filePageToken(file.data, i, pages),
+                    mem::FrameUse::FileCache, clock);
+                file.frames.push_back(r.addr);
+                sharedPages += r.shared;
+            }
+        } else {
+            for (uint64_t i = 0; i < pages; ++i) {
+                file.frames.push_back(
+                    machine_.cxl().alloc(mem::FrameUse::FileCache));
+            }
         }
         machine_.cxlTransaction(clock, "shared-fs write");
     } catch (const sim::NodeCrashError &) {
@@ -40,10 +78,15 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
         throw;
     } catch (...) {
         for (mem::PhysAddr f : file.frames)
-            machine_.cxl().decRef(f);
+            pageStore_.release(f);
         throw;
     }
-    clock.advance(machine_.costs().cxlWrite(simulatedBytes));
+    // Deduplicated pages are never stored, only referenced: the write
+    // charge covers the unique bytes (intern already charged the
+    // collision-check reads for the shared ones).
+    const uint64_t dedupedBytes =
+        std::min(simulatedBytes, sharedPages * mem::kPageSize);
+    clock.advance(machine_.costs().cxlWrite(simulatedBytes - dedupedBytes));
     usedBytes_ += pages * mem::kPageSize;
     machine_.metrics().counter("cxl.fs.writes").inc();
     machine_.metrics().counter("cxl.fs.bytes_written").inc(simulatedBytes);
@@ -110,7 +153,7 @@ SharedFs::reclaimOrphans()
     uint64_t reclaimed = 0;
     for (std::vector<mem::PhysAddr> &frames : orphans_) {
         for (mem::PhysAddr f : frames)
-            machine_.cxl().decRef(f);
+            pageStore_.release(f);
         reclaimed += frames.size();
     }
     orphans_.clear();
@@ -133,7 +176,7 @@ void
 SharedFs::releaseFrames(CxlFsFile &file)
 {
     for (mem::PhysAddr f : file.frames)
-        machine_.cxl().decRef(f);
+        pageStore_.release(f);
     usedBytes_ -= file.frames.size() * mem::kPageSize;
     file.frames.clear();
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "mem/machine.hh"
+#include "page_store.hh"
 #include "sim/clock.hh"
 
 namespace cxlfork::cxl {
@@ -36,7 +37,15 @@ struct CxlFsFile
 class SharedFs
 {
   public:
-    explicit SharedFs(mem::Machine &machine) : machine_(machine) {}
+    /**
+     * Backing frames are materialized through the fabric's page store:
+     * each file page carries a content token derived from its slice of
+     * the encoded bytes, so identical image files (the same function
+     * checkpointed by different tenants) share frames when dedup is on.
+     */
+    SharedFs(mem::Machine &machine, PageStore &pageStore)
+        : machine_(machine), pageStore_(pageStore)
+    {}
 
     ~SharedFs();
 
@@ -87,6 +96,7 @@ class SharedFs
     void releaseFrames(CxlFsFile &file);
 
     mem::Machine &machine_;
+    PageStore &pageStore_;
     std::map<std::string, CxlFsFile> files_;
     std::vector<std::vector<mem::PhysAddr>> orphans_;
     uint64_t usedBytes_ = 0;

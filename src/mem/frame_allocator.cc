@@ -66,6 +66,7 @@ FrameAllocator::alloc(FrameUse use, uint64_t content)
     f.content = content;
     f.poisoned = tier_ == Tier::Cxl && injector_ && injector_->drawPoison();
     ++usedFrames_;
+    ++totalRefs_;
     peakUsedFrames_ = std::max(peakUsedFrames_, usedFrames_);
     return PhysAddr{base_.raw + idx * kPageSize};
 }
@@ -89,6 +90,7 @@ FrameAllocator::incRef(PhysAddr addr)
     Frame &f = frames_[indexOf(addr)];
     CXLF_ASSERT(f.allocated());
     ++f.refcount;
+    ++totalRefs_;
 }
 
 bool
@@ -97,6 +99,8 @@ FrameAllocator::decRef(PhysAddr addr)
     Frame &f = frames_[indexOf(addr)];
     CXLF_ASSERT(f.allocated());
     CXLF_ASSERT(f.refcount > 0);
+    CXLF_ASSERT(totalRefs_ > 0);
+    --totalRefs_;
     if (--f.refcount > 0)
         return false;
     f.use = FrameUse::Free;
@@ -134,6 +138,7 @@ FrameAllocator::auditLive() const
         const Frame &f = frames_[i];
         if (f.allocated()) {
             ++audit.liveFrames;
+            audit.liveRefs += f.refcount;
             if (f.refcount == 0)
                 fail(sim::format("allocated frame %llu has refcount 0",
                                  (unsigned long long)i));
@@ -155,6 +160,12 @@ FrameAllocator::auditLive() const
                          "%llu",
                          (unsigned long long)audit.liveFrames,
                          (unsigned long long)usedFrames_));
+    }
+    if (audit.liveRefs != totalRefs_) {
+        fail(sim::format("walk summed %llu references but totalRefs is "
+                         "%llu",
+                         (unsigned long long)audit.liveRefs,
+                         (unsigned long long)totalRefs_));
     }
     return audit;
 }

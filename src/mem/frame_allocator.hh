@@ -29,6 +29,7 @@ struct FrameAudit
 {
     uint64_t liveFrames = 0;  ///< Allocated frames found by the walk.
     uint64_t freeFrames = 0;  ///< Materialized free frames found.
+    uint64_t liveRefs = 0;    ///< Sum of refcounts over live frames.
     bool consistent = true;   ///< All invariants held.
     std::string detail;       ///< First violated invariant, if any.
 };
@@ -98,6 +99,15 @@ class FrameAllocator
     uint64_t freeBytes() const { return capacity_ - usedBytes(); }
     uint64_t usedFrames() const { return usedFrames_; }
     uint64_t freeFrames() const { return totalFrames_ - usedFrames_; }
+
+    /**
+     * Total outstanding references across all live frames. With
+     * content dedup a frame counts once in usedFrames() however many
+     * checkpoints share it; this is the companion census that still
+     * moves by one per incRef/decRef, so
+     * totalRefs() - usedFrames() == extra references held by sharers.
+     */
+    uint64_t totalRefs() const { return totalRefs_; }
     const std::string &name() const { return name_; }
 
     /** Peak concurrent usage since construction/reset, in bytes. */
@@ -121,6 +131,7 @@ class FrameAllocator
     uint64_t capacity_;
     uint64_t totalFrames_;
     uint64_t usedFrames_ = 0;
+    uint64_t totalRefs_ = 0;
     uint64_t peakUsedFrames_ = 0;
     std::vector<Frame> frames_;
     std::vector<uint64_t> freeList_;

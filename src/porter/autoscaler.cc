@@ -13,6 +13,27 @@ namespace {
 
 constexpr uint64_t kShellBytes = 512ull << 10; // bare container shell
 
+/**
+ * Functions whose specs agree on everything that determines page
+ * content produce identical checkpoint pages (pageToken is independent
+ * of the tenant), so their checkpoints share frames under dedup.
+ */
+uint64_t
+contentKey(const faas::FunctionSpec &s)
+{
+    auto mix = [](uint64_t h, uint64_t v) {
+        return (h ^ v) * 0x9e3779b97f4a7c15ull;
+    };
+    uint64_t h = mix(0x5ee0u, s.seed);
+    h = mix(h, s.footprintBytes);
+    h = mix(h, s.workingSetBytes);
+    h = mix(h, uint64_t(s.initFrac * 1e9));
+    h = mix(h, uint64_t(s.roFrac * 1e9));
+    h = mix(h, uint64_t(s.libFracOfInit * 1e9));
+    h = mix(h, s.vmaCount);
+    return h;
+}
+
 } // namespace
 
 PorterSim::PorterSim(PorterConfig cfg,
@@ -33,12 +54,14 @@ PorterSim::PorterSim(PorterConfig cfg,
             uint64_t(double(cfg_.memPerNodeBytes) * cfg_.memoryScale);
     }
     fnStates_.resize(functions_.size());
-    for (FnState &f : fnStates_) {
+    for (size_t i = 0; i < fnStates_.size(); ++i) {
+        FnState &f = fnStates_[i];
         f.restorePolicy = cfg_.dynamicTiering
                               ? os::TieringPolicy::MigrateOnWrite
                               : cfg_.staticPolicy;
         if (cfg_.mechanism != Mechanism::CriuCxl)
             f.ghostsAvailable = cfg_.ghostsPerFunction;
+        f.contentGroup = contentKey(functions_[i]);
     }
 }
 
@@ -289,9 +312,7 @@ PorterSim::spawnAndRun(const Request &req, SimTime arrival)
     SimTime retryTime;
     if (viaRestore && cfg_.faults.corruptRestoreRate > 0.0 &&
         faultRng_.chance(cfg_.faults.corruptRestoreRate)) {
-        cxlUsed_ -= fn.checkpointBytes;
-        fn.checkpointed = false;
-        fn.checkpointBytes = 0;
+        releaseCheckpoint(fn);
         ++metrics_.corruptRestores;
         ++metrics_.degradedColdStarts;
         note("corrupt_restore", 0);
@@ -448,6 +469,55 @@ PorterSim::complete(uint64_t instanceId, const Request &req,
     drainMemQueue();
 }
 
+uint64_t
+PorterSim::checkpointNeedBytes(const FnState &fn,
+                               const PerfProfile &prof) const
+{
+    if (!cfg_.dedupCapacity)
+        return prof.checkpointCxlBytes;
+    const uint64_t shared =
+        std::min(prof.checkpointSharedCxlBytes, prof.checkpointCxlBytes);
+    const auto it = groupRefs_.find(fn.contentGroup);
+    const bool resident = it != groupRefs_.end() && it->second > 0;
+    return prof.checkpointCxlBytes - (resident ? shared : 0);
+}
+
+void
+PorterSim::chargeCheckpoint(FnState &fn, const PerfProfile &prof)
+{
+    uint64_t unique = prof.checkpointCxlBytes;
+    fn.sharedBytes = 0;
+    if (cfg_.dedupCapacity) {
+        const uint64_t shared = std::min(prof.checkpointSharedCxlBytes,
+                                         prof.checkpointCxlBytes);
+        if (shared > 0) {
+            unique -= shared;
+            fn.sharedBytes = shared;
+            // The shared layer occupies the device once per content
+            // group, however many tenant checkpoints reference it.
+            if (groupRefs_[fn.contentGroup]++ == 0)
+                cxlUsed_ += shared;
+        }
+    }
+    fn.checkpointed = true;
+    fn.checkpointBytes = unique;
+    cxlUsed_ += unique;
+}
+
+void
+PorterSim::releaseCheckpoint(FnState &fn)
+{
+    cxlUsed_ -= fn.checkpointBytes;
+    fn.checkpointed = false;
+    fn.checkpointBytes = 0;
+    if (fn.sharedBytes > 0) {
+        uint32_t &refs = groupRefs_[fn.contentGroup];
+        if (--refs == 0)
+            cxlUsed_ -= fn.sharedBytes;
+        fn.sharedBytes = 0;
+    }
+}
+
 void
 PorterSim::takeCheckpoint(uint32_t fnIdx, uint32_t node)
 {
@@ -457,8 +527,11 @@ PorterSim::takeCheckpoint(uint32_t fnIdx, uint32_t node)
 
     // Reclaim LRU checkpoints while the device cannot hold the new one
     // (Sec. 5: "CXLporter is also responsible for reclaiming
-    // checkpoints under CXL memory pressure").
-    while (cxlUsed_ + prof.checkpointCxlBytes > cfg_.cxlCapacityBytes) {
+    // checkpoints under CXL memory pressure"). The need is re-derived
+    // per iteration: evicting the last other member of this content
+    // group makes the shared layer chargeable again.
+    while (cxlUsed_ + checkpointNeedBytes(fn, prof) >
+           cfg_.cxlCapacityBytes) {
         uint32_t victim = ~0u;
         sim::SimTime oldest = events_.now() + sim::SimTime::sec(1);
         for (uint32_t i = 0; i < fnStates_.size(); ++i) {
@@ -472,20 +545,15 @@ PorterSim::takeCheckpoint(uint32_t fnIdx, uint32_t node)
         }
         if (victim == ~0u)
             return; // device full of busier checkpoints: skip for now
-        FnState &loser = fnStates_[victim];
-        cxlUsed_ -= loser.checkpointBytes;
-        loser.checkpointed = false;
-        loser.checkpointBytes = 0;
+        releaseCheckpoint(fnStates_[victim]);
         ++metrics_.checkpointsReclaimed;
         note("checkpoint_reclaim", node);
     }
 
     // Checkpoint taken now, off the request critical path. Mitosis
     // pins a shadow copy in the parent node's local memory as well.
-    fn.checkpointed = true;
-    fn.checkpointBytes = prof.checkpointCxlBytes;
+    chargeCheckpoint(fn, prof);
     fn.lastRestore = events_.now();
-    cxlUsed_ += prof.checkpointCxlBytes;
     metrics_.peakCxlBytes = std::max(metrics_.peakCxlBytes, cxlUsed_);
     ++metrics_.checkpointsTaken;
     note("checkpoint", node);

@@ -97,6 +97,16 @@ struct PorterConfig
      */
     uint64_t cxlCapacityBytes = mem::gib(16);
 
+    /**
+     * Account checkpoint residency content-deduplicated: the measured
+     * shared portion of a checkpoint (PerfProfile's
+     * checkpointSharedCxlBytes — the runtime layers tenants have in
+     * common) is charged against cxlCapacityBytes once per content
+     * group while any member checkpoint is resident, not once per
+     * checkpoint. Feeds the Fig. 10c memory-constrained comparison.
+     */
+    bool dedupCapacity = false;
+
     /** Failure injection; disabled (all-zero rates) by default. */
     PorterFaults faults;
 };
@@ -194,7 +204,12 @@ class PorterSim
     {
         uint64_t invocations = 0;
         bool checkpointed = false;
-        uint64_t checkpointBytes = 0;   ///< On the CXL device.
+        uint64_t checkpointBytes = 0;   ///< Charged to the device (the
+                                        ///< unique part under dedup).
+        uint64_t contentGroup = 0;      ///< Functions with equal keys
+                                        ///< share checkpoint content.
+        uint64_t sharedBytes = 0;       ///< Group-shared portion this
+                                        ///< checkpoint references.
         sim::SimTime lastRestore;       ///< For LRU reclamation.
         uint32_t ghostsAvailable = 0;
         os::TieringPolicy restorePolicy =
@@ -219,6 +234,10 @@ class PorterSim
     void controllerTick();
     void drainMemQueue();
     void takeCheckpoint(uint32_t fnIdx, uint32_t node);
+    uint64_t checkpointNeedBytes(const FnState &fn,
+                                 const PerfProfile &prof) const;
+    void chargeCheckpoint(FnState &fn, const PerfProfile &prof);
+    void releaseCheckpoint(FnState &fn);
     void scheduleCrashes(const std::vector<Request> &trace);
     void crashNode(uint32_t node);
     void recoverNode(uint32_t node);
@@ -241,6 +260,8 @@ class PorterSim
     std::map<uint64_t, CoreWaiter> coreWaiters_;
     sim::SimTime abitAccum_;
     uint64_t cxlUsed_ = 0;
+    /** Resident checkpoints per content group (dedupCapacity only). */
+    std::map<uint64_t, uint32_t> groupRefs_;
     sim::Rng faultRng_;
     PorterMetrics metrics_;
     sim::Tracer *tracer_ = nullptr;

@@ -6,9 +6,17 @@ namespace cxlfork::porter {
 
 Cluster::Cluster(const ClusterConfig &cfg)
     : cfg_(cfg), machine_(std::make_unique<mem::Machine>(cfg.machine)),
-      fabric_(std::make_unique<cxl::CxlFabric>(*machine_)),
+      fabric_(std::make_unique<cxl::CxlFabric>(*machine_, cfg.pageStore)),
       vfs_(std::make_shared<os::Vfs>())
 {
+    // Staged-manifest pins taken during checkpointPublished are real
+    // frame references; the journal releases them through the page
+    // store so a shared frame's index entry disappears only when its
+    // last owner lets go. checkpoints_ is declared after fabric_ and
+    // therefore destroyed first, so the capture cannot dangle.
+    checkpoints_.setManifestReleaser([this](uint64_t raw) {
+        fabric_->pageStore().release(mem::PhysAddr{raw});
+    });
     for (uint32_t i = 0; i < machine_->numNodes(); ++i) {
         nodes_.push_back(
             std::make_unique<os::NodeOs>(i, *machine_, vfs_, nsRegistry_));

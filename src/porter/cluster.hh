@@ -35,6 +35,13 @@ struct ClusterConfig
 {
     mem::MachineConfig machine;
     uint32_t coresPerNode = 8;
+
+    /**
+     * Content-dedup configuration for the fabric's page store. Off by
+     * default: every checkpoint page gets its own CXL frame, the
+     * pre-dedup behaviour.
+     */
+    cxl::PageStoreConfig pageStore;
 };
 
 /** The running cluster. */

@@ -19,13 +19,14 @@ constexpr const char *kFunction = "crashfn";
  * the frame allocators reserve metadata proportional to capacity.
  */
 ClusterConfig
-smallCluster()
+smallCluster(const CrashEnumConfig &cfg)
 {
     ClusterConfig cc;
     cc.machine.numNodes = 2;
     cc.machine.dramPerNodeBytes = mem::mib(128);
     cc.machine.cxlCapacityBytes = mem::mib(256);
     cc.machine.llcBytes = mem::mib(8);
+    cc.pageStore = cfg.pageStore;
     return cc;
 }
 
@@ -45,11 +46,16 @@ makeMechanism(Cluster &cluster, CrashMechanism m)
     sim::panic("unknown crash mechanism %u", unsigned(m));
 }
 
-/** Deterministic per-page content token. */
+/**
+ * Deterministic per-page content token. A nonzero period makes tokens
+ * repeat, so a dedup-enabled checkpoint shares frames between its own
+ * pages.
+ */
 uint64_t
-tokenFor(uint64_t i)
+tokenFor(uint64_t i, uint64_t period)
 {
-    return 0x9e3779b97f4a7c15ull * (i + 1) ^ 0xc0ffee;
+    const uint64_t j = period ? i % period : i;
+    return 0x9e3779b97f4a7c15ull * (j + 1) ^ 0xc0ffee;
 }
 
 struct ParentProc
@@ -59,18 +65,18 @@ struct ParentProc
 };
 
 ParentProc
-buildParent(Cluster &c, uint64_t heapPages)
+buildParent(Cluster &c, const CrashEnumConfig &cfg)
 {
     os::NodeOs &node0 = c.node(0);
     ParentProc p;
     p.task = node0.createTask(kFunction);
     os::Vma &heap =
-        node0.mapAnon(*p.task, heapPages * mem::kPageSize,
+        node0.mapAnon(*p.task, cfg.heapPages * mem::kPageSize,
                       os::kVmaRead | os::kVmaWrite, "heap");
     p.heapStart = heap.start;
-    for (uint64_t i = 0; i < heapPages; ++i)
+    for (uint64_t i = 0; i < cfg.heapPages; ++i)
         node0.write(*p.task, p.heapStart.plus(i * mem::kPageSize),
-                    tokenFor(i));
+                    tokenFor(i, cfg.tokenPeriod));
     return p;
 }
 
@@ -84,8 +90,9 @@ totalUsedFrames(mem::Machine &m)
 }
 
 bool
-auditAll(mem::Machine &m, std::string *detail)
+auditAll(Cluster &c, std::string *detail)
 {
+    mem::Machine &m = c.machine();
     const mem::FrameAudit cxlAudit = m.cxl().auditLive();
     if (!cxlAudit.consistent) {
         *detail = cxlAudit.detail;
@@ -97,6 +104,13 @@ auditAll(mem::Machine &m, std::string *detail)
             *detail = a.detail;
             return false;
         }
+    }
+    // The content index is bookkeeping over the same frames: a crash
+    // must never strand an index entry for a freed frame or vice versa.
+    const cxl::PageStoreAudit ps = c.fabric().pageStore().audit();
+    if (!ps.consistent) {
+        *detail = ps.detail;
+        return false;
     }
     return true;
 }
@@ -122,9 +136,9 @@ crashMechanismName(CrashMechanism m)
 uint64_t
 countCrashSites(const CrashEnumConfig &cfg)
 {
-    Cluster cluster(smallCluster());
+    Cluster cluster(smallCluster(cfg));
     auto mech = makeMechanism(cluster, cfg.mechanism);
-    ParentProc parent = buildParent(cluster, cfg.heapPages);
+    ParentProc parent = buildParent(cluster, cfg);
     sim::FaultInjector &faults = cluster.machine().faults();
     faults.beginCrashCount();
     mech->checkpointPublished(cluster.checkpoints(), {kUser, kFunction},
@@ -141,11 +155,11 @@ runCrashAtSite(const CrashEnumConfig &cfg, uint64_t site)
     CrashSiteResult r;
     r.site = site;
 
-    Cluster cluster(smallCluster());
+    Cluster cluster(smallCluster(cfg));
     mem::Machine &machine = cluster.machine();
     auto mech = makeMechanism(cluster, cfg.mechanism);
     const uint64_t baseline = totalUsedFrames(machine);
-    ParentProc parent = buildParent(cluster, cfg.heapPages);
+    ParentProc parent = buildParent(cluster, cfg);
     rfork::CheckpointStore &store = cluster.checkpoints();
     const rfork::PublishIdentity id{kUser, kFunction};
 
@@ -205,16 +219,17 @@ runCrashAtSite(const CrashEnumConfig &cfg, uint64_t site)
                 auto child = mech->restore(handle, target);
                 r.restored = true;
                 for (uint64_t i = 0; i < cfg.heapPages; ++i) {
+                    const uint64_t want = tokenFor(i, cfg.tokenPeriod);
                     const uint64_t got = target.read(
                         *child,
                         parent.heapStart.plus(i * mem::kPageSize));
-                    if (got != tokenFor(i)) {
+                    if (got != want) {
                         fail(sim::format(
                             "restored page %llu has token %#llx, want "
                             "%#llx",
                             (unsigned long long)i,
                             (unsigned long long)got,
-                            (unsigned long long)tokenFor(i)));
+                            (unsigned long long)want));
                         break;
                     }
                 }
@@ -241,7 +256,7 @@ runCrashAtSite(const CrashEnumConfig &cfg, uint64_t site)
         fail("frame usage fell below baseline (double free)");
     }
     std::string auditDetail;
-    if (!auditAll(machine, &auditDetail))
+    if (!auditAll(cluster, &auditDetail))
         fail("allocator audit failed: " + auditDetail);
     return r;
 }

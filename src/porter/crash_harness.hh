@@ -48,6 +48,17 @@ struct CrashEnumConfig
     CrashMechanism mechanism = CrashMechanism::CxlFork;
     uint64_t heapPages = 16; ///< Parent heap footprint, in pages.
     rfork::PublishPolicy policy = rfork::PublishPolicy::TwoPhase;
+
+    /** Page-store config for the fresh cluster each replay builds. */
+    cxl::PageStoreConfig pageStore;
+
+    /**
+     * When nonzero, heap page tokens repeat with this period, so with
+     * dedup enabled the checkpoint shares frames between its own pages
+     * — exercising crash recovery of manifest pins on shared frames.
+     * Zero keeps every page unique.
+     */
+    uint64_t tokenPeriod = 0;
 };
 
 /** What happened when the checkpoint crashed (or ran) at one site. */

@@ -107,7 +107,64 @@ PerfModel::measure(const FunctionSpec &spec, Mechanism mech,
     p.localBytesAfterExec = child->localBytes();
     p.warmExecLatency = child->invoke().latency;
 
+    p.checkpointSharedCxlBytes = measureSharedCxlBytes(spec, mech);
+
     return p;
+}
+
+uint64_t
+PerfModel::measureSharedCxlBytes(const FunctionSpec &spec,
+                                 Mechanism mech) const
+{
+    // Mitosis keeps page content in the parent node's DRAM; its device
+    // footprint is metadata only, so cross-tenant dedup saves nothing.
+    if (mech == Mechanism::MitosisCxl)
+        return 0;
+
+    // A dedup-enabled scratch world: checkpoint the same function
+    // content twice, as two tenants would, and compare what each
+    // checkpoint added to the device. The second delta is the unique
+    // (non-shareable) part; the difference is what dedup saves.
+    ClusterConfig cfg;
+    cfg.machine.numNodes = 2;
+    cfg.machine.dramPerNodeBytes = mem::gib(4);
+    cfg.machine.cxlCapacityBytes = mem::gib(4);
+    cfg.machine.costs = costs_;
+    cfg.pageStore.dedup = true;
+    Cluster cluster(cfg);
+    os::NodeOs &node0 = cluster.node(0);
+
+    std::unique_ptr<rfork::RemoteForkMechanism> rf;
+    if (mech == Mechanism::CriuCxl)
+        rf = std::make_unique<rfork::CriuCxl>(cluster.fabric());
+    else
+        rf = std::make_unique<rfork::CxlFork>(cluster.fabric());
+
+    // Both tenants follow measure()'s exact pre-checkpoint sequence so
+    // the checkpointed content matches the profiled checkpoint.
+    auto prepare = [&](const FunctionSpec &s) {
+        auto inst = FunctionInstance::deployCold(node0, s);
+        inst->invoke();
+        inst->invoke();
+        inst->task().mm().pageTable().clearAccessedBits(/*alsoDirty=*/true);
+        inst->invoke();
+        return inst;
+    };
+
+    mem::FrameAllocator &cxl = cluster.machine().cxl();
+    auto a = prepare(spec);
+    const uint64_t before1 = cxl.usedBytes();
+    auto h1 = rf->checkpoint(node0, a->task());
+    const uint64_t delta1 = cxl.usedBytes() - before1;
+
+    FunctionSpec peer = spec;
+    peer.user = spec.user + "+peer";
+    auto b = prepare(peer);
+    const uint64_t before2 = cxl.usedBytes();
+    auto h2 = rf->checkpoint(node0, b->task());
+    const uint64_t delta2 = cxl.usedBytes() - before2;
+
+    return delta1 > delta2 ? delta1 - delta2 : 0;
 }
 
 } // namespace cxlfork::porter

@@ -42,6 +42,16 @@ struct PerfProfile
     uint64_t checkpointCxlBytes = 0;  ///< Device footprint (shared).
     uint64_t checkpointLocalBytes = 0; ///< Pinned on the parent node
                                        ///< (Mitosis shadow copies).
+
+    /**
+     * Of checkpointCxlBytes, the bytes a second checkpoint of the same
+     * function content (another tenant on the shared runtime layers)
+     * finds already resident when content dedup is on. Measured, not
+     * derived: two same-content parents are checkpointed into a
+     * dedup-enabled scratch cluster and the device-usage deltas are
+     * compared. Zero for mechanisms that keep no content on the device.
+     */
+    uint64_t checkpointSharedCxlBytes = 0;
     sim::SimTime checkpointLatency;
     sim::SimTime coldStartLatency; ///< Full from-scratch deployment.
     sim::SimTime coldStartExec;    ///< First invocation after cold start.
@@ -77,6 +87,8 @@ class PerfModel
   private:
     PerfProfile measure(const faas::FunctionSpec &spec, Mechanism mech,
                         os::TieringPolicy policy) const;
+    uint64_t measureSharedCxlBytes(const faas::FunctionSpec &spec,
+                                   Mechanism mech) const;
 
     sim::CostParams costs_;
     std::mutex mu_;

@@ -9,17 +9,30 @@ namespace cxlfork::rfork {
 using os::Pte;
 using os::TablePage;
 
-CheckpointImage::CheckpointImage(mem::Machine &machine, std::string name)
-    : machine_(machine), name_(std::move(name))
+CheckpointImage::CheckpointImage(mem::Machine &machine, std::string name,
+                                 cxl::PageStore *pageStore)
+    : machine_(machine), name_(std::move(name)), pageStore_(pageStore)
 {
 }
 
 CheckpointImage::~CheckpointImage()
 {
-    for (mem::PhysAddr f : dataFrames_)
-        machine_.cxl().decRef(f);
-    for (mem::PhysAddr f : metaFrames_)
-        machine_.cxl().decRef(f);
+    // Data frames may be shared with other images through the page
+    // store; releasing through it un-indexes a frame only when the
+    // last owner lets go. Metadata frames are never content-indexed
+    // (release falls through to the plain allocator for them).
+    for (mem::PhysAddr f : dataFrames_) {
+        if (pageStore_)
+            pageStore_->release(f);
+        else
+            machine_.cxl().decRef(f);
+    }
+    for (mem::PhysAddr f : metaFrames_) {
+        if (pageStore_)
+            pageStore_->release(f);
+        else
+            machine_.cxl().decRef(f);
+    }
     for (auto &[base, leaf] : leaves_) {
         // The leaf's backing frame is one of our metadata frames only
         // if it was registered; images register leaf backings

@@ -47,7 +47,14 @@ struct ImageCrcs
 class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
 {
   public:
-    CheckpointImage(mem::Machine &machine, std::string name);
+    /**
+     * When a page store is given the image releases its frames through
+     * it, keeping the content index exact for frames it shares with
+     * other images; without one it returns frames straight to the
+     * allocator (the pre-dedup behaviour).
+     */
+    CheckpointImage(mem::Machine &machine, std::string name,
+                    cxl::PageStore *pageStore = nullptr);
     ~CheckpointImage() override;
 
     CheckpointImage(const CheckpointImage &) = delete;
@@ -166,6 +173,7 @@ class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
   private:
     mem::Machine &machine_;
     std::string name_;
+    cxl::PageStore *pageStore_ = nullptr;
     bool activated_ = false;
     std::map<uint64_t, std::shared_ptr<os::TablePage>> leaves_;
     std::vector<mem::PhysAddr> dataFrames_;

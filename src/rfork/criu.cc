@@ -66,7 +66,13 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     // Cache the image files in the shared in-CXL filesystem (the write
     // cost is charged by SharedFs).
     machine.faults().crashPoint("criu.serialize");
-    fabric_.sharedFs().write(name, enc.take(), simBytes, clock);
+    const cxl::CxlFsFile &file =
+        fabric_.sharedFs().write(name, enc.take(), simBytes, clock);
+    // The image file's cache frames (possibly shared with other images
+    // through the page store) go on the STAGED manifest so a crash
+    // between here and publish releases them exactly once.
+    for (mem::PhysAddr f : file.frames)
+        manifestPage(node, f);
     handle->setContents(simBytes, image.pages.size(), records);
     machine.faults().crashPoint("criu.commit");
     handle->markCommitted();

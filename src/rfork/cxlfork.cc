@@ -34,7 +34,9 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
         clock, node.id(), "cxlfork.checkpoint", "rfork.checkpoint");
     ckptSpan.attr("task", parent.name());
 
-    auto img = std::make_shared<CheckpointImage>(machine, parent.name());
+    cxl::PageStore &pages = fabric_.pageStore();
+    auto img = std::make_shared<CheckpointImage>(machine, parent.name(),
+                                                &pages);
     // Under checkpointPublished the empty image is STAGED now, before
     // any frame is allocated: a crash at any later site leaves every
     // frame reachable through the store's journal, never leaked.
@@ -50,6 +52,7 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
         const mem::PhysAddr leafBacking =
             machine.cxl().alloc(mem::FrameUse::PageTable);
         img->addMetaFrame(leafBacking);
+        manifestPage(node, leafBacking);
         auto ckptLeaf =
             std::make_shared<TablePage>(0, leafBacking, false);
         uint32_t present = 0;
@@ -59,21 +62,31 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
                 continue;
             ++present;
             mem::PhysAddr replica;
-            if (cfg_.dedupUnmodified && src.cxlCheckpoint()) {
+            if (cfg_.dedupUnmodified && src.cxlCheckpoint() &&
+                !pages.dedupEnabled()) {
                 // Re-checkpoint of a restored clone: the page is still
                 // the (immutable) original on the device — share it.
+                // With the content index on, the intern path below
+                // reaches the same frame by content and counts the hit.
                 replica = src.frame();
-                machine.cxl().incRef(replica);
+                pages.ref(replica);
                 img->addDataFrame(replica);
             } else {
                 const uint64_t content =
                     machine.frame(src.frame()).content;
-                replica = machine.cxl().alloc(mem::FrameUse::Data, content);
+                const cxl::InternResult r =
+                    pages.intern(content, mem::FrameUse::Data, clock);
+                replica = r.addr;
                 img->addDataFrame(replica);
-                machine.cxlTransaction(clock, "cxlfork checkpoint copy");
-                clock.advance(costs.cxlWrite(kPageSize));
-                cs.bytesToCxl += kPageSize;
+                if (!r.shared) {
+                    // Only a fresh frame pays the non-temporal copy; a
+                    // dedup hit already holds the bytes on the device.
+                    machine.cxlTransaction(clock, "cxlfork checkpoint copy");
+                    clock.advance(costs.cxlWrite(kPageSize));
+                    cs.bytesToCxl += kPageSize;
+                }
             }
+            manifestPage(node, replica);
             ++cs.pages;
 
             Pte dst = Pte::make(replica, false);
@@ -120,8 +133,12 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     auto vmaSet = std::make_shared<os::SharedVmaSet>(std::move(vmaRecords));
     cs.vmas = vmaSet->size();
     const uint64_t vmaBytes = vmaSet->footprintBytes();
-    for (uint64_t i = 0; i < mem::pagesFor(vmaBytes); ++i)
-        img->addMetaFrame(machine.cxl().alloc(mem::FrameUse::Metadata));
+    for (uint64_t i = 0; i < mem::pagesFor(vmaBytes); ++i) {
+        const mem::PhysAddr f =
+            machine.cxl().alloc(mem::FrameUse::Metadata);
+        img->addMetaFrame(f);
+        manifestPage(node, f);
+    }
     clock.advance(costs.cxlWrite(vmaBytes));
     cs.bytesToCxl += vmaBytes;
     img->setVmaSet(std::move(vmaSet));
@@ -132,8 +149,12 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     proto::Encoder enc;
     global.encode(enc);
     const uint64_t globalBytes = global.simulatedBytes();
-    for (uint64_t i = 0; i < mem::pagesFor(globalBytes); ++i)
-        img->addMetaFrame(machine.cxl().alloc(mem::FrameUse::Metadata));
+    for (uint64_t i = 0; i < mem::pagesFor(globalBytes); ++i) {
+        const mem::PhysAddr f =
+            machine.cxl().alloc(mem::FrameUse::Metadata);
+        img->addMetaFrame(f);
+        manifestPage(node, f);
+    }
     clock.advance(costs.serializeCost(globalBytes) +
                   costs.serializeRecord * double(global.recordCount()) +
                   costs.cxlWrite(globalBytes));
@@ -144,7 +165,10 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     img->setCpu(parent.cpu());
     for (uint64_t i = 0; i < mem::pagesFor(proto::CpuMsg::simulatedBytes());
          ++i) {
-        img->addMetaFrame(machine.cxl().alloc(mem::FrameUse::Metadata));
+        const mem::PhysAddr f =
+            machine.cxl().alloc(mem::FrameUse::Metadata);
+        img->addMetaFrame(f);
+        manifestPage(node, f);
     }
     clock.advance(costs.cxlWrite(proto::CpuMsg::simulatedBytes()));
     cs.bytesToCxl += proto::CpuMsg::simulatedBytes();

@@ -66,6 +66,18 @@ RemoteForkMechanism::stageHandle(
     machine.faults().crashPoint("journal.staged");
 }
 
+void
+RemoteForkMechanism::manifestPage(os::NodeOs &node, mem::PhysAddr addr)
+{
+    if (!pubCtx_ || pubCtx_->stagedCid == 0)
+        return; // plain checkpoint(): images own their frames outright
+    // appendManifest() refuses for PUBLISHED records (DirectPutUnsafe
+    // published at stage time) and journals without a releaser; a pin
+    // is taken only when its release is guaranteed.
+    if (pubCtx_->store->appendManifest(pubCtx_->stagedCid, addr.raw))
+        node.machine().cxl().incRef(addr);
+}
+
 PublishedCheckpoint
 RemoteForkMechanism::checkpointPublished(
     CheckpointStore &store, const PublishIdentity &id, os::NodeOs &node,

@@ -225,6 +225,16 @@ class RemoteForkMechanism
     void stageHandle(const std::shared_ptr<CheckpointHandle> &handle,
                      os::NodeOs &node);
 
+    /**
+     * Record one CXL frame the half-built checkpoint just pinned.
+     * Inside checkpointPublished() with a journal that accepts staged
+     * manifests, this appends the frame to the STAGED record's page
+     * manifest and takes one extra reference on it — the crash-durable
+     * pin that recovery releases exactly once. A plain checkpoint()
+     * (or a store without a manifest releaser) makes this a free no-op.
+     */
+    void manifestPage(os::NodeOs &node, mem::PhysAddr addr);
+
   private:
     struct PublishContext
     {

@@ -156,16 +156,81 @@ TEST(CrashEnum, DirectPutUnsafeFailsTheEnumeration)
     EXPECT_TRUE(sawTornExposure);
 }
 
+// --- The sweep again with content dedup on.
+//
+// tokenPeriod folds the heap contents onto four distinct tokens, so
+// the page store takes shared references (and walks its pagestore.hit
+// crash site) during every checkpoint build. Recovery must release the
+// staged manifest's refcounts exactly once: a double release trips the
+// allocator audit (refcount underflow / early free), a missed one
+// trips the census check (frames still held after reclamation), and
+// auditAll() additionally cross-checks the store's content index.
+
+CrashEnumConfig
+dedupConfigFor(CrashMechanism m,
+               rfork::PublishPolicy policy = rfork::PublishPolicy::TwoPhase)
+{
+    CrashEnumConfig cfg = configFor(m, policy);
+    cfg.pageStore.dedup = true;
+    cfg.tokenPeriod = 4;
+    return cfg;
+}
+
+TEST(CrashEnumDedup, SiteCountIsDeterministic)
+{
+    const CrashEnumConfig cfg = dedupConfigFor(CrashMechanism::CxlFork);
+    const uint64_t a = countCrashSites(cfg);
+    EXPECT_EQ(a, countCrashSites(cfg));
+    EXPECT_GE(a, kHeapPages + 4);
+}
+
+TEST(CrashEnumDedup, EverySiteRecoversCxlFork)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(dedupConfigFor(CrashMechanism::CxlFork));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_EQ(rep.results.size(), rep.sites + 1);
+    const CrashSiteResult &control = rep.results.back();
+    EXPECT_FALSE(control.crashed);
+    EXPECT_TRUE(control.imageAvailable);
+    EXPECT_TRUE(control.restored);
+}
+
+TEST(CrashEnumDedup, EverySiteRecoversCriu)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(dedupConfigFor(CrashMechanism::Criu));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_TRUE(rep.results.back().restored);
+}
+
+TEST(CrashEnumDedup, SharedHeapStillRecoversWithoutDedup)
+{
+    // Control: the same folded heap without the content index. Proves
+    // any dedup-sweep failure is the store's, not the workload's.
+    CrashEnumConfig cfg = configFor(CrashMechanism::CxlFork);
+    cfg.tokenPeriod = 4;
+    const CrashEnumReport rep = enumerateCrashSites(cfg);
+    EXPECT_TRUE(rep.pass) << describe(rep);
+}
+
+TEST(CrashEnumDedup, DirectPutUnsafeStillFailsTheEnumeration)
+{
+    // The harness keeps its teeth with dedup on: reverting two-phase
+    // publication must still be caught.
+    const CrashEnumReport rep = enumerateCrashSites(dedupConfigFor(
+        CrashMechanism::CxlFork, rfork::PublishPolicy::DirectPutUnsafe));
+    EXPECT_FALSE(rep.pass);
+}
+
 TEST(CrashEnum, CrashMetricsLandInMachineRegistry)
 {
-    Cluster cluster({[] {
-        mem::MachineConfig mc;
-        mc.numNodes = 2;
-        mc.dramPerNodeBytes = mem::mib(128);
-        mc.cxlCapacityBytes = mem::mib(256);
-        mc.llcBytes = mem::mib(8);
-        return mc;
-    }()});
+    ClusterConfig cc;
+    cc.machine.numNodes = 2;
+    cc.machine.dramPerNodeBytes = mem::mib(128);
+    cc.machine.cxlCapacityBytes = mem::mib(256);
+    cc.machine.llcBytes = mem::mib(8);
+    Cluster cluster(cc);
     sim::FaultInjector &faults = cluster.machine().faults();
     faults.beginCrashCount();
     faults.crashPoint("a");

@@ -10,7 +10,8 @@ namespace {
 TEST(SharedFs, WriteOpenRemove)
 {
     mem::Machine machine{mem::MachineConfig{}};
-    SharedFs fs(machine);
+    PageStore pages(machine);
+    SharedFs fs(machine, pages);
     sim::SimClock clock;
 
     std::vector<uint8_t> data{1, 2, 3};
@@ -37,7 +38,8 @@ TEST(SharedFs, FilesConsumeDeviceCapacity)
     mem::MachineConfig cfg;
     cfg.cxlCapacityBytes = mem::mib(2);
     mem::Machine machine{cfg};
-    SharedFs fs(machine);
+    PageStore pages(machine);
+    SharedFs fs(machine, pages);
     sim::SimClock clock;
     fs.write("a", {}, mem::mib(1), clock);
     EXPECT_THROW(fs.write("b", {}, mem::mib(2), clock), sim::FatalError);
@@ -46,7 +48,8 @@ TEST(SharedFs, FilesConsumeDeviceCapacity)
 TEST(SharedFs, OverwriteReplacesAndFreesOldFrames)
 {
     mem::Machine machine{mem::MachineConfig{}};
-    SharedFs fs(machine);
+    PageStore pages(machine);
+    SharedFs fs(machine, pages);
     sim::SimClock clock;
     fs.write("a", {1}, mem::mib(4), clock);
     fs.write("a", {2}, mem::mib(1), clock);
@@ -173,6 +176,128 @@ TEST(ObjectStore, RecoverOrphansCompletesOrReclaims)
     EXPECT_FALSE(store.lookup("u", "other").has_value());
     EXPECT_NE(store.get(other), nullptr);
     EXPECT_EQ(store.stagedCount(), 1u); // node 1's orphan untouched
+}
+
+// --- The staged page manifest (crash-durable dedup refcounts).
+
+/** Counts releases per pin so exactly-once is directly observable. */
+struct ReleaseLog
+{
+    std::map<uint64_t, uint64_t> releases;
+
+    void install(ObjectStore<int> &store)
+    {
+        store.setManifestReleaser(
+            [this](uint64_t addr) { ++releases[addr]; });
+    }
+
+    uint64_t total() const
+    {
+        uint64_t n = 0;
+        for (const auto &[addr, c] : releases)
+            n += c;
+        return n;
+    }
+};
+
+TEST(ObjectStoreManifest, RefusesWithoutReleaser)
+{
+    // No releaser installed: recording a pin would strand the caller's
+    // extra frame reference, so the append must refuse.
+    ObjectStore<int> store;
+    const Cid cid = store.stage("u", "f", std::make_shared<int>(1));
+    EXPECT_FALSE(store.appendManifest(cid, 0x1000));
+    EXPECT_EQ(store.manifestSize(cid), 0u);
+}
+
+TEST(ObjectStoreManifest, RefusesUnknownAndPublishedCids)
+{
+    ObjectStore<int> store;
+    ReleaseLog log;
+    log.install(store);
+
+    EXPECT_FALSE(store.appendManifest(999, 0x1000)); // unknown CID
+
+    // put() publishes at stage time (the DirectPutUnsafe shape): a
+    // PUBLISHED record takes no pins.
+    const Cid direct = store.put("u", "direct", std::make_shared<int>(2));
+    EXPECT_FALSE(store.appendManifest(direct, 0x2000));
+    EXPECT_EQ(store.manifestSize(direct), 0u);
+
+    const Cid staged = store.stage("u", "f", std::make_shared<int>(3));
+    EXPECT_TRUE(store.appendManifest(staged, 0x3000));
+    store.publish(staged);
+    EXPECT_FALSE(store.appendManifest(staged, 0x4000));
+    EXPECT_EQ(log.releases[0x3000], 1u); // publish released the pin
+    EXPECT_EQ(log.releases.count(0x4000), 0u);
+}
+
+TEST(ObjectStoreManifest, PublishReleasesEachPinExactlyOnce)
+{
+    ObjectStore<int> store;
+    ReleaseLog log;
+    log.install(store);
+    const Cid cid = store.stage("u", "f", std::make_shared<int>(1));
+    for (uint64_t a : {0x1000ull, 0x2000ull, 0x2000ull, 0x3000ull})
+        ASSERT_TRUE(store.appendManifest(cid, a));
+    EXPECT_EQ(store.manifestSize(cid), 4u);
+
+    store.publish(cid);
+    EXPECT_EQ(store.manifestSize(cid), 0u);
+    // The duplicate entry held its own reference: released twice, the
+    // others once — 4 releases for 4 pins.
+    EXPECT_EQ(log.releases[0x1000], 1u);
+    EXPECT_EQ(log.releases[0x2000], 2u);
+    EXPECT_EQ(log.releases[0x3000], 1u);
+
+    // Republish, reclaim, and destruction add nothing.
+    store.publish(cid);
+    store.reclaim(cid);
+    EXPECT_EQ(log.total(), 4u);
+}
+
+TEST(ObjectStoreManifest, ReclaimAndRecoveryReleaseExactlyOnce)
+{
+    ReleaseLog log;
+    {
+        ObjectStore<int> store;
+        log.install(store);
+
+        // reclaim() of a STAGED record.
+        const Cid dropped = store.stage("u", "drop",
+                                        std::make_shared<int>(1), 0);
+        ASSERT_TRUE(store.appendManifest(dropped, 0xa000));
+        store.reclaim(dropped);
+        EXPECT_EQ(log.releases[0xa000], 1u);
+
+        // Recovery completion (verify true) and garbage-collection
+        // (verify false) both release exactly once.
+        const Cid good = store.stage("u", "good",
+                                     std::make_shared<int>(1), 0);
+        const Cid torn = store.stage("u", "torn",
+                                     std::make_shared<int>(-1), 0);
+        ASSERT_TRUE(store.appendManifest(good, 0xb000));
+        ASSERT_TRUE(store.appendManifest(torn, 0xc000));
+        const RecoveryReport rep = store.recoverOrphans(
+            0, [](const std::shared_ptr<int> &v) { return *v >= 0; });
+        EXPECT_EQ(rep.completed, 1u);
+        EXPECT_EQ(rep.reclaimed, 1u);
+        EXPECT_EQ(log.releases[0xb000], 1u);
+        EXPECT_EQ(log.releases[0xc000], 1u);
+        // A second pass scans nothing and releases nothing.
+        store.recoverOrphans(0, [](const std::shared_ptr<int> &) {
+            return true;
+        });
+        EXPECT_EQ(log.total(), 3u);
+
+        // A still-STAGED record at destruction: the dtor returns its
+        // pin (pins die with the store).
+        const Cid orphan = store.stage("u", "orphan",
+                                       std::make_shared<int>(1), 1);
+        ASSERT_TRUE(store.appendManifest(orphan, 0xd000));
+    }
+    EXPECT_EQ(log.releases[0xd000], 1u);
+    EXPECT_EQ(log.total(), 4u);
 }
 
 TEST(Fabric, TracksDeviceUsage)

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The scaling bench used to *derive* its dedup factor from footprint
+ * arithmetic: (what N CRIU worlds would replicate) / (CXL image + N
+ * local residencies). That expression is a lower bound — it assumes
+ * every page inside one image is unique and that clones share nothing
+ * beyond the original image. The measured factor from the content
+ * index's cxl.dedup.* counters (pages interned / unique pages stored)
+ * also sees intra-image duplicates and clone re-checkpoint hits, so on
+ * the same workload it must dominate the old arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "faas/function.hh"
+#include "faas/workloads.hh"
+#include "porter/cluster.hh"
+#include "rfork/cxlfork.hh"
+#include "sim/metrics.hh"
+
+namespace cxlfork {
+namespace {
+
+TEST(DedupScaling, MeasuredFactorDominatesArithmeticBound)
+{
+    // The scaling bench's workload and cluster shape at its smallest
+    // sweep point.
+    const faas::FunctionSpec fn = *faas::findWorkload("Rnn");
+    const uint32_t nodes = 2;
+
+    porter::ClusterConfig cfg;
+    cfg.machine.numNodes = nodes;
+    cfg.machine.dramPerNodeBytes = mem::gib(1);
+    cfg.machine.cxlCapacityBytes = mem::gib(2);
+    cfg.pageStore.dedup = true;
+    porter::Cluster cluster(cfg);
+
+    auto parent = faas::FunctionInstance::deployCold(cluster.node(0), fn);
+    parent->invoke();
+    rfork::CxlFork cxlf(cluster.fabric());
+    auto handle = cxlf.checkpoint(cluster.node(0), parent->task());
+    parent->destroy();
+
+    uint64_t localPerNode = 0;
+    std::vector<std::unique_ptr<faas::FunctionInstance>> clones;
+    std::vector<std::shared_ptr<rfork::CheckpointHandle>> reckpts;
+    for (uint32_t n = 0; n < nodes; ++n) {
+        auto task = cxlf.restore(handle, cluster.node(n));
+        auto inst = faas::FunctionInstance::adoptRestored(cluster.node(n),
+                                                          fn, task);
+        inst->invoke();
+        localPerNode = inst->localBytes();
+        reckpts.push_back(cxlf.checkpoint(cluster.node(n), inst->task()));
+        clones.push_back(std::move(inst));
+    }
+
+    sim::MetricsRegistry &mm = cluster.machine().metrics();
+    const uint64_t hits = mm.counter("cxl.dedup.hits").value();
+    const uint64_t unique = mm.counter("cxl.dedup.unique").value();
+    ASSERT_GT(unique, 0u);
+    ASSERT_GT(hits, 0u);
+    const double measured = double(hits + unique) / double(unique);
+
+    // The bench's old derived factor on the same numbers.
+    const double mb = double(1 << 20);
+    const double criuWorldMb = double(nodes) * double(fn.footprintBytes) / mb;
+    const double cxlMb = double(handle->cxlBytes()) / mb;
+    const double localMbPerNode = double(localPerNode) / mb;
+    const double arithmetic =
+        criuWorldMb / (cxlMb + double(nodes) * localMbPerNode);
+
+    EXPECT_GT(arithmetic, 0.0);
+    EXPECT_GE(measured, arithmetic)
+        << "measured " << measured << "x fell below the arithmetic "
+        << "lower bound " << arithmetic << "x";
+    // And it is a real dedup factor, not a degenerate 1.0.
+    EXPECT_GT(measured, 1.0);
+
+    // bytes_saved must agree with the hit count exactly.
+    EXPECT_EQ(mm.counter("cxl.dedup.bytes_saved").value(),
+              hits * mem::kPageSize);
+}
+
+} // namespace
+} // namespace cxlfork

@@ -78,6 +78,62 @@ TEST_F(PorterFeatureTest, NoReclamationWithAmpleCxl)
     EXPECT_EQ(m.checkpointsTaken, 2u);
 }
 
+TEST_F(PorterFeatureTest, DedupCapacityChargesSharedLayersOnce)
+{
+    // Three tenants of the same function content (equal specs, names
+    // aside) all checkpoint. With dedupCapacity, the measured shared
+    // portion is charged against the device once per content group, so
+    // peak CXL residency drops by exactly (tenants-1) x shared.
+    auto run = [&](bool dedup) {
+        PorterConfig cfg;
+        cfg.mechanism = Mechanism::CxlFork;
+        cfg.checkpointAfterInvocations = 2;
+        cfg.dedupCapacity = dedup;
+        FunctionSpec a = spec("tenant0", 24);
+        FunctionSpec b = a;
+        b.name = "tenant1";
+        FunctionSpec c = a;
+        c.name = "tenant2";
+        PorterSim sim(cfg, {a, b, c}, perf);
+        return sim.run(trace({"tenant0", "tenant1", "tenant2"}, 30, 15));
+    };
+    const auto off = run(false);
+    const auto on = run(true);
+    ASSERT_EQ(off.checkpointsReclaimed, 0u); // ample capacity
+    ASSERT_EQ(on.checkpointsReclaimed, 0u);
+    ASSERT_GE(off.checkpointsTaken, 3u);
+    EXPECT_EQ(on.checkpointsTaken, off.checkpointsTaken);
+
+    const PerfProfile &prof = perf.profile(
+        spec("tenant0", 24), Mechanism::CxlFork,
+        os::TieringPolicy::MigrateOnWrite);
+    ASSERT_GT(prof.checkpointSharedCxlBytes, 0u);
+    ASSERT_LE(prof.checkpointSharedCxlBytes, prof.checkpointCxlBytes);
+    EXPECT_EQ(off.peakCxlBytes - on.peakCxlBytes,
+              2 * prof.checkpointSharedCxlBytes);
+}
+
+TEST_F(PorterFeatureTest, DedupCapacityReleaseIsBalanced)
+{
+    // Under pressure, reclamation must release exactly what charging
+    // charged: the shared portion returns only when the last group
+    // member leaves, and usage never wedges above capacity.
+    PorterConfig cfg;
+    cfg.mechanism = Mechanism::CxlFork;
+    cfg.checkpointAfterInvocations = 2;
+    cfg.cxlCapacityBytes = mem::mib(40);
+    cfg.dedupCapacity = true;
+    FunctionSpec a = spec("tenant0", 24);
+    FunctionSpec b = a;
+    b.name = "tenant1";
+    FunctionSpec d = spec("other", 24); // different seed: its own group
+    PorterSim sim(cfg, {a, b, d}, perf);
+    const auto m = sim.run(trace({"tenant0", "tenant1", "other"}, 30, 15));
+    EXPECT_GT(m.checkpointsTaken, 0u);
+    EXPECT_LE(m.peakCxlBytes, mem::mib(40));
+    EXPECT_EQ(m.latency.count(), m.requests);
+}
+
 TEST_F(PorterFeatureTest, DynamicTieringPromotesSlowFunctions)
 {
     // A function whose working set spills the LLC: MoW warm exec is

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Property/fuzz tests for the content-addressed page store.
+ *
+ * Random interleavings of intern / ref / release are replayed against a
+ * shadow model that tracks every outstanding reference by hand. After
+ * every step (and at the end) the invariants must hold:
+ *  - each frame's allocator refcount equals the live references the
+ *    shadow model holds on it (no frame freed while referenced, none
+ *    leaked after its last release);
+ *  - the store's census (uniquePages) equals the number of distinct
+ *    live contents, and audit() stays consistent;
+ *  - the allocator's global census (auditLive / totalRefs) agrees.
+ *
+ * hashBits is narrowed to force hash collisions, so the byte-compare
+ * confirmation path runs constantly: two different contents that hash
+ * to one bucket must never alias.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cxl/page_store.hh"
+#include "mem/machine.hh"
+#include "sim/rng.hh"
+#include "test_util.hh"
+
+namespace cxlfork::cxl {
+namespace {
+
+/** One outstanding reference the model took and must return. */
+struct Ref
+{
+    mem::PhysAddr addr{0};
+    uint64_t content = 0;
+};
+
+struct Shadow
+{
+    /** frame -> references we hold on it. */
+    std::map<uint64_t, uint64_t> refs;
+    std::vector<Ref> live;
+
+    void take(mem::PhysAddr addr, uint64_t content)
+    {
+        ++refs[addr.raw];
+        live.push_back({addr, content});
+    }
+
+    /** Drop the i-th live reference; true if we expect the frame freed. */
+    bool drop(size_t i, mem::PhysAddr *addr)
+    {
+        *addr = live[i].addr;
+        live.erase(live.begin() + ptrdiff_t(i));
+        auto it = refs.find(addr->raw);
+        if (--it->second == 0) {
+            refs.erase(it);
+            return true;
+        }
+        return false;
+    }
+
+    uint64_t distinctLiveContents() const
+    {
+        std::map<uint64_t, uint64_t> byContent;
+        for (const Ref &r : live)
+            byContent[r.content] = r.addr.raw;
+        return byContent.size();
+    }
+};
+
+void
+checkInvariants(mem::Machine &machine, const PageStore &store,
+                const Shadow &shadow)
+{
+    // Per-frame: allocator refcount == shadow references.
+    for (const auto &[raw, expect] : shadow.refs) {
+        const mem::Frame &f = machine.frame(mem::PhysAddr{raw});
+        ASSERT_EQ(f.refcount, expect)
+            << "frame " << std::hex << raw << " refcount drifted";
+    }
+    // Census: with dedup on, live indexed pages == distinct contents.
+    if (store.dedupEnabled()) {
+        ASSERT_EQ(store.uniquePages(), shadow.distinctLiveContents());
+        // Each distinct live content maps to exactly one frame.
+        std::map<uint64_t, uint64_t> contentToFrame;
+        for (const Ref &r : shadow.live) {
+            auto [it, fresh] =
+                contentToFrame.emplace(r.content, r.addr.raw);
+            ASSERT_EQ(it->second, r.addr.raw)
+                << "content " << std::hex << r.content
+                << " aliased to two frames";
+        }
+    }
+    const PageStoreAudit a = store.audit();
+    ASSERT_TRUE(a.consistent) << a.detail;
+    const mem::FrameAudit fa = machine.cxl().auditLive();
+    ASSERT_TRUE(fa.consistent) << fa.detail;
+}
+
+struct FuzzParam
+{
+    uint64_t seed;
+    uint32_t hashBits; ///< Narrow to force collisions.
+    bool dedup;
+};
+
+class PageStoreFuzz : public ::testing::TestWithParam<FuzzParam>
+{
+};
+
+TEST_P(PageStoreFuzz, RandomInterleavingPreservesInvariants)
+{
+    const FuzzParam param = GetParam();
+    mem::MachineConfig cfg = test::smallConfig();
+    mem::Machine machine(cfg);
+    PageStoreConfig psCfg;
+    psCfg.dedup = param.dedup;
+    psCfg.hashBits = param.hashBits;
+    PageStore store(machine, psCfg);
+    sim::SimClock clock;
+    sim::Rng rng(param.seed);
+    Shadow shadow;
+
+    // A narrow palette maximizes both genuine hits (same content) and,
+    // under 2-4 hash bits, bucket collisions between different contents.
+    const uint64_t paletteBase = rng.raw() | 1;
+    const uint32_t paletteSize = 1 + uint32_t(rng.index(24));
+
+    const uint64_t baseUsed = machine.cxl().usedFrames();
+    for (uint32_t step = 0; step < 600; ++step) {
+        const double roll = rng.uniform();
+        if (roll < 0.45 || shadow.live.empty()) {
+            // intern a palette page (often a duplicate).
+            const uint64_t content =
+                paletteBase + rng.index(paletteSize);
+            const InternResult r =
+                store.intern(content, mem::FrameUse::Data, clock);
+            ASSERT_NE(r.addr.raw, 0u);
+            if (r.shared) {
+                // A shared hit must hand back a frame already holding
+                // exactly these bytes.
+                ASSERT_TRUE(param.dedup);
+                ASSERT_EQ(machine.frame(r.addr).content, content);
+            }
+            ASSERT_EQ(machine.frame(r.addr).content, content);
+            shadow.take(r.addr, content);
+        } else if (roll < 0.60) {
+            // Extra reference on a random live frame.
+            const size_t i = rng.index(shadow.live.size());
+            const Ref &r = shadow.live[i];
+            store.ref(r.addr);
+            shadow.take(r.addr, r.content);
+        } else {
+            // Release a random outstanding reference.
+            const size_t i = rng.index(shadow.live.size());
+            mem::PhysAddr addr;
+            const bool expectFreed = shadow.drop(i, &addr);
+            const bool freed = store.release(addr);
+            ASSERT_EQ(freed, expectFreed)
+                << "frame " << std::hex << addr.raw
+                << (expectFreed ? " freed late" : " freed early");
+        }
+        if (step % 16 == 0)
+            checkInvariants(machine, store, shadow);
+    }
+    checkInvariants(machine, store, shadow);
+
+    // Drain: returning every outstanding reference frees every frame.
+    while (!shadow.live.empty()) {
+        mem::PhysAddr addr;
+        const bool expectFreed =
+            shadow.drop(shadow.live.size() - 1, &addr);
+        ASSERT_EQ(store.release(addr), expectFreed);
+    }
+    ASSERT_EQ(store.uniquePages(), 0u);
+    ASSERT_EQ(machine.cxl().usedFrames(), baseUsed);
+    const PageStoreAudit a = store.audit();
+    ASSERT_TRUE(a.consistent) << a.detail;
+}
+
+std::vector<FuzzParam>
+params()
+{
+    std::vector<FuzzParam> out;
+    uint64_t seed = 0xfeed'0001;
+    // Dedup on, across hash widths: 2-4 bits force constant bucket
+    // collisions; 64 bits is the production shape.
+    for (uint32_t bits : {2u, 3u, 4u, 16u, 64u})
+        for (int i = 0; i < 3; ++i)
+            out.push_back({seed++, bits, true});
+    // Dedup off: pure pass-through, still refcount-clean.
+    for (int i = 0; i < 3; ++i)
+        out.push_back({seed++, 64u, false});
+    return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Interleavings, PageStoreFuzz,
+                         ::testing::ValuesIn(params()));
+
+/** Distinct contents forced into one bucket must never alias. */
+TEST(PageStoreCollision, ByteCompareRejectsHashAliases)
+{
+    mem::Machine machine(test::smallConfig());
+    PageStoreConfig cfg;
+    cfg.dedup = true;
+    cfg.hashBits = 1; // two buckets: collisions guaranteed
+    PageStore store(machine, cfg);
+    sim::SimClock clock;
+
+    std::vector<InternResult> results;
+    std::vector<uint64_t> contents;
+    for (uint64_t c = 1; c <= 64; ++c) {
+        contents.push_back(0xc0de'0000 + c);
+        results.push_back(
+            store.intern(contents.back(), mem::FrameUse::Data, clock));
+    }
+    // All 64 contents are distinct: none may share, all must coexist.
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_FALSE(results[i].shared);
+        EXPECT_EQ(machine.frame(results[i].addr).content, contents[i]);
+    }
+    EXPECT_EQ(store.uniquePages(), contents.size());
+
+    // Interning each content again shares despite the bucket pileup.
+    for (size_t i = 0; i < contents.size(); ++i) {
+        const InternResult again =
+            store.intern(contents[i], mem::FrameUse::Data, clock);
+        EXPECT_TRUE(again.shared);
+        EXPECT_EQ(again.addr.raw, results[i].addr.raw);
+        store.release(again.addr);
+    }
+    for (const InternResult &r : results)
+        store.release(r.addr);
+    EXPECT_EQ(store.uniquePages(), 0u);
+}
+
+} // namespace
+} // namespace cxlfork::cxl

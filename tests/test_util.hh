@@ -16,9 +16,10 @@ namespace cxlfork::test {
 /** A machine + fabric + N node OS instances + shared root FS. */
 struct World
 {
-    explicit World(mem::MachineConfig cfg = {})
+    explicit World(mem::MachineConfig cfg = {},
+                   cxl::PageStoreConfig pageStoreCfg = {})
         : machine(std::make_unique<mem::Machine>(cfg)),
-          fabric(std::make_unique<cxl::CxlFabric>(*machine)),
+          fabric(std::make_unique<cxl::CxlFabric>(*machine, pageStoreCfg)),
           vfs(std::make_shared<os::Vfs>())
     {
         for (uint32_t i = 0; i < machine->numNodes(); ++i) {

@@ -19,6 +19,9 @@ echo "== Running crash-point enumeration sweep (ctest -L crash)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash
 "$BUILD_DIR/tools/crash_sweep"
 
+echo "== Running content-dedup suite (ctest -L dedup)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L dedup
+
 echo "== Running golden-benchmark regression suite (CXLFORK_JOBS=1)"
 CXLFORK_JOBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
 

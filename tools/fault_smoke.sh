@@ -21,6 +21,9 @@ echo "== Running crash-point enumeration under ASan/UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash
 "$BUILD_DIR/tools/crash_sweep"
 
+echo "== Running content-dedup suite under ASan/UBSan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L dedup
+
 echo "== Running fault sweep benchmark (nonzero injection) twice"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run1.txt"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run2.txt"

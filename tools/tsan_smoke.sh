@@ -21,10 +21,13 @@ BENCHES=(bench_fig8_tiering bench_ext_scaling bench_fig10_porter)
 echo "== Configuring TSan build in $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCXLFORK_TSAN=ON
 cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}" \
-    sim_threadpool_test
+    sim_threadpool_test property_pagestore_test
 
 echo "== ThreadPool unit test under TSan"
 "$BUILD_DIR/tests/sim_threadpool_test"
+
+echo "== PageStore property fuzz under TSan"
+"$BUILD_DIR/tests/property_pagestore_test"
 
 for bench in "${BENCHES[@]}"; do
     echo "== $bench under TSan with CXLFORK_JOBS=$SWEEP_JOBS"
