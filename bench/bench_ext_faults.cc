@@ -8,9 +8,14 @@
  * latency: P99 inflation vs the fault-free run, and the fraction of
  * restore-path requests degraded to a cold start. Fixed seeds: two runs
  * of this benchmark produce identical output.
+ *
+ * Sweep 4 exercises the RAS layer: poison rate x replication factor
+ * over miniature chaos soaks, reporting the checkpoint-survival
+ * fraction against the keepalive memory the replicas cost.
  */
 
 #include "porter/autoscaler.hh"
+#include "porter/chaos_harness.hh"
 #include "porter/crash_harness.hh"
 #include "porter/trace.hh"
 #include "sim/log.hh"
@@ -200,6 +205,68 @@ main()
         return 1;
     }
 
+    // --- Sweep 4: poison rate x replication factor over the RAS
+    // layer. Each point is a miniature chaos soak (CXLfork keeps its
+    // checkpoints on the device, so poison actually lands on them);
+    // crashes and transients are off to isolate the replication story:
+    // survival fraction vs. the keepalive memory replicas cost.
+    struct RasPoint
+    {
+        double poison;
+        uint32_t replicas;
+    };
+    std::vector<RasPoint> rasPoints;
+    for (double poison : {0.02, 0.1})
+        for (uint32_t k : {0u, 1u, 2u})
+            rasPoints.push_back({poison, k});
+    std::vector<porter::ChaosReport> rasRows(rasPoints.size());
+    bench::runSweep(rasPoints, [&](const RasPoint &p, size_t i) {
+        porter::ChaosConfig cc;
+        cc.mechanism = porter::CrashMechanism::CxlFork;
+        cc.rounds = 60;
+        cc.poisonRate = p.poison;
+        cc.replicas = p.replicas;
+        cc.transientRate = 0.0;
+        cc.crashProb = 0.0;
+        rasRows[i] = porter::runChaosSoak(cc);
+        const std::string tag = sim::format("ras.p%02.0f.k%u",
+                                            p.poison * 100, p.replicas);
+        bench::recordValue(tag + ".survival",
+                           rasRows[i].survivalFraction());
+        bench::recordValue(tag + ".replica_peak_kb",
+                           double(rasRows[i].peakReplicaBytes) / 1024.0);
+        bench::recordValue(tag + ".repairs", double(rasRows[i].repairs));
+    });
+
+    sim::Table t4("RAS sweep: checkpoint survival and keepalive-memory "
+                  "overhead vs poison rate and replication factor K");
+    t4.setHeader({"Poison", "K", "Published", "Lost", "Survival",
+                  "Repairs", "Replicas written", "Peak replica KiB"});
+    bool rasViolation = false;
+    for (size_t i = 0; i < rasPoints.size(); ++i) {
+        const RasPoint &p = rasPoints[i];
+        const porter::ChaosReport &r = rasRows[i];
+        rasViolation |= !r.pass;
+        t4.addRow({sim::Table::num(p.poison, 2),
+                   std::to_string(p.replicas),
+                   std::to_string(r.checkpointsPublished),
+                   std::to_string(r.checkpointsLost),
+                   sim::Table::num(r.survivalFraction(), 4),
+                   std::to_string(r.repairs),
+                   std::to_string(r.replicasWritten),
+                   sim::Table::num(double(r.peakReplicaBytes) / 1024.0,
+                                   1)});
+    }
+    t4.addNote("K = 0 is the negative control: the same storm that "
+               "replication rides out demonstrably loses checkpoints. "
+               "The overhead column is what K replicas of every "
+               "hot page keep alive on the device.");
+    t4.print();
+    if (rasViolation) {
+        std::printf("ERROR: chaos soak invariant violated in RAS sweep\n");
+        return 1;
+    }
+
     // --- Combined stress point: everything on at once.
     porter::PorterFaults storm;
     storm.nodeMtbf = SimTime::sec(10);
@@ -221,5 +288,6 @@ main()
         std::printf("ERROR: requests lost under injection\n");
         return 1;
     }
+    bench::finishBench("ext_faults");
     return 0;
 }

@@ -27,6 +27,15 @@ benchClusterConfig(sim::CostParams costs)
     cfg.machine.cxlCapacityBytes = mem::gib(4);
     cfg.machine.llcBytes = mem::mib(64);
     cfg.machine.costs = costs;
+    // RAS opt-in: replication is off by default so every bench stays
+    // bit-identical to the pre-RAS tree; setting a replica count turns
+    // the whole layer on (write-verify, replication, repair ladder).
+    if (const char *replicas = std::getenv("CXLFORK_RAS_REPLICAS")) {
+        cfg.ras.replicas = uint32_t(std::atoi(replicas));
+        cfg.ras.enabled = cfg.ras.replicas > 0;
+    }
+    if (const char *threshold = std::getenv("CXLFORK_RAS_THRESHOLD"))
+        cfg.ras.replicaThreshold = uint64_t(std::atoll(threshold));
     return cfg;
 }
 

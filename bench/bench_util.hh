@@ -22,6 +22,11 @@
  *    value; only host wall-clock changes.
  *  - CXLFORK_WALLCLOCK_JSON=<path>: append host wall-clock entries
  *    (JSON lines) on finishBench() — the perfcmp input format.
+ *  - CXLFORK_RAS_REPLICAS=<K>: enable the CXL RAS layer on every bench
+ *    cluster with K replicas per protected page (0 or unset: RAS off,
+ *    output bit-identical to the pre-RAS tree).
+ *  - CXLFORK_RAS_THRESHOLD=<n>: intern refcount at which a page earns
+ *    replicas (default 2; only meaningful with RAS on).
  */
 
 #pragma once

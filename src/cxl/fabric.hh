@@ -11,6 +11,7 @@
 
 #include "mem/machine.hh"
 #include "page_store.hh"
+#include "ras.hh"
 #include "shared_fs.hh"
 #include "sim/stats.hh"
 
@@ -20,10 +21,15 @@ namespace cxlfork::cxl {
 class CxlFabric
 {
   public:
-    explicit CxlFabric(mem::Machine &machine, PageStoreConfig pageStoreCfg = {})
+    explicit CxlFabric(mem::Machine &machine, PageStoreConfig pageStoreCfg = {},
+                       RasConfig rasCfg = {})
         : machine_(machine), pageStore_(machine, pageStoreCfg),
-          sharedFs_(machine, pageStore_)
-    {}
+          ras_(machine, pageStore_, rasCfg), sharedFs_(machine, pageStore_)
+    {
+        // The RAS ctor installs the machine-level poison repairer when
+        // enabled; the store hook makes interned pages flow through it.
+        pageStore_.attachRas(&ras_);
+    }
 
     CxlFabric(const CxlFabric &) = delete;
     CxlFabric &operator=(const CxlFabric &) = delete;
@@ -31,6 +37,7 @@ class CxlFabric
     mem::Machine &machine() { return machine_; }
     mem::FrameAllocator &device() { return machine_.cxl(); }
     PageStore &pageStore() { return pageStore_; }
+    RasManager &ras() { return ras_; }
     SharedFs &sharedFs() { return sharedFs_; }
     sim::StatSet &stats() { return stats_; }
 
@@ -41,6 +48,7 @@ class CxlFabric
   private:
     mem::Machine &machine_;
     PageStore pageStore_; ///< Before sharedFs_: the FS writes through it.
+    RasManager ras_;      ///< Before sharedFs_: FS pages may be protected.
     SharedFs sharedFs_;
     sim::StatSet stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ras.hh"
 #include "sim/fault_injector.hh"
 #include "sim/log.hh"
 
@@ -33,6 +34,12 @@ PageStore::PageStore(mem::Machine &machine, PageStoreConfig cfg)
     collisionsCounter_ = &m.counter("cxl.dedup.collisions");
 }
 
+void
+PageStore::attachRas(RasManager *ras)
+{
+    ras_ = ras && ras->enabled() ? ras : nullptr;
+}
+
 uint64_t
 PageStore::hashContent(uint64_t content) const
 {
@@ -45,8 +52,23 @@ PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
 {
     if (!cfg_.dedup) {
         // Pass-through: identical to the pre-store allocation path, no
-        // index, no extra cost, no counters.
-        return {machine_.cxl().alloc(use, content), false};
+        // index, no extra cost, no counters — unless a RAS manager is
+        // attached, which adds write-verify and replication.
+        mem::PhysAddr addr = machine_.cxl().alloc(use, content);
+        if (ras_) {
+            addr = ras_->verifiedAlloc(addr, use, content, clock);
+            try {
+                ras_->noteInterned(addr, clock);
+            } catch (...) {
+                // A crash mid-replication aborts the intern whole: the
+                // caller never learns this address, so keeping the
+                // frame (or its replicas) would leak it forever.
+                ras_->notePrimaryFreed(addr);
+                machine_.cxl().decRef(addr);
+                throw;
+            }
+        }
+        return {addr, false};
     }
 
     mem::FrameAllocator &cxl = machine_.cxl();
@@ -77,6 +99,18 @@ PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
             cxl.incRef(match);
             hitsCounter_->inc();
             bytesSavedCounter_->inc(mem::kPageSize);
+            if (ras_) {
+                try {
+                    ras_->noteShared(match, clock);
+                } catch (...) {
+                    // Undo the hit's ref on the unwind: the caller
+                    // never sees this address. The page stays indexed
+                    // (its prior holders still reference it) and any
+                    // replicas already placed stay owned by RAS.
+                    cxl.decRef(match);
+                    throw;
+                }
+            }
             if (machine_.tracer().enabled()) {
                 machine_.tracer().instant(
                     clock, mem::kInvalidNode, "dedup_hit", "cxl.pagestore",
@@ -87,7 +121,21 @@ PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
         collisionsCounter_->inc();
     }
 
-    const mem::PhysAddr addr = cxl.alloc(use, content);
+    mem::PhysAddr addr = cxl.alloc(use, content);
+    if (ras_) {
+        addr = ras_->verifiedAlloc(addr, use, content, clock);
+        // Replicate *before* indexing: the replica write is the last
+        // crash site in the intern, so a crash rolls the whole intern
+        // back (frame and replicas released) instead of leaving an
+        // indexed page no caller owns.
+        try {
+            ras_->noteInterned(addr, clock);
+        } catch (...) {
+            ras_->notePrimaryFreed(addr);
+            cxl.decRef(addr);
+            throw;
+        }
+    }
     index_[h].push_back(addr);
     pages_[addr.raw] = h;
     uniqueCounter_->inc();
@@ -115,6 +163,8 @@ PageStore::release(mem::PhysAddr addr)
             index_.erase(bucket);
         pages_.erase(it);
     }
+    if (freed && ras_)
+        ras_->notePrimaryFreed(addr);
     return freed;
 }
 

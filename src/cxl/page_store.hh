@@ -33,6 +33,8 @@
 
 namespace cxlfork::cxl {
 
+class RasManager;
+
 /** PageStore tunables. */
 struct PageStoreConfig
 {
@@ -78,6 +80,15 @@ class PageStore
     bool dedupEnabled() const { return cfg_.dedup; }
 
     /**
+     * Attach the fabric's RAS manager. Interned frames then get write-
+     * verified at birth, hot frames (refcount at the replication
+     * threshold) get replicated, and frees drop replicas. Attaching a
+     * disabled (or null) manager leaves the store exactly as before.
+     */
+    void attachRas(RasManager *ras);
+    RasManager *ras() const { return ras_; }
+
+    /**
      * Materialize a CXL frame holding `content`. With dedup enabled, a
      * live frame with byte-identical contents is shared (one extra
      * reference, one collision-check read charged to `clock`) instead
@@ -118,6 +129,7 @@ class PageStore
 
     mem::Machine &machine_;
     PageStoreConfig cfg_;
+    RasManager *ras_ = nullptr;
 
     /** Content hash -> live frames whose contents hash there. */
     std::unordered_map<uint64_t, std::vector<mem::PhysAddr>> index_;

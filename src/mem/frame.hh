@@ -21,6 +21,7 @@ enum class FrameUse : uint8_t {
     PageTable,  ///< A page-table node.
     Metadata,   ///< Checkpointed OS metadata (VMA leaves, descriptors).
     FileCache,  ///< Page-cache page backing a file.
+    Replica,    ///< RAS replica of a hot checkpoint page (cxl::RasManager).
 };
 
 /** Metadata for one simulated physical page frame. */

@@ -122,6 +122,21 @@ class FrameAllocator
      */
     FrameAudit auditLive() const;
 
+    /**
+     * Visit every allocated frame in address order. Diagnostic/chaos
+     * walks only (the soak harness picks poison-strike victims here);
+     * never on a simulated hot path.
+     */
+    template <typename Fn>
+    void
+    forEachAllocated(Fn &&fn) const
+    {
+        for (uint64_t i = 0; i < frames_.size(); ++i) {
+            if (frames_[i].allocated())
+                fn(PhysAddr{base_.raw + i * kPageSize}, frames_[i]);
+        }
+    }
+
   private:
     uint64_t indexOf(PhysAddr addr) const;
 

@@ -53,18 +53,32 @@ Machine::cxlTransaction(sim::SimClock &clock, const char *site)
     injector_.crashPoint(site);
     if (!injector_.armed())
         return;
-    const sim::FaultConfig &cfg = injector_.config();
-    for (uint32_t attempt = 1; injector_.drawTransient(); ++attempt) {
-        if (attempt > cfg.maxRetries) {
+    // The generic retry policy: bounded attempts with exponential
+    // backoff, optional seeded jitter, optional per-op time budget.
+    // With jitter and budget at their zero defaults the schedule draws
+    // nothing extra and charges the exact pre-policy delay sequence.
+    sim::BackoffSchedule sched(injector_.config().retryPolicy());
+    while (injector_.drawTransient()) {
+        const std::optional<sim::SimTime> delay =
+            sched.next(&injector_.backoffRng());
+        if (!delay) {
             injector_.noteTransientEscalated();
             cxlEscalatedCounter_->inc();
+            if (sched.budgetExhausted()) {
+                throw sim::TransientFaultError(sim::format(
+                    "CXL transaction at %s failed %u times; op budget "
+                    "%s exhausted after %s of backoff",
+                    site, sched.retries() + 1,
+                    injector_.config().opBudget.toString().c_str(),
+                    sched.spent().toString().c_str()));
+            }
             throw sim::TransientFaultError(sim::format(
                 "CXL transaction at %s failed %u times (budget %u)", site,
-                attempt, cfg.maxRetries));
+                sched.retries() + 1, injector_.config().maxRetries));
         }
         // Retry after backoff, in simulated time; the next draw decides
         // whether the retry itself fails.
-        clock.advance(injector_.backoffFor(attempt));
+        clock.advance(*delay);
         injector_.noteTransientRetried();
         cxlRetryCounter_->inc();
     }
@@ -76,9 +90,16 @@ Machine::readFrameChecked(PhysAddr addr, sim::SimClock &clock,
 {
     const Frame &f = frame(addr);
     if (f.poisoned) {
-        throw sim::PoisonedFrameError(sim::format(
-            "poisoned frame %#llx read at %s (data lost)",
-            (unsigned long long)addr.raw, site));
+        // The repair ladder's first rung: a RAS manager, when
+        // installed, gets one chance to rebuild the frame from a
+        // replica before the loss escalates.
+        if (!repairer_ || !repairer_->repairPoisoned(addr, clock, site)) {
+            throw sim::PoisonedFrameError(
+                sim::format("poisoned frame %#llx read at %s (data lost)",
+                            (unsigned long long)addr.raw, site),
+                originOf(addr));
+        }
+        CXLF_ASSERT(!f.poisoned);
     }
     if (tierOf(addr) == Tier::Cxl) {
         cxlFrameReadCounter_->inc();

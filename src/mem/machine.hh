@@ -18,6 +18,7 @@
 #include "frame_allocator.hh"
 #include "sim/clock.hh"
 #include "sim/cost_model.hh"
+#include "sim/error.hh"
 #include "sim/fault_injector.hh"
 #include "sim/log.hh"
 #include "sim/metrics.hh"
@@ -25,6 +26,28 @@
 #include "types.hh"
 
 namespace cxlfork::mem {
+
+/**
+ * Restore-time poison repair hook. The machine's readFrameChecked is
+ * the single chokepoint every mechanism's fault and prefetch paths
+ * read checkpoint frames through; when a repairer is installed (by the
+ * CXL fabric's RAS manager) a poisoned read gets one chance to be
+ * repaired in place before the PoisonedFrameError escalates. Defined
+ * here — not in cxl — because mem cannot depend on the cxl layer.
+ */
+class PoisonRepairer
+{
+  public:
+    virtual ~PoisonRepairer() = default;
+
+    /**
+     * Try to repair the poisoned frame at `addr` in place, charging
+     * repair traffic to `clock`. @return true when the frame is clean
+     * and the read may proceed; false when the data is truly lost.
+     */
+    virtual bool repairPoisoned(PhysAddr addr, sim::SimClock &clock,
+                                const char *site) = 0;
+};
 
 /** Machine construction parameters. */
 struct MachineConfig
@@ -85,6 +108,31 @@ class Machine
 
     /** Reconfigure injection; re-arms the CXL allocator's poison hook. */
     void setFaultConfig(const sim::FaultConfig &cfg);
+
+    /**
+     * Install (or clear, with nullptr) the poison repair hook that
+     * readFrameChecked consults before escalating a poisoned read.
+     * Null by default: without a repairer the poisoned path throws
+     * exactly as before the RAS layer existed.
+     */
+    void setPoisonRepairer(PoisonRepairer *r) { repairer_ = r; }
+    PoisonRepairer *poisonRepairer() const { return repairer_; }
+
+    /**
+     * The FaultOrigin for a frame address: the address itself plus the
+     * owning node derived from the window layout (kCxlDevice for the
+     * shared device). Used by throw sites and by RAS diagnostics.
+     */
+    sim::FaultOrigin
+    originOf(PhysAddr addr) const
+    {
+        sim::FaultOrigin o;
+        o.frameAddr = addr.raw;
+        o.node = tierOf(addr) == Tier::Cxl
+                     ? sim::FaultOrigin::kCxlDevice
+                     : uint32_t(addr.raw / kNodeStride - 1);
+        return o;
+    }
 
     /**
      * Model one CXL transaction (a page copy or bulk store) under
@@ -163,6 +211,7 @@ class Machine
     std::unique_ptr<FrameAllocator> cxl_;
     std::vector<CacheModel> llc_;
     uint64_t cxlCapacity_ = 0;
+    PoisonRepairer *repairer_ = nullptr;
 
     // Hot-path metric handles, resolved once at construction so the
     // per-transaction cost is a pointer bump instead of a string-keyed

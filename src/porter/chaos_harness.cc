@@ -1,0 +1,450 @@
+#include "chaos_harness.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "cxl/ras.hh"
+#include "rfork/criu.hh"
+#include "rfork/cxlfork.hh"
+#include "rfork/localfork.hh"
+#include "rfork/mitosis.hh"
+#include "sim/error.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace cxlfork::porter {
+
+namespace {
+
+constexpr const char *kUser = "tenant0";
+constexpr const char *kFunction = "chaosfn";
+
+/** Per-generation page token: deterministic, distinct across gens. */
+uint64_t
+chaosToken(uint64_t gen, uint64_t i, uint64_t period)
+{
+    const uint64_t j = period ? i % period : i;
+    return 0x9e3779b97f4a7c15ull * (j + 1) ^
+           (0xc0ffeeull + gen * 0x0100'0193ull);
+}
+
+/** What a published CID must reproduce on restore. */
+struct Expected
+{
+    uint64_t generation = 0;
+    mem::VirtAddr heapStart{0};
+};
+
+ClusterConfig
+soakCluster(const ChaosConfig &cfg)
+{
+    ClusterConfig cc;
+    cc.machine.numNodes = 2;
+    cc.machine.dramPerNodeBytes = mem::mib(128);
+    cc.machine.cxlCapacityBytes = mem::mib(256);
+    cc.machine.llcBytes = mem::mib(8);
+    cc.pageStore.dedup = cfg.dedup;
+    // replicas == 0 runs the negative control: the RAS layer entirely
+    // off, so poison losses reach restores unrepaired.
+    cc.ras.enabled = cfg.replicas > 0;
+    cc.ras.replicas = cfg.replicas;
+    cc.ras.replicaThreshold = cfg.replicaThreshold;
+    return cc;
+}
+
+uint64_t
+totalUsedFrames(mem::Machine &m)
+{
+    uint64_t used = m.cxl().usedFrames();
+    for (uint32_t i = 0; i < m.numNodes(); ++i)
+        used += m.nodeDram(i).usedFrames();
+    return used;
+}
+
+/** The long-lived soak state (one cluster across every round). */
+struct Soak
+{
+    const ChaosConfig &cfg;
+    Cluster cluster;
+    std::unique_ptr<rfork::RemoteForkMechanism> mech;
+    sim::Rng rng;
+    ChaosReport rep;
+
+    std::shared_ptr<os::Task> parent;
+    mem::VirtAddr heapStart{0};
+    uint64_t parentGen = ~uint64_t(0); ///< Generation the heap holds.
+    std::map<cxl::Cid, Expected> published;
+    uint64_t baselineFrames = 0;
+
+    explicit Soak(const ChaosConfig &c)
+        : cfg(c), cluster(soakCluster(c)),
+          mech(nullptr), rng(c.seed)
+    {
+        // Injection on from the start: every checkpoint page drawn
+        // below lives under birth poison and transient transactions.
+        sim::FaultConfig fc;
+        fc.seed = c.seed ^ 0x0bad'cab1'e0ddULL;
+        fc.framePoisonRate = c.poisonRate;
+        fc.cxlTransientRate = c.transientRate;
+        fc.maxRetries = 4;
+        fc.backoffJitter = 0.25; // exercise the seeded-jitter path
+        cluster.machine().setFaultConfig(fc);
+        mech = [&]() -> std::unique_ptr<rfork::RemoteForkMechanism> {
+            switch (c.mechanism) {
+              case CrashMechanism::CxlFork:
+                return std::make_unique<rfork::CxlFork>(cluster.fabric());
+              case CrashMechanism::Criu:
+                return std::make_unique<rfork::CriuCxl>(cluster.fabric());
+              case CrashMechanism::Mitosis:
+                return std::make_unique<rfork::MitosisCxl>(cluster.fabric());
+              case CrashMechanism::LocalFork:
+                return std::make_unique<rfork::LocalFork>();
+            }
+            sim::panic("unknown chaos mechanism %u", unsigned(c.mechanism));
+        }();
+        baselineFrames = totalUsedFrames(cluster.machine());
+    }
+
+    void
+    fail(std::string why)
+    {
+        if (rep.pass) {
+            rep.pass = false;
+            rep.firstViolation = sim::format(
+                "%s: %s", crashMechanismName(cfg.mechanism), why.c_str());
+        }
+    }
+
+    os::NodeOs &
+    restoreNode()
+    {
+        return cfg.mechanism == CrashMechanism::LocalFork ? cluster.node(0)
+                                                          : cluster.node(1);
+    }
+
+    /** (Re)build the parent and write generation `gen`'s tokens. */
+    void
+    buildParent(uint64_t gen)
+    {
+        os::NodeOs &node0 = cluster.node(0);
+        if (!parent) {
+            parent = node0.createTask(kFunction);
+            os::Vma &heap = node0.mapAnon(
+                *parent, cfg.heapPages * mem::kPageSize,
+                os::kVmaRead | os::kVmaWrite, "heap");
+            heapStart = heap.start;
+        }
+        for (uint64_t i = 0; i < cfg.heapPages; ++i) {
+            node0.write(*parent, heapStart.plus(i * mem::kPageSize),
+                        chaosToken(gen, i, cfg.tokenPeriod));
+        }
+        parentGen = gen;
+    }
+
+    /** Drop every published record the store no longer holds. */
+    void
+    pruneReclaimed()
+    {
+        for (auto it = published.begin(); it != published.end();) {
+            if (!cluster.checkpoints().get(it->first))
+                it = published.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /**
+     * Rungs 3-5 of the repair ladder: a restore named a frame whose
+     * data is gone. Reclaim every checkpoint it damaged and prove the
+     * reclaim took — lookup() must stop offering them, degrading the
+     * function to a cold start instead of a corrupt restore.
+     */
+    void
+    handleLoss(const sim::FaultOrigin &origin, cxl::Cid cid)
+    {
+        ++rep.pagesLost;
+        if (origin.frameAddr == 0) {
+            fail("poisoned-frame loss carried no frame origin");
+            return;
+        }
+        const uint64_t reclaimed = cluster.reclaimDamaged(
+            restoreNode().id(), mem::PhysAddr{origin.frameAddr});
+        if (reclaimed == 0) {
+            fail(sim::format("lost frame %#llx referenced no checkpoint",
+                             (unsigned long long)origin.frameAddr));
+            return;
+        }
+        rep.checkpointsLost += reclaimed;
+        if (cluster.checkpoints().get(cid)) {
+            fail(sim::format("damaged checkpoint cid=%llu survived "
+                             "reclaimDamaged",
+                             (unsigned long long)cid));
+        }
+        pruneReclaimed();
+    }
+
+    /** Post-birth poison strike on one random allocated device frame. */
+    void
+    maybeStrike()
+    {
+        if (!rng.chance(cfg.strikeRate))
+            return;
+        mem::FrameAllocator &cxl = cluster.machine().cxl();
+        const uint64_t used = cxl.usedFrames();
+        if (used == 0)
+            return;
+        const uint64_t victim = rng.index(used);
+        uint64_t seen = 0;
+        mem::PhysAddr hit{0};
+        cxl.forEachAllocated([&](mem::PhysAddr addr, const mem::Frame &) {
+            if (seen++ == victim)
+                hit = addr;
+        });
+        if (hit.raw != 0) {
+            cxl.poison(hit);
+            ++rep.strikes;
+        }
+    }
+
+    /** The node-0 restart protocol after a crash or failed publish. */
+    void
+    recover(bool nodeDied, uint64_t pendingGen)
+    {
+        rfork::CheckpointStore &store = cluster.checkpoints();
+        if (nodeDied && parent) {
+            cluster.node(0).exitTask(parent);
+            parent.reset();
+        }
+        cluster.recoverNode(0);
+        ++rep.recoveries;
+        if (store.stagedCount() != 0)
+            fail("STAGED journal record survived recovery");
+        // Recovery may have completed the interrupted generation's
+        // orphan: a lookup hit we never recorded is that checkpoint.
+        if (auto cid = store.lookup(kUser, kFunction)) {
+            if (!published.count(*cid))
+                published[*cid] = {pendingGen, heapStart};
+        }
+        pruneReclaimed();
+        if (nodeDied)
+            buildParent(pendingGen);
+    }
+
+    /** Publish generation `gen`, possibly with a crash armed. */
+    void
+    publishGeneration(uint64_t gen)
+    {
+        buildParent(gen);
+        rfork::CheckpointStore &store = cluster.checkpoints();
+        sim::FaultInjector &faults = cluster.machine().faults();
+        const bool armCrash = rng.chance(cfg.crashProb);
+        // The site index is drawn past the typical site count on
+        // purpose: high draws are crash-free control publishes.
+        const uint64_t site = rng.index(64);
+        if (armCrash)
+            faults.armCrashSite(site);
+        bool crashed = false;
+        bool failedTransient = false;
+        cxl::Cid newCid = 0;
+        try {
+            const rfork::PublishedCheckpoint pub = mech->checkpointPublished(
+                store, {kUser, kFunction}, cluster.node(0), *parent);
+            newCid = pub.cid;
+        } catch (const sim::NodeCrashError &) {
+            crashed = true;
+        } catch (const sim::SimError &) {
+            failedTransient = true; // retry budget exhausted mid-publish
+        }
+        faults.disarmCrash();
+
+        if (crashed) {
+            ++rep.crashesInjected;
+            recover(/*nodeDied=*/true, gen);
+            return;
+        }
+        if (failedTransient) {
+            ++rep.transientFailures;
+            // The failed publish left a STAGED orphan; the restart
+            // pass completes or retires it.
+            recover(/*nodeDied=*/false, gen);
+            return;
+        }
+
+        ++rep.checkpointsPublished;
+        published[newCid] = {gen, heapStart};
+        // Retire superseded generations so the store holds at most the
+        // latest — exercising release/replica-drop under injection.
+        for (auto it = published.begin(); it != published.end();) {
+            if (it->first != newCid && store.get(it->first)) {
+                store.reclaim(it->first);
+                it = published.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        pruneReclaimed();
+    }
+
+    /** One restore invocation, fully audited. */
+    void
+    invokeOnce()
+    {
+        rfork::CheckpointStore &store = cluster.checkpoints();
+        const std::optional<cxl::Cid> cid = store.lookup(kUser, kFunction);
+        if (!cid) {
+            ++rep.coldStarts;
+            return;
+        }
+        auto handle = store.get(*cid);
+        if (!handle) {
+            fail("lookup returned a CID with no stored object");
+            return;
+        }
+        auto expIt = published.find(*cid);
+        if (expIt == published.end()) {
+            fail(sim::format("lookup returned unrecorded cid=%llu",
+                             (unsigned long long)*cid));
+            return;
+        }
+        const Expected exp = expIt->second;
+        os::NodeOs &target = restoreNode();
+        ++rep.invocations;
+        rfork::RestoreOutcome outcome = mech->tryRestore(handle, target);
+        if (!outcome) {
+            switch (outcome.error) {
+              case rfork::RestoreError::TransientFault:
+                ++rep.transientFailures;
+                return;
+              case rfork::RestoreError::PoisonedFrame:
+                handleLoss(outcome.origin, *cid);
+                return;
+              default:
+                fail(sim::format("restore failed (%s): %s",
+                                 rfork::restoreErrorName(outcome.error),
+                                 outcome.message.c_str()));
+                return;
+            }
+        }
+
+        // Byte-identical or bust: every heap token must reproduce. A
+        // poisoned read here is the same loss path as during restore.
+        bool verified = true;
+        try {
+            for (uint64_t i = 0; i < cfg.heapPages; ++i) {
+                const uint64_t want =
+                    chaosToken(exp.generation, i, cfg.tokenPeriod);
+                const uint64_t got = target.read(
+                    *outcome.task,
+                    exp.heapStart.plus(i * mem::kPageSize));
+                if (got != want) {
+                    fail(sim::format(
+                        "restored page %llu reads %#llx, want %#llx "
+                        "(silent corruption)",
+                        (unsigned long long)i, (unsigned long long)got,
+                        (unsigned long long)want));
+                    verified = false;
+                    break;
+                }
+            }
+        } catch (const sim::PoisonedFrameError &e) {
+            handleLoss(e.origin(), *cid);
+            verified = false;
+        } catch (const sim::TransientFaultError &) {
+            ++rep.transientFailures;
+            verified = false;
+        } catch (const sim::SimError &e) {
+            fail(std::string("restored child read failed: ") + e.what());
+            verified = false;
+        }
+        if (verified)
+            ++rep.restoresOk;
+        target.exitTask(outcome.task);
+    }
+
+    void
+    finalAudit()
+    {
+        rfork::CheckpointStore &store = cluster.checkpoints();
+        for (auto &[cid, exp] : published) {
+            if (store.get(cid))
+                store.reclaim(cid);
+        }
+        published.clear();
+        if (parent) {
+            cluster.node(0).exitTask(parent);
+            parent.reset();
+        }
+
+        cxl::RasManager &ras = cluster.fabric().ras();
+        rep.repairs = ras.repairs();
+        rep.peakReplicaBytes = ras.peakReplicaFrames() * mem::kPageSize;
+        if (ras.enabled()) {
+            sim::MetricsRegistry &m = cluster.machine().metrics();
+            rep.replicasWritten =
+                m.counter("cxl.ras.replicas_written").value();
+            rep.scrubRepairs = 0; // folded into repairs via the counter
+            const cxl::RasAudit ra = ras.audit();
+            if (!ra.consistent)
+                fail("RAS audit failed: " + ra.detail);
+            if (ras.replicaFrames() != 0) {
+                fail(sim::format("%llu replica frames survived teardown",
+                                 (unsigned long long)ras.replicaFrames()));
+            }
+        }
+
+        const uint64_t usedNow = totalUsedFrames(cluster.machine());
+        if (usedNow > baselineFrames) {
+            rep.framesLeaked = usedNow - baselineFrames;
+            fail(sim::format("%llu frames leaked",
+                             (unsigned long long)rep.framesLeaked));
+        } else if (usedNow < baselineFrames) {
+            fail("frame usage fell below baseline (double free)");
+        }
+
+        const mem::FrameAudit cxlAudit =
+            cluster.machine().cxl().auditLive();
+        if (!cxlAudit.consistent)
+            fail("CXL allocator audit failed: " + cxlAudit.detail);
+        for (uint32_t i = 0; i < cluster.machine().numNodes(); ++i) {
+            const mem::FrameAudit a =
+                cluster.machine().nodeDram(i).auditLive();
+            if (!a.consistent)
+                fail("DRAM allocator audit failed: " + a.detail);
+        }
+        const cxl::PageStoreAudit ps = cluster.fabric().pageStore().audit();
+        if (!ps.consistent)
+            fail("page-store audit failed: " + ps.detail);
+    }
+};
+
+} // namespace
+
+ChaosReport
+runChaosSoak(const ChaosConfig &cfg)
+{
+    Soak soak(cfg);
+    cxl::RasManager &ras = soak.cluster.fabric().ras();
+
+    for (uint64_t round = 0; round < cfg.rounds; ++round) {
+        ++soak.rep.rounds;
+        if (cfg.republishEvery == 0 || round % cfg.republishEvery == 0)
+            soak.publishGeneration(round / std::max<uint64_t>(
+                                               cfg.republishEvery, 1));
+        soak.maybeStrike();
+        for (uint64_t r = 0; r < cfg.restoresPerRound; ++r)
+            soak.invokeOnce();
+        if (cfg.scrubEveryRounds != 0 && ras.enabled() &&
+            (round + 1) % cfg.scrubEveryRounds == 0) {
+            const cxl::ScrubReport sr =
+                ras.scrubStep(soak.cluster.node(0).clock());
+            soak.rep.scrubRepairs += sr.repaired;
+        }
+    }
+
+    soak.finalAudit();
+    return soak.rep;
+}
+
+} // namespace cxlfork::porter

@@ -6,7 +6,8 @@ namespace cxlfork::porter {
 
 Cluster::Cluster(const ClusterConfig &cfg)
     : cfg_(cfg), machine_(std::make_unique<mem::Machine>(cfg.machine)),
-      fabric_(std::make_unique<cxl::CxlFabric>(*machine_, cfg.pageStore)),
+      fabric_(std::make_unique<cxl::CxlFabric>(*machine_, cfg.pageStore,
+                                               cfg.ras)),
       vfs_(std::make_shared<os::Vfs>())
 {
     // Staged-manifest pins taken during checkpointPublished are real
@@ -102,6 +103,36 @@ Cluster::recoverNode(mem::NodeId n)
     machine_->faults().noteRecovery(out.orphansReclaimed,
                                     out.orphansCompleted);
     return out;
+}
+
+uint64_t
+Cluster::reclaimDamaged(mem::NodeId n, mem::PhysAddr lostFrame)
+{
+    os::NodeOs &self = node(n);
+    sim::SimClock &clock = self.clock();
+    const sim::CostParams &costs = machine_->costs();
+
+    // The scan asks every live handle whether it pins the dead frame;
+    // each journal record read back is a fabric transaction.
+    std::vector<cxl::Cid> damaged;
+    checkpoints_.forEachJournal(
+        [&](cxl::Cid cid, const cxl::JournalRecord &) {
+            auto h = checkpoints_.get(cid);
+            if (h && h->referencesFrame(lostFrame))
+                damaged.push_back(cid);
+        });
+    for (cxl::Cid cid : damaged) {
+        machine_->cxlTransaction(clock, "journal reclaim damaged");
+        clock.advance(costs.cxlRead(rfork::kJournalRecordBytes) +
+                      costs.cxlWrite(rfork::kJournalRecordBytes));
+        checkpoints_.reclaim(cid);
+    }
+    if (!damaged.empty()) {
+        machine_->metrics()
+            .counter("porter.recovery.damaged_reclaimed")
+            .inc(damaged.size());
+    }
+    return uint64_t(damaged.size());
 }
 
 } // namespace cxlfork::porter

@@ -42,6 +42,13 @@ struct ClusterConfig
      * pre-dedup behaviour.
      */
     cxl::PageStoreConfig pageStore;
+
+    /**
+     * RAS configuration for the fabric (replication, scrubbing, poison
+     * repair). Off by default: no hooks, no counters, bit-identical
+     * behaviour.
+     */
+    cxl::RasConfig ras;
 };
 
 /** The running cluster. */
@@ -80,6 +87,17 @@ class Cluster
      * interrupted checkpoint remains allocated.
      */
     NodeRecovery recoverNode(mem::NodeId n);
+
+    /**
+     * The repair ladder's last rung before cold start: a checkpoint
+     * frame lost its data beyond repair (every replica gone, or the
+     * page was never protected). Walk the journal and reclaim every
+     * checkpoint — STAGED or PUBLISHED — that references the dead
+     * frame, so lookup() stops offering corrupt restores and the
+     * affected functions degrade to a cold start instead. Charged to
+     * node n's clock. @return checkpoints reclaimed.
+     */
+    uint64_t reclaimDamaged(mem::NodeId n, mem::PhysAddr lostFrame);
 
   private:
     ClusterConfig cfg_;

@@ -1,5 +1,7 @@
 #include "checkpoint_image.hh"
 
+#include <algorithm>
+
 #include "cxl/rebase.hh"
 #include "sim/crc32.hh"
 #include "sim/log.hh"
@@ -143,6 +145,15 @@ bool
 CheckpointImage::complete() const
 {
     return activated_ && crcs_.sealed && !verifyIntegrity().has_value();
+}
+
+bool
+CheckpointImage::referencesFrame(mem::PhysAddr addr) const
+{
+    return std::find(dataFrames_.begin(), dataFrames_.end(), addr) !=
+               dataFrames_.end() ||
+           std::find(metaFrames_.begin(), metaFrames_.end(), addr) !=
+               metaFrames_.end();
 }
 
 void

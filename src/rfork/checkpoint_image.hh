@@ -170,6 +170,9 @@ class CheckpointImage : public os::CheckpointBacking, public CheckpointHandle
      */
     bool complete() const override;
 
+    /** True when `addr` is one of the image's data or metadata frames. */
+    bool referencesFrame(mem::PhysAddr addr) const override;
+
   private:
     mem::Machine &machine_;
     std::string name_;

@@ -113,6 +113,17 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     const cxl::CxlFsFile *file = fabric_.sharedFs().open(h->fileName());
     if (!file)
         sim::fatal("CRIU image %s missing", h->fileName().c_str());
+    // The bulk image read machine-checks on poisoned page-cache frames
+    // exactly like the other mechanisms' page reads: a poisoned frame
+    // goes through the checked-read chokepoint, which gives an
+    // installed RAS manager its repair chance before the typed error
+    // escalates. The scan peeks at the poison bit directly so the
+    // clean-frame case (every run without poison injection) charges
+    // nothing and touches no counters.
+    for (mem::PhysAddr fr : file->frames) {
+        if (machine.frame(fr).poisoned)
+            machine.readFrameChecked(fr, clock, "criu image read");
+    }
     if (!fabric_.sharedFs().verify(h->fileName())) {
         throw sim::CorruptImageError(sim::format(
             "CRIU image %s failed CRC (torn write?)",

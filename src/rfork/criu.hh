@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <algorithm>
+
 #include "cxl/fabric.hh"
 #include "cxl/shared_fs.hh"
 #include "rfork.hh"
@@ -69,6 +71,18 @@ class CriuHandle : public CheckpointHandle
     {
         return committed_ && fs_ && fs_->open(fileName_) != nullptr &&
                fs_->verify(fileName_);
+    }
+
+    bool
+    referencesFrame(mem::PhysAddr addr) const override
+    {
+        if (!fs_)
+            return false;
+        const cxl::CxlFsFile *file = fs_->open(fileName_);
+        if (!file)
+            return false;
+        return std::find(file->frames.begin(), file->frames.end(), addr) !=
+               file->frames.end();
     }
 
   private:

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <map>
 
 #include "cxl/fabric.hh"
@@ -101,6 +102,16 @@ class MitosisHandle : public CheckpointHandle, public os::CheckpointBacking
      * "finished but node-coupled" in its accounting.
      */
     bool complete() const override { return complete_ && !parentFailed_; }
+
+    /** Shadow data copies and serialized-leaf backings both count. */
+    bool
+    referencesFrame(mem::PhysAddr addr) const override
+    {
+        return std::find(shadowFrames_.begin(), shadowFrames_.end(), addr) !=
+                   shadowFrames_.end() ||
+               std::find(leafBackings_.begin(), leafBackings_.end(), addr) !=
+                   leafBackings_.end();
+    }
 
   private:
     mem::Machine &machine_;

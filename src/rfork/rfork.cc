@@ -146,6 +146,7 @@ RemoteForkMechanism::tryRestore(
         } catch (const sim::SimError &e) {
             out.error = classify(e);
             out.message = e.what();
+            out.origin = e.origin();
             // Only transients are worth re-running the same restore on
             // the same node; everything else needs a different
             // checkpoint or a different node, which is the caller's

@@ -16,7 +16,9 @@
 #include <string>
 
 #include "cxl/object_store.hh"
+#include "mem/types.hh"
 #include "os/kernel.hh"
+#include "sim/error.hh"
 #include "sim/time.hh"
 
 namespace cxlfork::rfork {
@@ -41,6 +43,16 @@ class CheckpointHandle
      * (LocalFork's live parent) inherit the default.
      */
     virtual bool complete() const { return true; }
+
+    /**
+     * True when the checkpoint pins the given physical frame (data,
+     * metadata, or image-file page). Cluster::reclaimDamaged uses this
+     * to find every checkpoint a lost frame damaged, so they can be
+     * reclaimed instead of serving corrupt restores. Handles that pin
+     * no enumerable frames (LocalFork's live parent) inherit the
+     * default.
+     */
+    virtual bool referencesFrame(mem::PhysAddr) const { return false; }
 };
 
 /** The cluster-wide store of published checkpoint handles. */
@@ -152,6 +164,14 @@ struct RestoreOutcome
     RestoreError error = RestoreError::None;
     uint32_t retries = 0;           ///< Whole-restore attempts repeated.
     std::string message;            ///< Human-readable failure detail.
+
+    /**
+     * Where the failure struck, when the thrown error knew (frame
+     * address, owning node, CID). A poisoned-frame origin is what
+     * Cluster::reclaimDamaged needs to find every checkpoint the dead
+     * frame damaged.
+     */
+    sim::FaultOrigin origin;
 
     explicit operator bool() const { return task != nullptr; }
 };

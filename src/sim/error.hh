@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "log.hh"
@@ -32,6 +33,29 @@ enum class ErrClass : uint8_t {
 
 const char *errClassName(ErrClass c);
 
+/**
+ * Where a fault struck, attached to SimError so a chaos-harness failure
+ * is diagnosable from the message alone. Every field is optional:
+ * low-level throw sites (the machine) know the frame and its owner,
+ * higher layers (restore paths, the cluster) stamp the checkpoint CID
+ * when they know which checkpoint the frame belonged to.
+ */
+struct FaultOrigin
+{
+    /** The owning node of a DRAM frame; kCxlDevice for device frames. */
+    static constexpr uint32_t kNoNode = 0xffffffffu;
+    static constexpr uint32_t kCxlDevice = 0xfffffffeu;
+
+    uint64_t frameAddr = 0; ///< Physical frame address; 0 = unknown.
+    uint32_t node = kNoNode; ///< Owner of the frame's window.
+    uint64_t cid = 0;       ///< Checkpoint CID, when known; 0 = unknown.
+
+    bool known() const { return frameAddr != 0 || cid != 0; }
+
+    /** " [frame=0x.. owner=.. cid=..]", or "" when nothing is known. */
+    std::string describe() const;
+};
+
 /** Base of all typed, recoverable simulation errors. */
 class SimError : public FatalError
 {
@@ -40,10 +64,18 @@ class SimError : public FatalError
         : FatalError(what), class_(c)
     {}
 
+    SimError(ErrClass c, const std::string &what, const FaultOrigin &origin)
+        : FatalError(what + origin.describe()), class_(c), origin_(origin)
+    {}
+
     ErrClass errClass() const { return class_; }
+
+    /** Fault context; fields default to "unknown" for plain errors. */
+    const FaultOrigin &origin() const { return origin_; }
 
   private:
     ErrClass class_;
+    FaultOrigin origin_;
 };
 
 /** A transient CXL transaction error (paper's fabrics fail unlike DRAM). */
@@ -53,6 +85,9 @@ class TransientFaultError : public SimError
     explicit TransientFaultError(const std::string &what)
         : SimError(ErrClass::TransientCxl, what)
     {}
+    TransientFaultError(const std::string &what, const FaultOrigin &origin)
+        : SimError(ErrClass::TransientCxl, what, origin)
+    {}
 };
 
 /** A read of a poisoned frame: the page's data is unrecoverable. */
@@ -61,6 +96,9 @@ class PoisonedFrameError : public SimError
   public:
     explicit PoisonedFrameError(const std::string &what)
         : SimError(ErrClass::PoisonedFrame, what)
+    {}
+    PoisonedFrameError(const std::string &what, const FaultOrigin &origin)
+        : SimError(ErrClass::PoisonedFrame, what, origin)
     {}
 };
 
@@ -79,6 +117,9 @@ class CorruptImageError : public SimError
   public:
     explicit CorruptImageError(const std::string &what)
         : SimError(ErrClass::CorruptImage, what)
+    {}
+    CorruptImageError(const std::string &what, const FaultOrigin &origin)
+        : SimError(ErrClass::CorruptImage, what, origin)
     {}
 };
 
@@ -104,5 +145,13 @@ class NodeCrashError : public SimError
         : SimError(ErrClass::NodeCrashed, what)
     {}
 };
+
+/**
+ * Re-throw `e` as the same typed error with the checkpoint CID stamped
+ * into its origin. Restore paths catch machine-level faults (which know
+ * the frame but not the checkpoint) and route them through here once
+ * the owning CID is known. [[noreturn]].
+ */
+[[noreturn]] void rethrowWithCid(const SimError &e, uint64_t cid);
 
 } // namespace cxlfork::sim

@@ -25,6 +25,54 @@ errClassName(ErrClass c)
     return "?";
 }
 
+std::string
+FaultOrigin::describe() const
+{
+    if (!known())
+        return "";
+    std::string out = " [";
+    if (frameAddr != 0) {
+        out += format("frame=%#llx", (unsigned long long)frameAddr);
+        if (node == kCxlDevice)
+            out += " owner=cxl-device";
+        else if (node != kNoNode)
+            out += format(" owner=node%u", node);
+    }
+    if (cid != 0) {
+        if (frameAddr != 0)
+            out += " ";
+        out += format("cid=%llu", (unsigned long long)cid);
+    }
+    return out + "]";
+}
+
+void
+rethrowWithCid(const SimError &e, uint64_t cid)
+{
+    // The frame-level origin was already rendered into what() at the
+    // original throw site; the CID is the only new information, so the
+    // rethrown origin carries just the CID and describe() appends only
+    // " [cid=N]" — no duplicated frame text. Callers that need the
+    // frame address catch before this rethrow.
+    const std::string what = e.what();
+    const FaultOrigin withCid{0, FaultOrigin::kNoNode, cid};
+    switch (e.errClass()) {
+      case ErrClass::TransientCxl:
+        throw TransientFaultError(what, withCid);
+      case ErrClass::PoisonedFrame:
+        throw PoisonedFrameError(what, withCid);
+      case ErrClass::CapacityExhausted:
+        throw CapacityError(what + withCid.describe());
+      case ErrClass::CorruptImage:
+        throw CorruptImageError(what, withCid);
+      case ErrClass::NodeFailed:
+        throw NodeFailedError(what + withCid.describe());
+      case ErrClass::NodeCrashed:
+        throw NodeCrashError(what + withCid.describe());
+    }
+    throw SimError(e.errClass(), what, withCid);
+}
+
 namespace {
 
 // Distinct stream salts so per-class schedules are independent of one
@@ -32,13 +80,15 @@ namespace {
 constexpr uint64_t kTransientSalt = 0x7261'6e73'6965'6e74ULL;
 constexpr uint64_t kPoisonSalt = 0x706f'6973'6f6e'6564ULL;
 constexpr uint64_t kTornSalt = 0x746f'726e'7772'6974ULL;
+constexpr uint64_t kBackoffSalt = 0x6261'636b'6f66'6673ULL;
 
 } // namespace
 
 FaultInjector::FaultInjector(FaultConfig cfg)
     : cfg_(cfg), armed_(cfg.anyEnabled()),
       transientRng_(cfg.seed ^ kTransientSalt),
-      poisonRng_(cfg.seed ^ kPoisonSalt), tornRng_(cfg.seed ^ kTornSalt)
+      poisonRng_(cfg.seed ^ kPoisonSalt), tornRng_(cfg.seed ^ kTornSalt),
+      backoffRng_(cfg.seed ^ kBackoffSalt)
 {
 }
 
@@ -50,6 +100,7 @@ FaultInjector::setConfig(const FaultConfig &cfg)
     transientRng_ = Rng(cfg.seed ^ kTransientSalt);
     poisonRng_ = Rng(cfg.seed ^ kPoisonSalt);
     tornRng_ = Rng(cfg.seed ^ kTornSalt);
+    backoffRng_ = Rng(cfg.seed ^ kBackoffSalt);
     stats_ = FaultStats{};
     // Full reset semantics: a reconfigured injector starts with crash
     // sites off, like a freshly constructed one.

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "backoff.hh"
 #include "rng.hh"
 #include "time.hh"
 
@@ -46,11 +47,38 @@ struct FaultConfig
     SimTime retryBackoff = SimTime::us(10); ///< First-retry backoff.
     double backoffMultiplier = 2.0;   ///< Exponential backoff factor.
 
+    /**
+     * Deterministic seeded jitter fraction for retry backoff, in
+     * [0, 1]. Zero (the default) draws nothing and keeps the schedule
+     * bit-identical to the un-jittered exponential curve.
+     */
+    double backoffJitter = 0.0;
+
+    /**
+     * Per-op time budget for one transaction's accumulated backoff;
+     * once exceeded the transaction escalates with its original typed
+     * error even if retries remain. Zero means unlimited.
+     */
+    SimTime opBudget = SimTime::zero();
+
     bool
     anyEnabled() const
     {
         return cxlTransientRate > 0.0 || framePoisonRate > 0.0 ||
                tornWriteRate > 0.0;
+    }
+
+    /** The retry knobs, as the generic policy cxlTransaction runs. */
+    BackoffPolicy
+    retryPolicy() const
+    {
+        BackoffPolicy p;
+        p.maxRetries = maxRetries;
+        p.base = retryBackoff;
+        p.multiplier = backoffMultiplier;
+        p.jitter = backoffJitter;
+        p.budget = opBudget;
+        return p;
     }
 };
 
@@ -195,6 +223,14 @@ class FaultInjector
         return b;
     }
 
+    /**
+     * The seeded jitter stream for backoff schedules. Like the fault
+     * streams it is salted off the config seed and reset by setConfig,
+     * and it is only ever drawn when backoffJitter is nonzero — so a
+     * jitter-free run is bit-identical to one without the stream.
+     */
+    Rng &backoffRng() { return backoffRng_; }
+
   private:
     void crashPointSlow(const char *site);
 
@@ -203,6 +239,7 @@ class FaultInjector
     Rng transientRng_;
     Rng poisonRng_;
     Rng tornRng_;
+    Rng backoffRng_;
     FaultStats stats_;
 
     CrashMode crashMode_ = CrashMode::Off;

@@ -22,6 +22,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash
 echo "== Running content-dedup suite (ctest -L dedup)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L dedup
 
+echo "== Running chaos soak suite (ctest -L chaos)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
+"$BUILD_DIR/tools/chaos_soak"
+"$BUILD_DIR/tools/chaos_soak" --mechanism cxlfork --negative
+
 echo "== Running golden-benchmark regression suite (CXLFORK_JOBS=1)"
 CXLFORK_JOBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
 

@@ -24,6 +24,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash
 echo "== Running content-dedup suite under ASan/UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L dedup
 
+echo "== Running chaos soak suite under ASan/UBSan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
+"$BUILD_DIR/tools/chaos_soak"
+"$BUILD_DIR/tools/chaos_soak" --mechanism cxlfork --negative
+
 echo "== Running fault sweep benchmark (nonzero injection) twice"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run1.txt"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run2.txt"
