@@ -5,6 +5,7 @@
 #include <fstream>
 #include <utility>
 
+#include "cxl/coherence.hh"
 #include "sim/log.hh"
 #include "sim/thread_pool.hh"
 
@@ -36,6 +37,18 @@ benchClusterConfig(sim::CostParams costs)
     }
     if (const char *threshold = std::getenv("CXLFORK_RAS_THRESHOLD"))
         cfg.ras.replicaThreshold = uint64_t(std::atoll(threshold));
+    // Coherence opt-in, same contract as RAS: unset or "off" means no
+    // directory is built and every bench output stays bit-identical to
+    // the pre-coherence tree.
+    if (const char *mode = std::getenv("CXLFORK_COHERENCE_MODE")) {
+        const auto parsed = cxl::coherenceModeFromName(mode);
+        if (!parsed) {
+            sim::fatal("CXLFORK_COHERENCE_MODE=%s: expected off, hdm-h "
+                       "or hdm-d",
+                       mode);
+        }
+        cfg.coherence.mode = *parsed;
+    }
     return cfg;
 }
 
@@ -91,6 +104,8 @@ runRestoreScenario(porter::Cluster &cluster,
     // page-count view would double-charge frames CoW-shared with the
     // parent or the checkpoint.)
     const uint64_t memBefore = node.localDram().usedBytes();
+    const uint64_t taxBefore = cluster.machine().metrics().counterValue(
+        "cxl.coherence.tax_ns");
 
     rfork::RestoreStats rs;
     auto task = mech.restore(handle, node, opts, &rs);
@@ -99,6 +114,10 @@ runRestoreScenario(porter::Cluster &cluster,
     auto child = FunctionInstance::adoptRestored(node, spec, task);
     measureInvocation(node, *child, run, memBefore);
     child->destroy();
+    run.coherenceTax = SimTime::ns(
+        double(cluster.machine().metrics().counterValue(
+                   "cxl.coherence.tax_ns") -
+               taxBefore));
     return run;
 }
 
@@ -259,6 +278,10 @@ recordRun(const std::string &scenario, const RforkRun &run)
     reg.summary(scenario + ".total_ms").add(run.total().toMs());
     reg.summary(scenario + ".local_mb")
         .add(double(run.localBytes) / double(1 << 20));
+    // The coherence-tax line exists only when a directory was armed:
+    // off-mode exports stay byte-identical to the pre-coherence tree.
+    if (run.coherenceTax > SimTime::zero())
+        reg.summary(scenario + ".coh_tax_ms").add(run.coherenceTax.toMs());
 }
 
 void

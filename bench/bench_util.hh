@@ -27,6 +27,11 @@
  *    output bit-identical to the pre-RAS tree).
  *  - CXLFORK_RAS_THRESHOLD=<n>: intern refcount at which a page earns
  *    replicas (default 2; only meaningful with RAS on).
+ *  - CXLFORK_COHERENCE_MODE=off|hdm-h|hdm-d: arm the fabric MESI
+ *    coherence directory on every bench cluster (default off: no
+ *    directory, output bit-identical to the pre-coherence tree). With
+ *    a directory armed, restore scenarios additionally report their
+ *    coherence tax as `<scenario>.coh_tax_ms`.
  */
 
 #pragma once
@@ -61,6 +66,13 @@ struct RforkRun
     sim::SimTime pageFaults; ///< All fault handling during execution.
     sim::SimTime execution;  ///< The rest of the first invocation.
     uint64_t localBytes = 0; ///< Child-local memory after execution.
+    /**
+     * Coherence tax over the scenario: the slice of the above spent in
+     * directory lookups/invalidations/writebacks (delta of the
+     * machine's cxl.coherence.tax_ns). Zero whenever the directory is
+     * off, so the off-mode goldens carry no trace of it.
+     */
+    sim::SimTime coherenceTax;
 
     sim::SimTime total() const { return restore + pageFaults + execution; }
 };

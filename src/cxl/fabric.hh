@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "coherence.hh"
 #include "mem/machine.hh"
 #include "page_store.hh"
 #include "ras.hh"
@@ -22,13 +23,20 @@ class CxlFabric
 {
   public:
     explicit CxlFabric(mem::Machine &machine, PageStoreConfig pageStoreCfg = {},
-                       RasConfig rasCfg = {})
+                       RasConfig rasCfg = {}, CoherenceConfig coherenceCfg = {})
         : machine_(machine), pageStore_(machine, pageStoreCfg),
           ras_(machine, pageStore_, rasCfg), sharedFs_(machine, pageStore_)
     {
         // The RAS ctor installs the machine-level poison repairer when
         // enabled; the store hook makes interned pages flow through it.
         pageStore_.attachRas(&ras_);
+        // The directory ctor installs the machine-level coherence
+        // model; with mode Off none is built and every access path
+        // stays bit-identical to the pre-coherence tree.
+        if (coherenceCfg.mode != CoherenceMode::Off) {
+            coherence_ = std::make_unique<CoherenceDirectory>(machine,
+                                                              coherenceCfg);
+        }
     }
 
     CxlFabric(const CxlFabric &) = delete;
@@ -39,6 +47,9 @@ class CxlFabric
     PageStore &pageStore() { return pageStore_; }
     RasManager &ras() { return ras_; }
     SharedFs &sharedFs() { return sharedFs_; }
+
+    /** The coherence directory, or nullptr when mode is Off. */
+    CoherenceDirectory *coherence() { return coherence_.get(); }
     sim::StatSet &stats() { return stats_; }
 
     /** Device capacity consumed, across checkpoints and files. */
@@ -50,6 +61,7 @@ class CxlFabric
     PageStore pageStore_; ///< Before sharedFs_: the FS writes through it.
     RasManager ras_;      ///< Before sharedFs_: FS pages may be protected.
     SharedFs sharedFs_;
+    std::unique_ptr<CoherenceDirectory> coherence_;
     sim::StatSet stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "machine.hh"
 #include "sim/error.hh"
 #include "sim/fault_injector.hh"
 #include "sim/log.hh"
@@ -108,6 +109,8 @@ FrameAllocator::decRef(PhysAddr addr)
     f.poisoned = false;
     --usedFrames_;
     freeList_.push_back(indexOf(addr));
+    if (coherence_)
+        coherence_->lineFreed(addr);
     return true;
 }
 

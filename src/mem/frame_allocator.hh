@@ -19,6 +19,8 @@ class FaultInjector;
 
 namespace cxlfork::mem {
 
+class CoherenceModel;
+
 /**
  * Result of FrameAllocator::auditLive(): bookkeeping cross-check used
  * by the crash-enumeration harness ("zero leaked frames" must mean the
@@ -65,6 +67,14 @@ class FrameAllocator
      * then draw the frame-poison stream. Nullptr detaches.
      */
     void setFaultInjector(sim::FaultInjector *inj) { injector_ = inj; }
+
+    /**
+     * Attach the fabric coherence model: frames freed by decRef then
+     * notify it via lineFreed so directory state never outlives the
+     * frame (the shootdown-before-reuse guarantee). Nullptr detaches.
+     * Installed by Machine::setCoherence on the CXL tier only.
+     */
+    void setCoherence(CoherenceModel *c) { coherence_ = c; }
 
     /** Mark an allocated frame poisoned (tests / targeted injection). */
     void poison(PhysAddr addr) { frame(addr).poisoned = true; }
@@ -151,6 +161,7 @@ class FrameAllocator
     std::vector<Frame> frames_;
     std::vector<uint64_t> freeList_;
     sim::FaultInjector *injector_ = nullptr;
+    CoherenceModel *coherence_ = nullptr;
 };
 
 } // namespace cxlfork::mem

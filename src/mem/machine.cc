@@ -45,6 +45,15 @@ Machine::setFaultConfig(const sim::FaultConfig &cfg)
 }
 
 void
+Machine::setCoherence(CoherenceModel *c)
+{
+    coherence_ = c;
+    // The allocator tells the directory about frees directly so a
+    // reused CXL frame can never serve the previous tenant's tokens.
+    cxl_->setCoherence(c);
+}
+
+void
 Machine::cxlTransaction(sim::SimClock &clock, const char *site)
 {
     cxlTxnCounter_->inc();

@@ -49,6 +49,62 @@ class PoisonRepairer
                                 const char *site) = 0;
 };
 
+/**
+ * Fabric coherence hook. When installed (by the CXL fabric's
+ * CoherenceDirectory) every CXL-tier frame access routed through
+ * Machine::readFrame/writeFrame consults the directory, which tracks
+ * per-line MESI state, charges coherence traffic to the accessing
+ * node's clock, and — in software-coherency (HDM-D) mode — decides
+ * which content token the reader actually observes. Defined here — not
+ * in cxl — because mem cannot depend on the cxl layer (the same
+ * pattern as PoisonRepairer above).
+ *
+ * Null by default: with no model installed the fabric is magically
+ * coherent and every access behaves exactly as before this hook
+ * existed (no extra time, no extra counters).
+ */
+class CoherenceModel
+{
+  public:
+    virtual ~CoherenceModel() = default;
+
+    /**
+     * Node `n` reads the line at `addr` whose device copy currently
+     * holds `deviceContent`. @return the content token the node
+     * observes — `deviceContent` under hardware coherence, possibly a
+     * stale token under software coherence.
+     */
+    virtual uint64_t read(PhysAddr addr, NodeId n, uint64_t deviceContent,
+                          sim::SimClock &clock, const char *site) = 0;
+
+    /**
+     * Node `n` stored `newContent` over a line that previously held
+     * `oldContent` (the device copy is already updated by the caller).
+     */
+    virtual void write(PhysAddr addr, NodeId n, uint64_t newContent,
+                       uint64_t oldContent, sim::SimClock &clock) = 0;
+
+    /** Node `n` flushes its dirty data for the line to the device. */
+    virtual void flush(PhysAddr addr, NodeId n, sim::SimClock &clock) = 0;
+
+    /** Node `n` invalidates its cached copy (next read refetches). */
+    virtual void invalidate(PhysAddr addr, NodeId n,
+                            sim::SimClock &clock) = 0;
+
+    /**
+     * Node `n` dropped its mapping of the line (unmap / CoW break /
+     * migration): leave the sharer set, discarding any unflushed data.
+     */
+    virtual void evict(PhysAddr addr, NodeId n, sim::SimClock &clock) = 0;
+
+    /**
+     * The frame was freed (refcount hit zero). The directory resets
+     * the line so a reused frame can never serve a previous tenant's
+     * tokens — the shootdown-before-reuse guarantee.
+     */
+    virtual void lineFreed(PhysAddr addr) = 0;
+};
+
 /** Machine construction parameters. */
 struct MachineConfig
 {
@@ -117,6 +173,110 @@ class Machine
      */
     void setPoisonRepairer(PoisonRepairer *r) { repairer_ = r; }
     PoisonRepairer *poisonRepairer() const { return repairer_; }
+
+    /**
+     * Install (or clear, with nullptr) the fabric coherence model that
+     * readFrame/writeFrame consult on CXL-tier accesses. Also arms the
+     * CXL allocator's free-notification hook so frame reuse resets
+     * directory lines. Null by default: the fabric stays magically
+     * coherent and every access path is bit-identical to the pre-
+     * coherence tree.
+     */
+    void setCoherence(CoherenceModel *c);
+    CoherenceModel *coherence() const { return coherence_; }
+
+    /**
+     * Node-attributed read of a frame's content token: the failure
+     * model of readFrameChecked plus, when a coherence model is
+     * installed and the frame is on the CXL tier, the directory's view
+     * of what node `n` observes (which may be stale under HDM-D).
+     */
+    uint64_t
+    readFrame(PhysAddr addr, NodeId n, sim::SimClock &clock,
+              const char *site)
+    {
+        uint64_t content = readFrameChecked(addr, clock, site);
+        if (coherence_ && tierOf(addr) == Tier::Cxl)
+            content = coherence_->read(addr, n, content, clock, site);
+        return content;
+    }
+
+    /**
+     * Coherence-only observation of a CXL frame: what node `n` sees
+     * through the directory, without the checked-read fabric
+     * accounting. For access paths that exist *only because* the
+     * directory is armed (leaf attach walks, one-shot image scans) —
+     * they must move nothing but simulated time and the
+     * cxl.coherence.* counters, or the directory-on counter stream
+     * diverges from the directory-off baseline the oracle compares
+     * against. Returns the device token when no model is installed.
+     */
+    uint64_t
+    touchFrame(PhysAddr addr, NodeId n, sim::SimClock &clock,
+               const char *site)
+    {
+        uint64_t content = frame(addr).content;
+        if (coherence_ && tierOf(addr) == Tier::Cxl)
+            content = coherence_->read(addr, n, content, clock, site);
+        return content;
+    }
+
+    /**
+     * Node-attributed store of a frame's content token. The device
+     * copy always takes the new token (Frame::content stays the source
+     * of truth for dedup and checksums); the directory decides what
+     * *other* nodes observe and charges back-invalidations.
+     */
+    void
+    writeFrame(PhysAddr addr, NodeId n, uint64_t content,
+               sim::SimClock &clock)
+    {
+        Frame &f = frame(addr);
+        const uint64_t old = f.content;
+        f.content = content;
+        if (coherence_ && tierOf(addr) == Tier::Cxl)
+            coherence_->write(addr, n, content, old, clock);
+    }
+
+    /**
+     * Publish a freshly written CXL frame: models the checkpoint
+     * paths' non-temporal store stream plus the trailing fence. The
+     * stale value for an unpublished fresh frame is the zero token (a
+     * frame starts life zeroed), so under HDM-D an elided publish is
+     * observable as reads of 0. No-op without a coherence model.
+     */
+    void
+    publishFrame(PhysAddr addr, NodeId n, sim::SimClock &clock)
+    {
+        if (coherence_ && tierOf(addr) == Tier::Cxl) {
+            coherence_->write(addr, n, frame(addr).content, 0, clock);
+            coherence_->flush(addr, n, clock);
+        }
+    }
+
+    /** Software flush of node `n`'s dirty data for a CXL line. */
+    void
+    flushFrame(PhysAddr addr, NodeId n, sim::SimClock &clock)
+    {
+        if (coherence_ && tierOf(addr) == Tier::Cxl)
+            coherence_->flush(addr, n, clock);
+    }
+
+    /** Software invalidate of node `n`'s cached copy of a CXL line. */
+    void
+    invalidateFrame(PhysAddr addr, NodeId n, sim::SimClock &clock)
+    {
+        if (coherence_ && tierOf(addr) == Tier::Cxl)
+            coherence_->invalidate(addr, n, clock);
+    }
+
+    /** Node `n` dropped its mapping of a CXL line (unmap/CoW/migrate). */
+    void
+    evictFrame(PhysAddr addr, NodeId n, sim::SimClock &clock)
+    {
+        if (coherence_ && tierOf(addr) == Tier::Cxl)
+            coherence_->evict(addr, n, clock);
+    }
 
     /**
      * The FaultOrigin for a frame address: the address itself plus the
@@ -212,6 +372,7 @@ class Machine
     std::vector<CacheModel> llc_;
     uint64_t cxlCapacity_ = 0;
     PoisonRepairer *repairer_ = nullptr;
+    CoherenceModel *coherence_ = nullptr;
 
     // Hot-path metric handles, resolved once at construction so the
     // per-transaction cost is a pointer bump instead of a string-keyed

@@ -309,7 +309,7 @@ NodeOs::access(Task &task, mem::VirtAddr va, bool isWrite,
         // the hardware walker maintain A/D.
         res.tier = machine_.tierOf(pte.frame());
         if (isWrite) {
-            machine_.frame(pte.frame()).content = contentOnWrite;
+            machine_.writeFrame(pte.frame(), id_, contentOnWrite, clock_);
             // A write that hits a writable translation of a sealed
             // (checkpointed) frame is impossible by construction:
             // checkpointed PTEs are always read-only.
@@ -353,8 +353,8 @@ NodeOs::migrateFromCheckpoint(Task &task, mem::VirtAddr va, const Vma &vma,
     // anything is allocated or installed).
     AccessResult res;
     const uint64_t content =
-        machine_.readFrameChecked(ckptPte.frame(), clock_,
-                                  "checkpoint migrate");
+        machine_.readFrame(ckptPte.frame(), id_, clock_,
+                           "checkpoint migrate");
     const mem::PhysAddr frame = localDram().alloc(
         mem::FrameUse::Data, isWrite ? contentOnWrite : content);
     FrameGuard guard(localDram(), frame);
@@ -363,6 +363,10 @@ NodeOs::migrateFromCheckpoint(Task &task, mem::VirtAddr va, const Vma &vma,
         pte.set(Pte::kDirty);
     const auto setRes = task.mm().pageTable().setPte(va, pte);
     guard.release();
+    // The node keeps only its private copy: leave the checkpoint
+    // line's sharer set so the directory never thinks we still cache
+    // the device page.
+    machine_.evictFrame(ckptPte.frame(), id_, clock_);
     clock_.advance(task.mm().backing()->migrateCost(machine_.costs()));
     res.fault = FaultKind::CxlMigrate;
     res.tier = mem::Tier::LocalDram;
@@ -490,7 +494,7 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
         // keep the checkpoint pristine. The copy reads the device page
         // first, so a poisoned or transiently failing source throws
         // before any local state changes.
-        machine_.readFrameChecked(cur.frame(), clock_, "cxl cow copy");
+        machine_.readFrame(cur.frame(), id_, clock_, "cxl cow copy");
         const mem::PhysAddr frame =
             localDram().alloc(mem::FrameUse::Data, contentOnWrite);
         FrameGuard guard(localDram(), frame);
@@ -498,6 +502,10 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
         newPte.set(Pte::kDirty);
         const auto setRes = pt.setPte(va, newPte);
         guard.release();
+        // The CoW break replaced the CXL mapping with the private
+        // copy; the shootdown that follows also drops this node from
+        // the directory's sharer set.
+        machine_.evictFrame(cur.frame(), id_, clock_);
         clock_.advance(costs.cxlCowFault());
         faultKindStats_[size_t(FaultKind::CowCxl)]->inc();
         pagesFromCxlCounter_->inc();
@@ -524,7 +532,7 @@ NodeOs::handleFault(Task &task, mem::VirtAddr va, bool isWrite,
             // Sole owner: re-arm the mapping writable in place.
             newPte.set(Pte::kWrite | Pte::kDirty);
             newPte.clear(Pte::kSoftCow);
-            machine_.frame(cur.frame()).content = contentOnWrite;
+            machine_.writeFrame(cur.frame(), id_, contentOnWrite, clock_);
             pt.setPte(va, newPte);
             clock_.advance(costs.faultTrap + costs.cowFaultLocal);
         } else {
@@ -571,7 +579,7 @@ NodeOs::read(Task &task, mem::VirtAddr va)
     access(task, va, false);
     const Pte pte = task.mm().pageTable().lookup(va);
     CXLF_ASSERT(pte.present());
-    return machine_.readFrameChecked(pte.frame(), clock_, "read");
+    return machine_.readFrame(pte.frame(), id_, clock_, "read");
 }
 
 void

@@ -33,6 +33,15 @@ PageTable::PageTable(mem::Machine &machine, mem::FrameAllocator &tableFrames,
                      sim::SimClock &clock)
     : machine_(machine), tableFrames_(tableFrames), clock_(clock)
 {
+    // Table frames live in the owning node's DRAM window, so the node
+    // index falls out of the window arithmetic (0 for the off-node
+    // allocators some unit tests use — they never shoot down).
+    nodeId_ = tableFrames_.tier() == mem::Tier::LocalDram &&
+                      tableFrames_.base().raw >= mem::Machine::kNodeStride
+                  ? mem::NodeId(tableFrames_.base().raw /
+                                    mem::Machine::kNodeStride -
+                                1)
+                  : 0;
     root_ = makeTablePage(3);
 }
 
@@ -232,6 +241,16 @@ PageTable::unmapRange(mem::VirtAddr lo, mem::VirtAddr hi)
         if (leaf->sealed()) {
             if (vpn == leafBase && chunkEnd == leafEnd) {
                 // Fully covered: detach; the checkpoint owns its frames.
+                // The shootdown also drops this node from the
+                // directory's sharer set for every checkpoint line the
+                // leaf mapped (walked only when a directory exists).
+                if (machine_.coherence()) {
+                    for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+                        const Pte &p = leaf->pte(i);
+                        if (p.present() && p.cxlCheckpoint())
+                            machine_.evictFrame(p.frame(), nodeId_, clock_);
+                    }
+                }
                 parent->child(leafSlot) = nullptr;
                 invalidateWalkCache();
                 CXLF_ASSERT(attachedLeafCount_ > 0);
@@ -245,6 +264,8 @@ PageTable::unmapRange(mem::VirtAddr lo, mem::VirtAddr hi)
             Pte &p = leaf->pte(indexAt(v, 0));
             if (p.present() && !p.cxlCheckpoint())
                 machine_.putFrame(p.frame());
+            else if (p.present())
+                machine_.evictFrame(p.frame(), nodeId_, clock_);
             if (p.present())
                 clock_.advance(machine_.costs().pteWrite);
             p = Pte();
@@ -356,6 +377,15 @@ PageTable::releaseSubtree(TablePage &page)
     if (page.level() == 0) {
         // Sealed leaves belong to their checkpoint image; never touch
         // their frames here. (The shared_ptr web frees the object.)
+        // The directory still learns the node dropped its mappings of
+        // any checkpoint lines — the address space is going away.
+        if (machine_.coherence()) {
+            for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
+                const Pte &p = page.pte(i);
+                if (p.present() && p.cxlCheckpoint())
+                    machine_.evictFrame(p.frame(), nodeId_, clock_);
+            }
+        }
         if (!page.sealed() && page.ownsBacking()) {
             for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
                 const Pte &p = page.pte(i);

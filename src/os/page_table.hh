@@ -212,6 +212,12 @@ class PageTable
     mem::Machine &machine_;
     mem::FrameAllocator &tableFrames_;
     sim::SimClock &clock_;
+    /**
+     * The node this table belongs to, derived from the table-frame
+     * allocator's window (shootdown-time directory evictions need a
+     * node identity and the PageTable predates per-node plumbing).
+     */
+    mem::NodeId nodeId_ = 0;
     std::shared_ptr<TablePage> root_;
     uint64_t ownedTablePages_ = 0;
     uint64_t leafCowCount_ = 0;

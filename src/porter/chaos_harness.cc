@@ -51,6 +51,7 @@ soakCluster(const ChaosConfig &cfg)
     cc.ras.enabled = cfg.replicas > 0;
     cc.ras.replicas = cfg.replicas;
     cc.ras.replicaThreshold = cfg.replicaThreshold;
+    cc.coherence.mode = cfg.coherence;
     return cc;
 }
 
@@ -416,6 +417,15 @@ struct Soak
         const cxl::PageStoreAudit ps = cluster.fabric().pageStore().audit();
         if (!ps.consistent)
             fail("page-store audit failed: " + ps.detail);
+
+        // Coherence-enabled soaks also audit the directory: every MESI
+        // invariant must hold after hundreds of crash/recover rounds,
+        // and the line-reset hook must have kept directory state from
+        // outliving freed frames.
+        if (cxl::CoherenceDirectory *dir = cluster.fabric().coherence()) {
+            if (auto bad = dir->auditInvariants())
+                fail("coherence audit failed: " + *bad);
+        }
     }
 };
 

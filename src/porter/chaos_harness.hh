@@ -61,6 +61,16 @@ struct ChaosConfig
     uint64_t tokenPeriod = 4;     ///< Intra-image sharing period.
     uint64_t republishEvery = 8;  ///< Rounds between new generations.
     uint64_t restoresPerRound = 2;
+
+    /**
+     * Fabric coherence mode for the soak cluster. Off (the default)
+     * reproduces the pre-coherence soak bit-identically; HdmH/HdmD add
+     * the MESI directory to every publish/restore/crash round, and the
+     * harness additionally audits the directory invariants at teardown
+     * plus "no stale restore" throughout (a crashed node's unflushed
+     * stores must never surface in a successful restore).
+     */
+    cxl::CoherenceMode coherence = cxl::CoherenceMode::Off;
 };
 
 /** What the soak saw and concluded. */

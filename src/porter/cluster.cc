@@ -7,7 +7,7 @@ namespace cxlfork::porter {
 Cluster::Cluster(const ClusterConfig &cfg)
     : cfg_(cfg), machine_(std::make_unique<mem::Machine>(cfg.machine)),
       fabric_(std::make_unique<cxl::CxlFabric>(*machine_, cfg.pageStore,
-                                               cfg.ras)),
+                                               cfg.ras, cfg.coherence)),
       vfs_(std::make_shared<os::Vfs>())
 {
     // Staged-manifest pins taken during checkpointPublished are real
@@ -42,14 +42,33 @@ Cluster::recoverNode(mem::NodeId n)
     sim::SpanScope span = machine_->tracer().span(
         clock, n, "porter.recover_node", "porter.recovery");
 
+    // Under HDM-D, data the dead node stored but never flushed died in
+    // its cache: a checkpoint referencing such a line is torn even when
+    // structurally complete, and completing it would serve stale bytes
+    // forever. Snapshot the torn set *before* the directory's crash
+    // cleanup (Pass 4) discards the pending stores that identify it.
+    std::vector<mem::PhysAddr> tornLines;
+    if (cxl::CoherenceDirectory *dir = fabric_->coherence())
+        tornLines = dir->pendingLines(n);
+    const auto referencesTornLine =
+        [&](const std::shared_ptr<rfork::CheckpointHandle> &h) {
+            for (const mem::PhysAddr addr : tornLines) {
+                if (h->referencesFrame(addr))
+                    return true;
+            }
+            return false;
+        };
+
     // Pass 1: STAGED orphans this node left behind. Each record costs
     // one fabric transaction to read back; the verifier's verdict is
-    // "fully built and not pinned to any node's local DRAM".
+    // "fully built, not pinned to any node's local DRAM, and not torn
+    // by an unflushed store".
     const cxl::RecoveryReport rep = checkpoints_.recoverOrphans(
         n, [&](const std::shared_ptr<rfork::CheckpointHandle> &h) {
             machine_->cxlTransaction(clock, "journal recover");
             clock.advance(costs.cxlRead(rfork::kJournalRecordBytes));
-            return h->complete() && h->localBytes() == 0;
+            return h->complete() && h->localBytes() == 0 &&
+                   !referencesTornLine(h);
         });
     out.orphansScanned = rep.scanned;
     out.orphansCompleted = rep.completed;
@@ -67,7 +86,8 @@ Cluster::recoverNode(mem::NodeId n)
                 rec.ownerNode != n)
                 return;
             auto h = checkpoints_.get(cid);
-            if (!h || h->localBytes() > 0 || !h->complete())
+            if (!h || h->localBytes() > 0 || !h->complete() ||
+                referencesTornLine(h))
                 deadPublished.push_back(cid);
         });
     for (cxl::Cid cid : deadPublished) {
@@ -80,6 +100,13 @@ Cluster::recoverNode(mem::NodeId n)
 
     // Pass 3: SharedFs frames stranded by writes the crash interrupted.
     out.fsFramesReclaimed = fabric_->sharedFs().reclaimOrphans();
+
+    // Pass 4: coherence directory cleanup. The dead node's unflushed
+    // stores are discarded whole and its sharer/ownership entries
+    // dropped, so survivors keep observing the last *published* token
+    // and never a torn or half-flushed one.
+    if (cxl::CoherenceDirectory *dir = fabric_->coherence())
+        dir->onNodeCrash(n, clock);
 
     uint64_t usedAfter = machine_->cxl().usedFrames();
     for (uint32_t i = 0; i < machine_->numNodes(); ++i)

@@ -49,6 +49,13 @@ struct ClusterConfig
      * behaviour.
      */
     cxl::RasConfig ras;
+
+    /**
+     * Fabric coherence directory configuration (MESI home agent,
+     * HDM-H/HDM-D fidelity modes). Off by default: no directory, no
+     * counters, bit-identical behaviour.
+     */
+    cxl::CoherenceConfig coherence;
 };
 
 /** The running cluster. */

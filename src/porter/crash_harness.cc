@@ -27,6 +27,7 @@ smallCluster(const CrashEnumConfig &cfg)
     cc.machine.cxlCapacityBytes = mem::mib(256);
     cc.machine.llcBytes = mem::mib(8);
     cc.pageStore = cfg.pageStore;
+    cc.coherence.mode = cfg.coherence;
     return cc;
 }
 

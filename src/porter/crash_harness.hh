@@ -59,6 +59,15 @@ struct CrashEnumConfig
      * Zero keeps every page unique.
      */
     uint64_t tokenPeriod = 0;
+
+    /**
+     * Fabric coherence mode for each replay's fresh cluster. Off (the
+     * default) enumerates exactly the pre-coherence site list;
+     * HdmH/HdmD add the directory's own crash sites (coherence.read /
+     * .write / .flush) to the sweep, proving a crash inside a
+     * coherence operation recovers as cleanly as every other site.
+     */
+    cxl::CoherenceMode coherence = cxl::CoherenceMode::Off;
 };
 
 /** What happened when the checkpoint crashed (or ran) at one site. */

@@ -71,8 +71,13 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     // The image file's cache frames (possibly shared with other images
     // through the page store) go on the STAGED manifest so a crash
     // between here and publish releases them exactly once.
-    for (mem::PhysAddr f : file.frames)
+    for (mem::PhysAddr f : file.frames) {
         manifestPage(node, f);
+        // Publish the page-cache frames through the coherence
+        // directory (no-op without one): restores on other nodes must
+        // observe the image bytes, not a stale zero token.
+        machine.publishFrame(f, node.id(), clock);
+    }
     handle->setContents(simBytes, image.pages.size(), records);
     machine.faults().crashPoint("criu.commit");
     handle->markCommitted();
@@ -123,6 +128,14 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     for (mem::PhysAddr fr : file->frames) {
         if (machine.frame(fr).poisoned)
             machine.readFrameChecked(fr, clock, "criu image read");
+        if (machine.coherence()) {
+            // Directory on: the bulk read is additionally a
+            // coherence-visible touch (sharer tracking + tax, nothing
+            // in the shared fabric counters), and the target drops
+            // its copy right after the one-shot parse.
+            machine.touchFrame(fr, target.id(), clock, "criu image read");
+            machine.evictFrame(fr, target.id(), clock);
+        }
     }
     if (!fabric_.sharedFs().verify(h->fileName())) {
         throw sim::CorruptImageError(sim::format(

@@ -84,6 +84,11 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
                     machine.cxlTransaction(clock, "cxlfork checkpoint copy");
                     clock.advance(costs.cxlWrite(kPageSize));
                     cs.bytesToCxl += kPageSize;
+                    // Publish through the coherence directory: the NT
+                    // store stream plus its trailing fence. Under
+                    // HDM-D an elided flush leaves remote readers on
+                    // the stale zero token — observably wrong data.
+                    machine.publishFrame(replica, node.id(), clock);
                 }
             }
             manifestPage(node, replica);
@@ -113,6 +118,7 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
         // OS modification.
         cxl::rebaseLeaf(*ckptLeaf, machine);
         clock.advance(costs.pteWrite * present);
+        machine.publishFrame(leafBacking, node.id(), clock);
         ckptLeaf->seal();
         img->addLeaf(baseVpn, std::move(ckptLeaf));
     });
@@ -138,6 +144,7 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
             machine.cxl().alloc(mem::FrameUse::Metadata);
         img->addMetaFrame(f);
         manifestPage(node, f);
+        machine.publishFrame(f, node.id(), clock);
     }
     clock.advance(costs.cxlWrite(vmaBytes));
     cs.bytesToCxl += vmaBytes;
@@ -154,6 +161,7 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
             machine.cxl().alloc(mem::FrameUse::Metadata);
         img->addMetaFrame(f);
         manifestPage(node, f);
+        machine.publishFrame(f, node.id(), clock);
     }
     clock.advance(costs.serializeCost(globalBytes) +
                   costs.serializeRecord * double(global.recordCount()) +
@@ -169,6 +177,7 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
             machine.cxl().alloc(mem::FrameUse::Metadata);
         img->addMetaFrame(f);
         manifestPage(node, f);
+        machine.publishFrame(f, node.id(), clock);
     }
     clock.advance(costs.cxlWrite(proto::CpuMsg::simulatedBytes()));
     cs.bytesToCxl += proto::CpuMsg::simulatedBytes();
@@ -269,6 +278,15 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     if (opts.policy == os::TieringPolicy::MigrateOnWrite) {
         if (cfg_.attachLeaves) {
             for (const auto &[baseVpn, leaf] : img->leaves()) {
+                // Attaching walks the device-resident leaf page: a
+                // coherence-visible touch (directory cost and sharer
+                // tracking only — the off path and the shared fabric
+                // counters stay bit-identical to the pre-coherence
+                // tree).
+                if (machine.coherence()) {
+                    machine.touchFrame(leaf->backing(), target.id(), clock,
+                                       "cxlfork leaf attach");
+                }
                 task->mm().pageTable().attachLeaf(baseVpn, leaf);
                 ++rs.leavesAttached;
             }
@@ -321,13 +339,15 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
             clock, target.id(), "restore.prefetch", "rfork.phase");
         img->forEachDirty([&](mem::VirtAddr va, const Pte &ckpt) {
             const uint64_t content =
-                machine.readFrameChecked(ckpt.frame(), clock,
-                                         "cxlfork prefetch");
+                machine.readFrame(ckpt.frame(), target.id(), clock,
+                                  "cxlfork prefetch");
             const mem::PhysAddr local =
                 target.localDram().alloc(mem::FrameUse::Data, content);
             Pte fresh = Pte::make(local, true);
             fresh.set(Pte::kDirty);
             task->mm().pageTable().setPte(va, fresh);
+            // The prefetched line now lives in the child's DRAM copy.
+            machine.evictFrame(ckpt.frame(), target.id(), clock);
             clock.advance(costs.cxlRead(kPageSize));
             ++rs.pagesCopied;
             if (machine.tracer().enabled()) {

@@ -51,6 +51,15 @@ struct CostParams
                                      ///< frame allocation, PTE install,
                                      ///< LRU/cgroup accounting.
 
+    // --- Coherence directory costs (charged only when the fabric's
+    // CoherenceDirectory is enabled; the defaults follow the CXL-DMSim
+    // observation that a home-agent lookup rides the access and a
+    // back-invalidation costs roughly one fabric round trip).
+    SimTime cohLookup = 50_ns;         ///< Directory lookup at the home agent.
+    SimTime cohBackInvalidate = 330_ns; ///< Invalidate one remote sharer.
+    SimTime cohWriteback = 500_ns;     ///< Write a Modified line back.
+    SimTime cohFlush = 200_ns;         ///< Software flush/invalidate op (HDM-D).
+
     // --- OS object manipulation costs.
     SimTime vmaSetup = 500_ns;       ///< Allocate + link one VMA.
     SimTime ptPageAlloc = 300_ns;    ///< Allocate + zero one table page.

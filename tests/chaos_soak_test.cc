@@ -122,6 +122,58 @@ TEST(ChaosSoak, ReportIsDeterministic)
     EXPECT_EQ(a.pass, b.pass);
 }
 
+// --- The storm again with the coherence directory armed.
+//
+// Every publish/restore/crash round now runs through the MESI
+// directory; the harness's byte-identical restore check doubles as a
+// staleness oracle (a crashed node's unflushed HDM-D stores surfacing
+// in a "successful" restore would be caught as a corrupt restore), and
+// finalAudit additionally runs the directory's MESI invariant audit.
+
+class ChaosSoakCoherence
+    : public ::testing::TestWithParam<cxl::CoherenceMode>
+{
+};
+
+TEST_P(ChaosSoakCoherence, HoldsEveryInvariantWithDirectoryArmed)
+{
+    ChaosConfig cfg = soakConfig(CrashMechanism::CxlFork, 250);
+    cfg.coherence = GetParam();
+    const ChaosReport rep = porter::runChaosSoak(cfg);
+    EXPECT_TRUE(rep.pass) << rep.firstViolation;
+    EXPECT_GT(rep.checkpointsPublished, 0u);
+    EXPECT_GT(rep.crashesInjected, 0u) << "crash arm never fired";
+    EXPECT_GT(rep.recoveries, 0u);
+    EXPECT_EQ(rep.framesLeaked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ChaosSoakCoherence,
+                         ::testing::Values(cxl::CoherenceMode::HdmH,
+                                           cxl::CoherenceMode::HdmD),
+                         [](const auto &info) {
+                             return info.param == cxl::CoherenceMode::HdmH
+                                        ? "HdmH"
+                                        : "HdmD";
+                         });
+
+TEST(ChaosSoakCoherence, DirectoryOffReportMatchesPreCoherenceSoak)
+{
+    // The coherence knob at Off must reproduce the directory-free soak
+    // bit-identically — same storm, same counts, no directory in the
+    // loop.
+    const ChaosConfig off = soakConfig(CrashMechanism::Criu, 200);
+    ChaosConfig offExplicit = off;
+    offExplicit.coherence = cxl::CoherenceMode::Off;
+    const ChaosReport a = porter::runChaosSoak(off);
+    const ChaosReport b = porter::runChaosSoak(offExplicit);
+    EXPECT_EQ(a.invocations, b.invocations);
+    EXPECT_EQ(a.restoresOk, b.restoresOk);
+    EXPECT_EQ(a.checkpointsLost, b.checkpointsLost);
+    EXPECT_EQ(a.repairs, b.repairs);
+    EXPECT_EQ(a.crashesInjected, b.crashesInjected);
+    EXPECT_EQ(a.pass, b.pass);
+}
+
 TEST(ChaosSoak, SeedChangesTheStorm)
 {
     ChaosConfig cfg = soakConfig(CrashMechanism::CxlFork, 200);

@@ -223,6 +223,62 @@ TEST(CrashEnumDedup, DirectPutUnsafeStillFailsTheEnumeration)
     EXPECT_FALSE(rep.pass);
 }
 
+// --- The sweep again with the coherence directory armed.
+//
+// The directory adds its own crash sites (coherence.read / .write /
+// .flush) to every checkpoint build, and recoverNode runs the
+// directory's crash-cleanup pass. The sweep proves a crash *inside* a
+// coherence operation recovers as cleanly as every other site — no
+// leaked frames, no stale visibility, restorable-or-absent lookup.
+
+CrashEnumConfig
+coherenceConfigFor(CrashMechanism m, cxl::CoherenceMode mode)
+{
+    CrashEnumConfig cfg = configFor(m);
+    cfg.coherence = mode;
+    return cfg;
+}
+
+TEST(CrashEnumCoherence, DirectoryAddsCrashSites)
+{
+    const uint64_t off = countCrashSites(configFor(CrashMechanism::CxlFork));
+    const uint64_t hdmh = countCrashSites(
+        coherenceConfigFor(CrashMechanism::CxlFork, cxl::CoherenceMode::HdmH));
+    EXPECT_GT(hdmh, off)
+        << "an armed directory must walk its own crash sites";
+    // And the directory-off sweep is exactly the pre-coherence one.
+    EXPECT_EQ(off, countCrashSites(configFor(CrashMechanism::CxlFork)));
+}
+
+TEST(CrashEnumCoherence, EverySiteRecoversCxlForkHdmH)
+{
+    const CrashEnumReport rep = enumerateCrashSites(
+        coherenceConfigFor(CrashMechanism::CxlFork, cxl::CoherenceMode::HdmH));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    const CrashSiteResult &control = rep.results.back();
+    EXPECT_TRUE(control.restored);
+}
+
+TEST(CrashEnumCoherence, EverySiteRecoversCxlForkHdmD)
+{
+    // HDM-D is the brutal variant: a crash between a checkpoint write
+    // and its flush leaves unflushed pending stores that recovery must
+    // discard — a restore that *succeeds with stale bytes* would fail
+    // the page-token verification inside the harness.
+    const CrashEnumReport rep = enumerateCrashSites(
+        coherenceConfigFor(CrashMechanism::CxlFork, cxl::CoherenceMode::HdmD));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_TRUE(rep.results.back().restored);
+}
+
+TEST(CrashEnumCoherence, EverySiteRecoversCriuHdmD)
+{
+    const CrashEnumReport rep = enumerateCrashSites(
+        coherenceConfigFor(CrashMechanism::Criu, cxl::CoherenceMode::HdmD));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_TRUE(rep.results.back().restored);
+}
+
 TEST(CrashEnum, CrashMetricsLandInMachineRegistry)
 {
     ClusterConfig cc;

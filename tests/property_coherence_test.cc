@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Property/fuzz test for the coherence directory.
+ *
+ * Random read/write/flush/invalidate/evict sequences from N simulated
+ * nodes run against an independent shadow model of the visibility
+ * semantics:
+ *
+ *  - HDM-H shadow: sequential consistency — every read must return the
+ *    current device token, full stop.
+ *  - HDM-D shadow: a straight-line reimplementation of the
+ *    pending/cached/visible token rules, with none of the MESI state
+ *    machinery, so a directory bug and a shadow bug would have to
+ *    coincide to hide.
+ *
+ * After every operation the directory's own MESI invariant audit runs
+ * (single owner in E/M, empty sharer set in I, no pending stores under
+ * HDM-H), and every divergence message carries the seed + step for
+ * one-line repro.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cxl/coherence.hh"
+#include "mem/machine.hh"
+#include "sim/clock.hh"
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace cxlfork::cxl {
+namespace {
+
+using mem::NodeId;
+using mem::PhysAddr;
+
+constexpr uint32_t kNodes = 4;
+constexpr uint32_t kLines = 8;
+constexpr uint32_t kSteps = 2000;
+constexpr uint64_t kSeeds = 20;
+
+/** Shadow of one line's HDM-D visibility state. */
+struct ShadowLine
+{
+    uint64_t device = 0;  ///< True device token (mirrors Frame::content).
+    uint64_t visible = 0; ///< What a fresh reader observes.
+    std::map<NodeId, uint64_t> pending; ///< Unflushed stores per writer.
+    std::map<NodeId, uint64_t> cached;  ///< Pinned first-observed tokens.
+};
+
+struct ShadowModel
+{
+    explicit ShadowModel(CoherenceMode mode) : mode_(mode) {}
+
+    uint64_t
+    read(ShadowLine &l, NodeId n)
+    {
+        if (mode_ == CoherenceMode::HdmH)
+            return l.device;
+        if (auto it = l.pending.find(n); it != l.pending.end())
+            return it->second;
+        if (auto it = l.cached.find(n); it != l.cached.end())
+            return it->second;
+        l.cached.emplace(n, l.visible);
+        return l.visible;
+    }
+
+    void
+    write(ShadowLine &l, NodeId n, uint64_t v)
+    {
+        l.device = v;
+        if (mode_ == CoherenceMode::HdmH) {
+            l.visible = v;
+            return;
+        }
+        l.pending[n] = v;
+    }
+
+    void
+    flush(ShadowLine &l, NodeId n)
+    {
+        if (mode_ == CoherenceMode::HdmH)
+            return;
+        if (auto it = l.pending.find(n); it != l.pending.end()) {
+            l.visible = it->second;
+            l.cached[n] = it->second;
+            l.pending.erase(it);
+        }
+    }
+
+    void
+    invalidate(ShadowLine &l, NodeId n)
+    {
+        if (mode_ == CoherenceMode::HdmH)
+            return;
+        l.cached.erase(n);
+    }
+
+    void
+    evict(ShadowLine &l, NodeId n)
+    {
+        if (mode_ == CoherenceMode::HdmH)
+            return;
+        l.cached.erase(n);
+        l.pending.erase(n);
+    }
+
+    CoherenceMode mode_;
+};
+
+mem::MachineConfig
+smallMachine()
+{
+    mem::MachineConfig mc;
+    mc.numNodes = kNodes;
+    mc.dramPerNodeBytes = mem::mib(64);
+    mc.cxlCapacityBytes = mem::mib(64);
+    mc.llcBytes = mem::mib(1);
+    return mc;
+}
+
+void
+runCampaign(CoherenceMode mode, uint64_t seed)
+{
+    mem::Machine machine(smallMachine());
+    CoherenceConfig cfg;
+    cfg.mode = mode;
+    CoherenceDirectory dir(machine, cfg);
+    std::vector<sim::SimClock> clocks(kNodes);
+    sim::Rng rng(seed);
+    ShadowModel shadow(mode);
+
+    std::vector<PhysAddr> lines;
+    std::vector<ShadowLine> shadowLines(kLines);
+    for (uint32_t l = 0; l < kLines; ++l) {
+        const uint64_t initial = rng.raw() | 1;
+        lines.push_back(machine.cxl().alloc(mem::FrameUse::Data, initial));
+        shadowLines[l].device = initial;
+        shadowLines[l].visible = initial;
+    }
+
+    const auto repro = [&](uint32_t step) {
+        return sim::format("mode %s seed %llu step %u",
+                           coherenceModeName(mode),
+                           (unsigned long long)seed, step);
+    };
+
+    for (uint32_t step = 0; step < kSteps; ++step) {
+        const uint32_t l = uint32_t(rng.index(kLines));
+        const NodeId n = NodeId(rng.index(kNodes));
+        const PhysAddr addr = lines[l];
+        ShadowLine &sl = shadowLines[l];
+        const double roll = rng.uniform();
+
+        if (roll < 0.40) {
+            const uint64_t got =
+                machine.readFrame(addr, n, clocks[n], "property");
+            const uint64_t want = shadow.read(sl, n);
+            ASSERT_EQ(got, want) << repro(step) << ": node " << n
+                                 << " read diverged from the shadow";
+        } else if (roll < 0.65) {
+            const uint64_t v = rng.raw() | 1;
+            machine.writeFrame(addr, n, v, clocks[n]);
+            shadow.write(sl, n, v);
+        } else if (roll < 0.80) {
+            machine.flushFrame(addr, n, clocks[n]);
+            shadow.flush(sl, n);
+        } else if (roll < 0.90) {
+            machine.invalidateFrame(addr, n, clocks[n]);
+            shadow.invalidate(sl, n);
+        } else {
+            machine.evictFrame(addr, n, clocks[n]);
+            shadow.evict(sl, n);
+        }
+
+        const auto bad = dir.auditInvariants();
+        ASSERT_FALSE(bad.has_value()) << repro(step) << ": " << *bad;
+        ASSERT_EQ(machine.frame(addr).content, sl.device)
+            << repro(step) << ": device truth diverged";
+    }
+
+    if (mode == CoherenceMode::HdmH) {
+        EXPECT_EQ(machine.metrics().counterValue("cxl.coherence.stale_reads"),
+                  0u)
+            << "mode hdm-h seed " << seed
+            << ": hardware coherence must never serve stale data";
+    }
+}
+
+TEST(PropertyCoherence, HdmH_MatchesSequentialConsistencyShadow)
+{
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed)
+        runCampaign(CoherenceMode::HdmH, seed);
+}
+
+TEST(PropertyCoherence, HdmD_MatchesVisibilityShadow)
+{
+    for (uint64_t seed = 1; seed <= kSeeds; ++seed)
+        runCampaign(CoherenceMode::HdmD, seed);
+}
+
+TEST(PropertyCoherence, HdmD_CrashAtRandomPointsKeepsInvariants)
+{
+    // Sprinkle node crashes into the op stream: after each
+    // onNodeCrash the directory must stay invariant-clean and the
+    // crashed node's pending stores must be gone from every line.
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        mem::Machine machine(smallMachine());
+        CoherenceConfig cfg;
+        cfg.mode = CoherenceMode::HdmD;
+        CoherenceDirectory dir(machine, cfg);
+        std::vector<sim::SimClock> clocks(kNodes);
+        sim::Rng rng(0xc0de00 + seed);
+
+        std::vector<PhysAddr> lines;
+        for (uint32_t l = 0; l < kLines; ++l)
+            lines.push_back(
+                machine.cxl().alloc(mem::FrameUse::Data, rng.raw() | 1));
+
+        for (uint32_t step = 0; step < 500; ++step) {
+            const PhysAddr addr = lines[rng.index(kLines)];
+            const NodeId n = NodeId(rng.index(kNodes));
+            const double roll = rng.uniform();
+            if (roll < 0.45) {
+                machine.readFrame(addr, n, clocks[n], "property-crash");
+            } else if (roll < 0.80) {
+                machine.writeFrame(addr, n, rng.raw() | 1, clocks[n]);
+            } else if (roll < 0.95) {
+                machine.flushFrame(addr, n, clocks[n]);
+            } else {
+                dir.onNodeCrash(n, clocks[(n + 1) % kNodes]);
+                for (const PhysAddr a : lines) {
+                    const LineInfo i = dir.lineInfo(a);
+                    ASSERT_FALSE(i.hasSharer(n))
+                        << "seed " << seed << " step " << step
+                        << ": crashed node survives in a sharer set";
+                    ASSERT_NE(i.owner, int(n))
+                        << "seed " << seed << " step " << step
+                        << ": crashed node still owns a line";
+                }
+            }
+            const auto bad = dir.auditInvariants();
+            ASSERT_FALSE(bad.has_value())
+                << "seed " << seed << " step " << step << ": " << *bad;
+        }
+    }
+}
+
+} // namespace
+} // namespace cxlfork::cxl

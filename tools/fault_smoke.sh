@@ -24,6 +24,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L crash
 echo "== Running content-dedup suite under ASan/UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L dedup
 
+echo "== Running coherence litmus + property/oracle suites under ASan/UBSan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L litmus
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L coherence
+
 echo "== Running chaos soak suite under ASan/UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
 "$BUILD_DIR/tools/chaos_soak"
