@@ -104,6 +104,63 @@ BM_FaultPathMinor(benchmark::State &state)
 }
 BENCHMARK(BM_FaultPathMinor)->Iterations(100000);
 
+/**
+ * The same fault path with a trace recorder installed: the ns/op gap
+ * against BM_FaultPathMinor is the whole price of the prefetcher's
+ * fault-sink hook (one branch when disarmed, one vector push armed).
+ */
+void
+BM_FaultPathTraced(benchmark::State &state)
+{
+    porter::Cluster cluster(bench::benchClusterConfig());
+    os::NodeOs &node = cluster.node(0);
+    auto task = node.createTask("bm");
+    os::Vma &vma = node.mapAnon(*task, mem::gib(2),
+                                os::kVmaRead | os::kVmaWrite, "bm");
+    rfork::FaultTraceRecorder recorder;
+    node.setFaultSink(&recorder);
+    uint64_t page = 0;
+    for (auto _ : state) {
+        node.access(*task, vma.start.plus(page * mem::kPageSize), true, 1);
+        ++page;
+        if (page >= vma.pageCount())
+            state.SkipWithError("range exhausted");
+    }
+    node.setFaultSink(nullptr);
+    state.SetItemsProcessed(int64_t(page));
+}
+BENCHMARK(BM_FaultPathTraced)->Iterations(100000);
+
+/** Batched pre-fault throughput: ns/op per prefetched anonymous page. */
+void
+BM_PrefetchBatchPage(benchmark::State &state)
+{
+    porter::Cluster cluster(bench::benchClusterConfig());
+    os::NodeOs &node = cluster.node(0);
+    auto task = node.createTask("bm");
+    os::Vma &vma = node.mapAnon(*task, mem::gib(2),
+                                os::kVmaRead | os::kVmaWrite, "bm");
+    constexpr uint64_t kBatch = 512;
+    std::vector<os::PrefetchRequest> reqs(kBatch);
+    uint64_t page = 0;
+    uint64_t populated = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (uint64_t i = 0; i < kBatch; ++i)
+            reqs[i] = {vma.start.plus((page + i) * mem::kPageSize), true};
+        page += kBatch;
+        if (page >= vma.pageCount())
+            state.SkipWithError("range exhausted");
+        state.ResumeTiming();
+        const os::PrefetchResult r = node.prefetchPages(*task, reqs);
+        populated += r.mapped + r.copied;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(int64_t(populated));
+}
+BENCHMARK(BM_PrefetchBatchPage)->Unit(benchmark::kMicrosecond)
+    ->Iterations(200);
+
 void
 BM_CheckpointThroughput(benchmark::State &state)
 {

@@ -49,7 +49,54 @@ benchClusterConfig(sim::CostParams costs)
         }
         cfg.coherence.mode = *parsed;
     }
+    // Codec opt-in, same contract again: unset (or "0") stores every
+    // checkpoint page raw and the exports stay bit-identical.
+    if (const char *compress = std::getenv("CXLFORK_COMPRESS"))
+        cfg.pageStore.compress = std::atoi(compress) != 0;
     return cfg;
+}
+
+bool
+prefetchEnabled()
+{
+    const char *env = std::getenv("CXLFORK_PREFETCH");
+    return env && std::string(env) != "0";
+}
+
+unsigned
+predictorWindow()
+{
+    if (const char *env = std::getenv("CXLFORK_PREDICTOR_WINDOW")) {
+        const long v = std::atol(env);
+        if (v >= 1)
+            return unsigned(v);
+        CXLF_WARN("ignoring CXLFORK_PREDICTOR_WINDOW=%s (want >= 1)", env);
+    }
+    return 3;
+}
+
+rfork::PrefetchSchedule
+trainSchedule(porter::Cluster &cluster, rfork::RemoteForkMechanism &mech,
+              const std::shared_ptr<rfork::CheckpointHandle> &handle,
+              const FunctionSpec &spec, mem::NodeId targetNode)
+{
+    os::NodeOs &node = cluster.node(targetNode);
+    rfork::WorkingSetPredictor predictor;
+    rfork::FaultTraceRecorder recorder;
+    // Fully lazy sacrificial restores: the opportunistic dirty-page
+    // prefetch would pre-fault exactly the pages we want to observe
+    // faulting, leaving nothing to train on.
+    rfork::RestoreOptions lazyOpts;
+    lazyOpts.prefetchDirty = false;
+    for (unsigned i = 0; i < predictorWindow(); ++i) {
+        auto task = mech.restore(handle, node, lazyOpts);
+        auto child = FunctionInstance::adoptRestored(node, spec, task);
+        recorder.clear();
+        child->invokeTraced(recorder);
+        predictor.train(recorder.entries());
+        child->destroy();
+    }
+    return predictor.schedule();
 }
 
 std::unique_ptr<FunctionInstance>
@@ -106,10 +153,14 @@ runRestoreScenario(porter::Cluster &cluster,
     const uint64_t memBefore = node.localDram().usedBytes();
     const uint64_t taxBefore = cluster.machine().metrics().counterValue(
         "cxl.coherence.tax_ns");
+    const uint64_t decompBefore = cluster.machine().metrics().counterValue(
+        "cxl.compress.decompress_ns");
 
     rfork::RestoreStats rs;
     auto task = mech.restore(handle, node, opts, &rs);
     run.restore = rs.latency;
+    run.pagesPrefetched = rs.pagesPrefetched;
+    run.prefetchSkipped = rs.prefetchSkipped;
 
     auto child = FunctionInstance::adoptRestored(node, spec, task);
     measureInvocation(node, *child, run, memBefore);
@@ -118,6 +169,12 @@ runRestoreScenario(porter::Cluster &cluster,
         double(cluster.machine().metrics().counterValue(
                    "cxl.coherence.tax_ns") -
                taxBefore));
+    // Decompress covers the whole scenario window: bulk restore reads
+    // plus the lazy materializations the invocation faults in.
+    run.decompressTime = SimTime::ns(
+        double(cluster.machine().metrics().counterValue(
+                   "cxl.compress.decompress_ns") -
+               decompBefore));
     return run;
 }
 
@@ -145,7 +202,8 @@ runColdScenario(porter::Cluster &cluster, const FunctionSpec &spec,
 }
 
 RforkRun
-runLocalForkScenario(porter::Cluster &cluster, FunctionInstance &parent)
+runLocalForkScenario(porter::Cluster &cluster, FunctionInstance &parent,
+                     const rfork::RestoreOptions &opts)
 {
     armTracing(cluster.machine());
     (void)cluster; // the parent pins the node; kept for API symmetry
@@ -156,8 +214,10 @@ runLocalForkScenario(porter::Cluster &cluster, FunctionInstance &parent)
     RforkRun run;
     const uint64_t memBefore = node.localDram().usedBytes();
     rfork::RestoreStats rs;
-    auto task = lf.restore(handle, node, {}, &rs);
+    auto task = lf.restore(handle, node, opts, &rs);
     run.restore = rs.latency;
+    run.pagesPrefetched = rs.pagesPrefetched;
+    run.prefetchSkipped = rs.prefetchSkipped;
 
     auto child =
         FunctionInstance::adoptRestored(node, parent.spec(), task);
@@ -282,6 +342,17 @@ recordRun(const std::string &scenario, const RforkRun &run)
     // off-mode exports stay byte-identical to the pre-coherence tree.
     if (run.coherenceTax > SimTime::zero())
         reg.summary(scenario + ".coh_tax_ms").add(run.coherenceTax.toMs());
+    // Same contract for the speculative-restore lines: they appear
+    // only when a schedule ran / the codec charged something.
+    if (run.pagesPrefetched + run.prefetchSkipped > 0) {
+        reg.summary(scenario + ".prefetch_hit_pct")
+            .add(100.0 * double(run.pagesPrefetched) /
+                 double(run.pagesPrefetched + run.prefetchSkipped));
+    }
+    if (run.decompressTime > SimTime::zero()) {
+        reg.summary(scenario + ".decompress_ms")
+            .add(run.decompressTime.toMs());
+    }
 }
 
 void

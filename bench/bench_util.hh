@@ -32,6 +32,18 @@
  *    directory, output bit-identical to the pre-coherence tree). With
  *    a directory armed, restore scenarios additionally report their
  *    coherence tax as `<scenario>.coh_tax_ms`.
+ *  - CXLFORK_COMPRESS=1: arm the page store's codec pipeline on every
+ *    bench cluster (default off: checkpoint pages stored raw, output
+ *    bit-identical to the pre-codec tree). Armed, restore scenarios
+ *    that materialized compressed pages additionally report
+ *    `<scenario>.decompress_ms`.
+ *  - CXLFORK_PREFETCH=1: benches that own a warm parent train a
+ *    working-set predictor on traced invocations and restore with a
+ *    speculative prefetch schedule (default off: lazy restores only,
+ *    output bit-identical). Armed, those scenarios additionally
+ *    report `<scenario>.prefetch_hit_pct`.
+ *  - CXLFORK_PREDICTOR_WINDOW=<n>: traced training invocations per
+ *    predictor (default 3; only meaningful with CXLFORK_PREFETCH).
  */
 
 #pragma once
@@ -48,6 +60,7 @@
 #include "rfork/cxlfork.hh"
 #include "rfork/localfork.hh"
 #include "rfork/mitosis.hh"
+#include "rfork/prefetch.hh"
 #include "sim/metrics.hh"
 #include "sim/table.hh"
 
@@ -73,6 +86,21 @@ struct RforkRun
      * off, so the off-mode goldens carry no trace of it.
      */
     sim::SimTime coherenceTax;
+
+    /**
+     * Speculative-prefetch outcome of the restore (zero when no
+     * schedule was passed, so off-mode exports never mention it):
+     * pages the batch actually populated vs. requests it skipped
+     * (already present, or the prediction missed the address space).
+     */
+    uint64_t pagesPrefetched = 0;
+    uint64_t prefetchSkipped = 0;
+
+    /**
+     * Codec decompress time over the scenario (delta of the machine's
+     * cxl.compress.decompress_ns). Zero whenever compression is off.
+     */
+    sim::SimTime decompressTime;
 
     sim::SimTime total() const { return restore + pageFaults + execution; }
 };
@@ -101,7 +129,30 @@ RforkRun runColdScenario(porter::Cluster &cluster,
 
 /** Run the same-node LocalFork scenario. */
 RforkRun runLocalForkScenario(porter::Cluster &cluster,
-                              faas::FunctionInstance &parent);
+                              faas::FunctionInstance &parent,
+                              const rfork::RestoreOptions &opts = {});
+
+// --- Speculative-restore knobs (see file comment).
+
+/** True when CXLFORK_PREFETCH is set to anything but "0". */
+bool prefetchEnabled();
+
+/** Traced training invocations per predictor: CXLFORK_PREDICTOR_WINDOW. */
+unsigned predictorWindow();
+
+/**
+ * Train a fresh working-set predictor the way a deployed system would:
+ * run predictorWindow() sacrificial *lazy* restores of `handle` on
+ * `targetNode`, trace the demand faults each restored child takes
+ * during its first invocation, train on those traces, and return the
+ * resulting schedule. The children are destroyed again; call this
+ * before the scenario's measurement window (it advances the target
+ * node's clock).
+ */
+rfork::PrefetchSchedule
+trainSchedule(porter::Cluster &cluster, rfork::RemoteForkMechanism &mech,
+              const std::shared_ptr<rfork::CheckpointHandle> &handle,
+              const faas::FunctionSpec &spec, mem::NodeId targetNode);
 
 // --- Parallel sweep execution.
 

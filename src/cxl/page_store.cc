@@ -27,11 +27,38 @@ PageStore::PageStore(mem::Machine &machine, PageStoreConfig cfg)
 {
     if (cfg_.hashBits == 0 || cfg_.hashBits > 64)
         sim::fatal("PageStore: hashBits must be in [1, 64]");
+    if (cfg_.deltaFrac < 0.0 || cfg_.rleFrac < 0.0 ||
+        cfg_.deltaFrac + cfg_.rleFrac > 1.0) {
+        sim::fatal("PageStore: deltaFrac/rleFrac must be nonnegative and "
+                   "sum to at most 1");
+    }
+    // Armed codec ⟺ installed hook: the machine then routes checked
+    // CXL reads and frame frees back through this store, so decompress
+    // charging and metadata cleanup cannot be forgotten by a caller.
+    if (cfg_.compress)
+        machine_.setPageCodec(this);
     sim::MetricsRegistry &m = machine_.metrics();
     hitsCounter_ = &m.counter("cxl.dedup.hits");
     uniqueCounter_ = &m.counter("cxl.dedup.unique");
     bytesSavedCounter_ = &m.counter("cxl.dedup.bytes_saved");
     collisionsCounter_ = &m.counter("cxl.dedup.collisions");
+    compressPagesCounter_ = &m.counter("cxl.compress.pages");
+    compressStoredCounter_ = &m.counter("cxl.compress.bytes_stored");
+    compressSavedCounter_ = &m.counter("cxl.compress.bytes_saved");
+    compressZeroCounter_ = &m.counter("cxl.compress.zero");
+    compressDeltaCounter_ = &m.counter("cxl.compress.delta");
+    compressRleCounter_ = &m.counter("cxl.compress.rle");
+    compressRawCounter_ = &m.counter("cxl.compress.raw");
+    decompressCounter_ = &m.counter("cxl.compress.decompressions");
+    decompressNsCounter_ = &m.counter("cxl.compress.decompress_ns");
+}
+
+PageStore::~PageStore()
+{
+    // The fabric installs the store as the machine's codec hook when
+    // the pipeline is armed; never leave a dangling hook behind.
+    if (machine_.pageCodec() == this)
+        machine_.setPageCodec(nullptr);
 }
 
 void
@@ -47,13 +74,140 @@ PageStore::hashContent(uint64_t content) const
     return cfg_.hashBits >= 64 ? h : h & ((uint64_t(1) << cfg_.hashBits) - 1);
 }
 
+PageStore::CodecMeta
+PageStore::classify(uint64_t content) const
+{
+    const sim::CostParams &costs = machine_.costs();
+    CodecMeta meta;
+    if (content == 0) {
+        // Zero-page elision: only a manifest note is stored.
+        meta.cls = CodecClass::Zero;
+        meta.storedBytes = 0;
+        meta.pendingDecompress = true;
+        return meta;
+    }
+    // The simulator carries 64-bit content tokens, not page bytes, so
+    // compressibility is modeled: a deterministic draw on the content
+    // hash assigns the page a codec class with the configured
+    // frequencies, and the class's stored ratio comes from CostParams
+    // so sweeps can move it. Salted so the draw is independent of the
+    // dedup bucketing hash.
+    constexpr uint64_t kCodecSalt = 0xc0dec0dec0dec0deull;
+    const double u =
+        double(mix64(content ^ kCodecSalt) >> 11) * 0x1.0p-53;
+    if (u < cfg_.deltaFrac && deltaAnchor_.raw != 0) {
+        meta.cls = CodecClass::Delta;
+        meta.storedBytes =
+            uint64_t(double(mem::kPageSize) * costs.deltaRatio);
+        meta.parent = deltaAnchor_;
+        meta.pendingDecompress = true;
+    } else if (u < cfg_.deltaFrac + cfg_.rleFrac) {
+        meta.cls = CodecClass::Rle;
+        meta.storedBytes =
+            uint64_t(double(mem::kPageSize) * costs.rleRatio);
+        meta.pendingDecompress = true;
+    } else {
+        meta.cls = CodecClass::Raw;
+        meta.storedBytes = mem::kPageSize;
+        meta.pendingDecompress = false; // stored uncompressed
+    }
+    return meta;
+}
+
+uint64_t
+PageStore::recordCompressed(mem::PhysAddr addr, uint64_t content,
+                            sim::SimClock &clock)
+{
+    // The compressor scans the full page whatever class it lands in —
+    // finding a page incompressible costs the same pass.
+    clock.advance(machine_.costs().compressCost(mem::kPageSize));
+    CodecMeta meta = classify(content);
+    switch (meta.cls) {
+      case CodecClass::Zero:
+        compressZeroCounter_->inc();
+        break;
+      case CodecClass::Delta:
+        // The delta references its parent page: the parent must stay
+        // live (undecayed) for as long as this page needs it.
+        machine_.cxl().incRef(meta.parent);
+        compressDeltaCounter_->inc();
+        break;
+      case CodecClass::Rle:
+        compressRleCounter_->inc();
+        break;
+      case CodecClass::Raw:
+        compressRawCounter_->inc();
+        break;
+    }
+    if (meta.cls == CodecClass::Raw || meta.cls == CodecClass::Rle)
+        deltaAnchor_ = addr;
+    compressPagesCounter_->inc();
+    compressStoredCounter_->inc(meta.storedBytes);
+    compressSavedCounter_->inc(mem::kPageSize - meta.storedBytes);
+    const uint64_t stored = meta.storedBytes;
+    codecMeta_[addr.raw] = meta;
+    return stored;
+}
+
+CodecClass
+PageStore::codecClassOf(mem::PhysAddr addr) const
+{
+    auto it = codecMeta_.find(addr.raw);
+    return it == codecMeta_.end() ? CodecClass::Raw : it->second.cls;
+}
+
+void
+PageStore::onMaterialize(mem::PhysAddr addr, sim::SimClock &clock)
+{
+    auto it = codecMeta_.find(addr.raw);
+    if (it == codecMeta_.end() || !it->second.pendingDecompress)
+        return;
+    // Charge the one-time decompress before any recursive parent read:
+    // the parent fetch re-enters this hook, and clearing the flag first
+    // keeps a (hypothetical) cycle from recursing forever.
+    it->second.pendingDecompress = false;
+    const sim::CostParams &costs = machine_.costs();
+    sim::SimTime cost = costs.decompressCost(it->second.storedBytes);
+    const mem::PhysAddr parent = it->second.parent;
+    const sim::SimTime before = clock.now();
+    clock.advance(cost);
+    if (parent.raw != 0) {
+        // Delta decode needs the parent bytes: a full checked read, so
+        // a compressed or poisoned parent charges (or throws) exactly
+        // as any other materialization would.
+        machine_.readFrameChecked(parent, clock, "codec delta parent");
+        clock.advance(costs.cxlRead(mem::kPageSize));
+    }
+    decompressCounter_->inc();
+    decompressNsCounter_->inc(uint64_t((clock.now() - before).toNs()));
+}
+
+void
+PageStore::frameFreed(mem::PhysAddr addr)
+{
+    if (deltaAnchor_.raw == addr.raw)
+        deltaAnchor_ = mem::PhysAddr{0};
+    auto it = codecMeta_.find(addr.raw);
+    if (it == codecMeta_.end())
+        return;
+    const mem::PhysAddr parent = it->second.parent;
+    codecMeta_.erase(it);
+    // Dropping the delta's parent reference may free the parent in
+    // turn, re-entering this hook; the allocator's decRef bookkeeping
+    // is complete before it notifies, so the recursion is safe (and at
+    // most one level deep — parents are never deltas).
+    if (parent.raw != 0)
+        release(parent);
+}
+
 InternResult
 PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
 {
     if (!cfg_.dedup) {
         // Pass-through: identical to the pre-store allocation path, no
         // index, no extra cost, no counters — unless a RAS manager is
-        // attached, which adds write-verify and replication.
+        // attached, which adds write-verify and replication, or the
+        // codec pipeline is armed, which compresses the page at birth.
         mem::PhysAddr addr = machine_.cxl().alloc(use, content);
         if (ras_) {
             addr = ras_->verifiedAlloc(addr, use, content, clock);
@@ -68,7 +222,10 @@ PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
                 throw;
             }
         }
-        return {addr, false};
+        uint64_t stored = mem::kPageSize;
+        if (cfg_.compress)
+            stored = recordCompressed(addr, content, clock);
+        return {addr, false, stored};
     }
 
     mem::FrameAllocator &cxl = machine_.cxl();
@@ -116,7 +273,9 @@ PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
                     clock, mem::kInvalidNode, "dedup_hit", "cxl.pagestore",
                     {{"hash", sim::TraceValue::of(h)}});
             }
-            return {match, true};
+            // The hit's bytes (compressed or not) are already on the
+            // device: this intern stores nothing new.
+            return {match, true, 0};
         }
         collisionsCounter_->inc();
     }
@@ -139,7 +298,10 @@ PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
     index_[h].push_back(addr);
     pages_[addr.raw] = h;
     uniqueCounter_->inc();
-    return {addr, false};
+    uint64_t stored = mem::kPageSize;
+    if (cfg_.compress)
+        stored = recordCompressed(addr, content, clock);
+    return {addr, false, stored};
 }
 
 void
@@ -215,6 +377,21 @@ PageStore::audit() const
     if (indexed != pages_.size()) {
         fail(sim::format("index holds %llu frames, ownership map %zu",
                          (unsigned long long)indexed, pages_.size()));
+    }
+    out.codecPages = codecMeta_.size();
+    for (const auto &[raw, meta] : codecMeta_) {
+        const mem::Frame &frame = machine_.cxl().frame(mem::PhysAddr{raw});
+        if (frame.refcount == 0) {
+            fail(sim::format("codec-tracked frame %#llx has refcount 0",
+                             (unsigned long long)raw));
+        }
+        if (meta.parent.raw != 0 &&
+            machine_.cxl().frame(meta.parent).refcount == 0) {
+            fail(sim::format("delta frame %#llx references freed parent "
+                             "%#llx",
+                             (unsigned long long)raw,
+                             (unsigned long long)meta.parent.raw));
+        }
     }
     return out;
 }

@@ -51,33 +51,84 @@ struct PageStoreConfig
      * exercise the byte-compare confirmation path.
      */
     uint32_t hashBits = 64;
+
+    /**
+     * Arm the codec pipeline: pages are classified at intern time
+     * (zero-page elision, delta-vs-parent, RLE, or incompressible) and
+     * stored at their modeled compressed size; the compress cost is
+     * charged at intern and the decompress cost once, on the first
+     * checked read that materializes the page. Off by default: every
+     * intern stores kPageSize and no codec cost exists, bit-identical
+     * to the uncompressed tree. Composes with dedup: a dedup hit means
+     * the compressed page is already stored, so nothing new is written
+     * or compressed.
+     */
+    bool compress = false;
+
+    /**
+     * Fraction of nonzero pages the modeled classifier finds
+     * delta-compressible against a recently stored parent page, and
+     * fraction it finds run-length-compressible. The remainder is
+     * stored raw. Classification is a deterministic draw on the page's
+     * content hash; the per-class stored ratios live in CostParams
+     * (deltaRatio / rleRatio) so sweeps can move them.
+     */
+    double deltaFrac = 0.50;
+    double rleFrac = 0.30;
 };
 
-/** Result of one intern(): the frame, and whether it was shared. */
+/** How the codec pipeline stored one page. */
+enum class CodecClass : uint8_t
+{
+    Raw,   ///< Incompressible; stored at full size.
+    Zero,  ///< Zero page: elided, only a manifest note is stored.
+    Delta, ///< Delta-coded against a parent page (holds a parent ref).
+    Rle,   ///< Run-length coded.
+};
+
+/** Result of one intern(): the frame, and what this intern stored. */
 struct InternResult
 {
     mem::PhysAddr addr{0};
     bool shared = false; ///< An existing identical page was reused.
+
+    /**
+     * Bytes this intern newly wrote to the device: kPageSize with the
+     * codec off (bit-identical to the pre-codec tree), the modeled
+     * compressed size with it on, 0 for a dedup hit (the bytes were
+     * already stored). Callers charge their device-write bandwidth
+     * over this instead of a flat page.
+     */
+    uint64_t storedBytes = mem::kPageSize;
 };
 
 /** Bookkeeping cross-check (see FrameAllocator::auditLive). */
 struct PageStoreAudit
 {
     uint64_t uniquePages = 0; ///< Live content-indexed pages.
+    uint64_t codecPages = 0;  ///< Live codec-tracked pages.
     bool consistent = true;
     std::string detail;
 };
 
-/** The content-addressed page pool of one CXL device. */
-class PageStore
+/**
+ * The content-addressed page pool of one CXL device. With the codec
+ * pipeline armed the store doubles as the machine's PageCodec hook:
+ * checked reads of compressed pages charge their one-time decompress
+ * latency through it, and the allocator's free notification drops
+ * codec metadata (and delta parent references) when a frame dies.
+ */
+class PageStore : public mem::PageCodec
 {
   public:
     explicit PageStore(mem::Machine &machine, PageStoreConfig cfg = {});
+    ~PageStore() override;
 
     PageStore(const PageStore &) = delete;
     PageStore &operator=(const PageStore &) = delete;
 
     bool dedupEnabled() const { return cfg_.dedup; }
+    bool compressEnabled() const { return cfg_.compress; }
 
     /**
      * Attach the fabric's RAS manager. Interned frames then get write-
@@ -124,8 +175,31 @@ class PageStore
     /** Cross-check the content index against the frame allocator. */
     PageStoreAudit audit() const;
 
+    /** Codec class the pipeline stored this frame under (tests). */
+    CodecClass codecClassOf(mem::PhysAddr addr) const;
+
+    /** Live codec-tracked pages (drains to zero with the refcounts). */
+    uint64_t codecPages() const { return codecMeta_.size(); }
+
+    // mem::PageCodec — the machine calls these on checked CXL reads
+    // and on frame frees; both are no-ops for untracked frames.
+    void onMaterialize(mem::PhysAddr addr, sim::SimClock &clock) override;
+    void frameFreed(mem::PhysAddr addr) override;
+
   private:
+    /** Per-frame codec bookkeeping, erased when the frame frees. */
+    struct CodecMeta
+    {
+        CodecClass cls = CodecClass::Raw;
+        uint64_t storedBytes = 0;
+        mem::PhysAddr parent{0};   ///< Delta parent (one ref held).
+        bool pendingDecompress = false;
+    };
+
     uint64_t hashContent(uint64_t content) const;
+    CodecMeta classify(uint64_t content) const;
+    uint64_t recordCompressed(mem::PhysAddr addr, uint64_t content,
+                              sim::SimClock &clock);
 
     mem::Machine &machine_;
     PageStoreConfig cfg_;
@@ -136,10 +210,29 @@ class PageStore
     /** Live store-owned frame -> its content hash (for un-indexing). */
     std::unordered_map<uint64_t, uint64_t> pages_;
 
+    /** Live compressed frame -> codec bookkeeping. */
+    std::unordered_map<uint64_t, CodecMeta> codecMeta_;
+
+    /**
+     * The most recent standalone (raw/RLE) stored page: the parent the
+     * next delta-classified intern codes against. Cleared when the
+     * anchor frame frees so a dead frame is never re-referenced.
+     */
+    mem::PhysAddr deltaAnchor_{0};
+
     sim::Counter *hitsCounter_ = nullptr;
     sim::Counter *uniqueCounter_ = nullptr;
     sim::Counter *bytesSavedCounter_ = nullptr;
     sim::Counter *collisionsCounter_ = nullptr;
+    sim::Counter *compressPagesCounter_ = nullptr;
+    sim::Counter *compressStoredCounter_ = nullptr;
+    sim::Counter *compressSavedCounter_ = nullptr;
+    sim::Counter *compressZeroCounter_ = nullptr;
+    sim::Counter *compressDeltaCounter_ = nullptr;
+    sim::Counter *compressRleCounter_ = nullptr;
+    sim::Counter *compressRawCounter_ = nullptr;
+    sim::Counter *decompressCounter_ = nullptr;
+    sim::Counter *decompressNsCounter_ = nullptr;
 };
 
 } // namespace cxlfork::cxl

@@ -53,14 +53,16 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
     // from the content-addressed pool: with dedup on, a page whose
     // slice matches an already-stored file's is shared, not written.
     uint64_t sharedPages = 0;
+    uint64_t freshStoredBytes = 0;
     try {
-        if (pageStore_.dedupEnabled()) {
+        if (pageStore_.dedupEnabled() || pageStore_.compressEnabled()) {
             for (uint64_t i = 0; i < pages; ++i) {
                 const InternResult r = pageStore_.intern(
                     filePageToken(file.data, i, pages),
                     mem::FrameUse::FileCache, clock);
                 file.frames.push_back(r.addr);
                 sharedPages += r.shared;
+                freshStoredBytes += r.storedBytes;
             }
         } else {
             for (uint64_t i = 0; i < pages; ++i) {
@@ -83,10 +85,15 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
     }
     // Deduplicated pages are never stored, only referenced: the write
     // charge covers the unique bytes (intern already charged the
-    // collision-check reads for the shared ones).
+    // collision-check reads for the shared ones). With the codec armed
+    // the fresh pages land at their compressed size, never more than
+    // the uncompressed unique bytes.
     const uint64_t dedupedBytes =
         std::min(simulatedBytes, sharedPages * mem::kPageSize);
-    clock.advance(machine_.costs().cxlWrite(simulatedBytes - dedupedBytes));
+    uint64_t writeBytes = simulatedBytes - dedupedBytes;
+    if (pageStore_.compressEnabled())
+        writeBytes = std::min(writeBytes, freshStoredBytes);
+    clock.advance(machine_.costs().cxlWrite(writeBytes));
     usedBytes_ += pages * mem::kPageSize;
     machine_.metrics().counter("cxl.fs.writes").inc();
     machine_.metrics().counter("cxl.fs.bytes_written").inc(simulatedBytes);

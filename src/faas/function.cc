@@ -282,6 +282,24 @@ FunctionInstance::runInit()
 }
 
 InvocationResult
+FunctionInstance::invokeTraced(os::FaultTraceSink &sink)
+{
+    // RAII uninstall: the sink must come off even if the invocation
+    // throws (capacity, poison), or the node would keep feeding a
+    // recorder whose owner already unwound.
+    struct SinkScope
+    {
+        os::NodeOs &node;
+        explicit SinkScope(os::NodeOs &n, os::FaultTraceSink &s) : node(n)
+        {
+            node.setFaultSink(&s);
+        }
+        ~SinkScope() { node.setFaultSink(nullptr); }
+    } scope(node_, sink);
+    return invoke();
+}
+
+InvocationResult
 FunctionInstance::invoke()
 {
     InvocationResult out;

@@ -149,6 +149,14 @@ class FunctionInstance
     /** Execute one request. */
     InvocationResult invoke();
 
+    /**
+     * Execute one request with the node's fault stream recorded into
+     * `sink` (installed for exactly this invocation, removed on exit —
+     * including the unwind path). The working-set predictor trains on
+     * the captured trace; the invocation itself is unchanged.
+     */
+    InvocationResult invokeTraced(os::FaultTraceSink &sink);
+
     os::Task &task() { return *task_; }
     std::shared_ptr<os::Task> taskPtr() const { return task_; }
     os::NodeOs &node() { return node_; }

@@ -111,6 +111,8 @@ FrameAllocator::decRef(PhysAddr addr)
     freeList_.push_back(indexOf(addr));
     if (coherence_)
         coherence_->lineFreed(addr);
+    if (codec_)
+        codec_->frameFreed(addr);
     return true;
 }
 

@@ -20,6 +20,7 @@ class FaultInjector;
 namespace cxlfork::mem {
 
 class CoherenceModel;
+class PageCodec;
 
 /**
  * Result of FrameAllocator::auditLive(): bookkeeping cross-check used
@@ -75,6 +76,13 @@ class FrameAllocator
      * Installed by Machine::setCoherence on the CXL tier only.
      */
     void setCoherence(CoherenceModel *c) { coherence_ = c; }
+
+    /**
+     * Attach the compressed-page codec: frames freed by decRef then
+     * notify it so codec metadata never outlives the frame. Nullptr
+     * detaches. Installed by Machine::setPageCodec on the CXL tier.
+     */
+    void setCodec(PageCodec *c) { codec_ = c; }
 
     /** Mark an allocated frame poisoned (tests / targeted injection). */
     void poison(PhysAddr addr) { frame(addr).poisoned = true; }
@@ -162,6 +170,7 @@ class FrameAllocator
     std::vector<uint64_t> freeList_;
     sim::FaultInjector *injector_ = nullptr;
     CoherenceModel *coherence_ = nullptr;
+    PageCodec *codec_ = nullptr;
 };
 
 } // namespace cxlfork::mem

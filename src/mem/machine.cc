@@ -54,6 +54,15 @@ Machine::setCoherence(CoherenceModel *c)
 }
 
 void
+Machine::setPageCodec(PageCodec *c)
+{
+    codec_ = c;
+    // The allocator tells the codec about frees directly so a reused
+    // CXL frame can never inherit a previous tenant's codec metadata.
+    cxl_->setCodec(c);
+}
+
+void
 Machine::cxlTransaction(sim::SimClock &clock, const char *site)
 {
     cxlTxnCounter_->inc();
@@ -113,6 +122,8 @@ Machine::readFrameChecked(PhysAddr addr, sim::SimClock &clock,
     if (tierOf(addr) == Tier::Cxl) {
         cxlFrameReadCounter_->inc();
         cxlTransaction(clock, site);
+        if (codec_)
+            codec_->onMaterialize(addr, clock);
     } else {
         dramFrameReadCounter_->inc();
     }

@@ -105,6 +105,34 @@ class CoherenceModel
     virtual void lineFreed(PhysAddr addr) = 0;
 };
 
+/**
+ * Compressed-page codec hook. When installed (by the CXL fabric's
+ * PageStore with its codec pipeline armed) every checked read of a
+ * CXL-tier frame gives the codec a chance to charge the one-time
+ * decompress cost of a compressed checkpoint page ("decompress on
+ * first materialization"), and the CXL allocator notifies it when a
+ * frame frees so codec metadata never outlives the frame. Defined here
+ * — not in cxl — because mem cannot depend on the cxl layer (the same
+ * pattern as PoisonRepairer above).
+ *
+ * Null by default: with no codec installed every read path is
+ * bit-identical to the uncompressed tree.
+ */
+class PageCodec
+{
+  public:
+    virtual ~PageCodec() = default;
+
+    /**
+     * A checked read is materializing the frame at `addr`; charge any
+     * pending decompress latency to `clock`.
+     */
+    virtual void onMaterialize(PhysAddr addr, sim::SimClock &clock) = 0;
+
+    /** The frame was freed; drop any codec metadata for it. */
+    virtual void frameFreed(PhysAddr addr) = 0;
+};
+
 /** Machine construction parameters. */
 struct MachineConfig
 {
@@ -184,6 +212,16 @@ class Machine
      */
     void setCoherence(CoherenceModel *c);
     CoherenceModel *coherence() const { return coherence_; }
+
+    /**
+     * Install (or clear, with nullptr) the compressed-page codec that
+     * readFrameChecked consults on CXL-tier reads. Also arms the CXL
+     * allocator's free notification so codec metadata is dropped on
+     * frame reuse. Null by default: reads stay bit-identical to the
+     * uncompressed tree.
+     */
+    void setPageCodec(PageCodec *c);
+    PageCodec *pageCodec() const { return codec_; }
 
     /**
      * Node-attributed read of a frame's content token: the failure
@@ -373,6 +411,7 @@ class Machine
     uint64_t cxlCapacity_ = 0;
     PoisonRepairer *repairer_ = nullptr;
     CoherenceModel *coherence_ = nullptr;
+    PageCodec *codec_ = nullptr;
 
     // Hot-path metric handles, resolved once at construction so the
     // per-transaction cost is a pointer bump instead of a string-keyed

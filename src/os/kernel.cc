@@ -120,6 +120,24 @@ NodeOs::NodeOs(mem::NodeId id, mem::Machine &machine,
     pagesFromCxlCounter_ =
         &machine_.metrics().counter("os.pages.copied_from_cxl");
     faultLatency_ = &machine_.metrics().latency("os.fault.ns");
+    taskCreatedStat_ = &stats_.counter("task.created");
+    taskExitedStat_ = &stats_.counter("task.exited");
+    munmapStat_ = &stats_.counter("syscall.munmap");
+    mprotectStat_ = &stats_.counter("syscall.mprotect");
+    vmaMaterializedStat_ = &stats_.counter("vma.materialized");
+    forkLocalStat_ = &stats_.counter("fork.local");
+    prefetchBatchCounter_ =
+        &machine_.metrics().counter("cxl.prefetch.batches");
+    prefetchIssuedCounter_ =
+        &machine_.metrics().counter("cxl.prefetch.issued");
+    prefetchMappedCounter_ =
+        &machine_.metrics().counter("cxl.prefetch.mapped");
+    prefetchCopiedCounter_ =
+        &machine_.metrics().counter("cxl.prefetch.copied");
+    prefetchSkippedCounter_ =
+        &machine_.metrics().counter("cxl.prefetch.skipped");
+    prefetchBytesCounter_ =
+        &machine_.metrics().counter("cxl.prefetch.bytes_copied");
 }
 
 std::shared_ptr<Task>
@@ -131,7 +149,7 @@ NodeOs::createTask(const std::string &name, const NamespaceSet *ns)
     auto task = std::make_shared<Task>(pid, name, id_, std::move(mm), set);
     tasks_[pid] = task;
     clock_.advance(machine_.costs().taskCreate);
-    stats_.counter("task.created").inc();
+    taskCreatedStat_->inc();
     return task;
 }
 
@@ -140,7 +158,7 @@ NodeOs::exitTask(const std::shared_ptr<Task> &task)
 {
     task->setState(TaskState::Zombie);
     tasks_.erase(task->pid());
-    stats_.counter("task.exited").inc();
+    taskExitedStat_->inc();
 }
 
 std::shared_ptr<Task>
@@ -205,7 +223,7 @@ NodeOs::munmap(Task &task, mem::VirtAddr lo, mem::VirtAddr hi)
     // One invalidation round covers the whole range (batched).
     clock_.advance(machine_.costs().tlbShootdown +
                    machine_.costs().vmaSetup);
-    stats_.counter("syscall.munmap").inc();
+    munmapStat_->inc();
     tlbShootdownCounter_->inc();
 }
 
@@ -222,7 +240,7 @@ NodeOs::mprotect(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
         if (auto idx = tree.findShared(va)) {
             tree.materialize(*idx);
             clock_.advance(machine_.costs().vmaSetup);
-            stats_.counter("vma.materialized").inc();
+            vmaMaterializedStat_->inc();
         }
     }
     bool any = false;
@@ -270,7 +288,7 @@ NodeOs::mprotect(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
         clock_.advance(machine_.costs().tlbShootdown);
         tlbShootdownCounter_->inc();
     }
-    stats_.counter("syscall.mprotect").inc();
+    mprotectStat_->inc();
 }
 
 Vma *
@@ -290,7 +308,7 @@ NodeOs::resolveVma(Task &task, mem::VirtAddr va)
         if (rec.kind == VmaKind::FilePrivate)
             cost += machine_.costs().fileOpen;
         clock_.advance(cost);
-        stats_.counter("vma.materialized").inc();
+        vmaMaterializedStat_->inc();
         return &tree.materialize(*idx);
     }
     return nullptr;
@@ -340,6 +358,8 @@ NodeOs::access(Task &task, mem::VirtAddr va, bool isWrite,
     faultKindCounters_[size_t(res.fault)]->inc();
     faultLatency_->record(clock_.now() - faultStart);
     pt.hwSetAccessedDirty(va, isWrite);
+    if (faultSink_)
+        faultSink_->recordFault(va, res.fault, isWrite, clock_.now());
     return res;
 }
 
@@ -573,6 +593,165 @@ NodeOs::touchRange(Task &task, mem::VirtAddr lo, mem::VirtAddr hi,
     return counts;
 }
 
+PrefetchResult
+NodeOs::prefetchPages(Task &task, const std::vector<PrefetchRequest> &reqs)
+{
+    PrefetchResult out;
+    if (reqs.empty())
+        return out;
+    const sim::CostParams &costs = machine_.costs();
+    clock_.advance(costs.prefetchBatchSetup);
+    prefetchBatchCounter_->inc();
+    PageTable &pt = task.mm().pageTable();
+    uint64_t cxlTouched = 0;   // fabric accesses to amortize
+    bool brokePresent = false; // replaced a live translation
+
+    for (const PrefetchRequest &req : reqs) {
+        ++out.issued;
+        clock_.advance(costs.prefetchIssue);
+        const mem::VirtAddr va = req.va.pageBase();
+        const Pte pte = pt.lookup(va);
+        if (pte.present() && (!req.wantWrite || pte.writable())) {
+            ++out.skipped;
+            continue;
+        }
+        Vma *vma = resolveVma(task, va);
+        if (!vma || (req.wantWrite && !vma->writable())) {
+            // A mispredicted address outside the address space (or a
+            // store predicted into a read-only range) is dropped, not
+            // faulted: speculation never segfaults the task.
+            ++out.skipped;
+            continue;
+        }
+
+        if (!pte.present()) {
+            const CheckpointBacking *backing = task.mm().backing();
+            std::optional<Pte> ckpt =
+                backing ? backing->checkpointPte(va) : std::nullopt;
+            if (ckpt) {
+                const TieringPolicy policy = task.mm().policy();
+                const bool copyLocal =
+                    req.wantWrite ||
+                    policy == TieringPolicy::MigrateOnAccess ||
+                    (policy == TieringPolicy::Hybrid && ckpt->accessed());
+                if (copyLocal) {
+                    // Pre-copy with the *checkpointed* content. The
+                    // mapping comes up writable (per the VMA) but
+                    // clean: a later demand store is a translation hit
+                    // that writes its own token, so a mispredict here
+                    // costs time, never bytes.
+                    const uint64_t content = machine_.readFrame(
+                        ckpt->frame(), id_, clock_, "prefetch copy");
+                    const mem::PhysAddr frame = localDram().alloc(
+                        mem::FrameUse::Data, content);
+                    FrameGuard guard(localDram(), frame);
+                    pt.setPte(va, Pte::make(frame, vma->writable()));
+                    guard.release();
+                    machine_.evictFrame(ckpt->frame(), id_, clock_);
+                    clock_.advance(backing->prefetchPageCost(costs));
+                    ++out.copied;
+                    out.bytesCopied += kPageSize;
+                    ++cxlTouched;
+                    pagesFromCxlCounter_->inc();
+                } else {
+                    // Read-predicted under map-through policies: install
+                    // the device mapping now, skipping the later trap.
+                    Pte mapped = Pte::make(ckpt->frame(), false);
+                    mapped.set(Pte::kSoftCxl);
+                    if (ckpt->userHot())
+                        mapped.set(Pte::kSoftHot);
+                    pt.setPte(va, mapped);
+                    clock_.advance(costs.pteWrite);
+                    ++out.mapped;
+                    ++cxlTouched;
+                }
+                continue;
+            }
+            if (vma->kind == VmaKind::Anon ||
+                vma->kind == VmaKind::SharedAnon) {
+                // Batched anonymous populate (MAP_POPULATE-style):
+                // frame alloc + zero + PTE install, no trap.
+                const mem::PhysAddr frame =
+                    localDram().alloc(mem::FrameUse::Data, 0);
+                FrameGuard guard(localDram(), frame);
+                pt.setPte(va, Pte::make(frame, vma->writable()));
+                guard.release();
+                clock_.advance(costs.ptPageAlloc + costs.pteWrite);
+                ++out.mapped;
+                continue;
+            }
+            // Cold file-backed pages keep going through the demand
+            // major-fault path (page-cache bookkeeping lives there).
+            ++out.skipped;
+            continue;
+        }
+
+        // Present but not writable with a store predicted: pre-break
+        // the CoW, preserving the current content and leaving the page
+        // clean.
+        const Pte cur = pt.lookup(va);
+        if (cur.cxlCheckpoint()) {
+            const uint64_t content = machine_.readFrame(
+                cur.frame(), id_, clock_, "prefetch cow break");
+            const mem::PhysAddr frame =
+                localDram().alloc(mem::FrameUse::Data, content);
+            FrameGuard guard(localDram(), frame);
+            pt.setPte(va, Pte::make(frame, true));
+            guard.release();
+            machine_.evictFrame(cur.frame(), id_, clock_);
+            clock_.advance(costs.cxlRead(kPageSize));
+            ++out.copied;
+            out.bytesCopied += kPageSize;
+            ++cxlTouched;
+            brokePresent = true;
+            pagesFromCxlCounter_->inc();
+            continue;
+        }
+        if (cur.cow() || cur.fileBacked()) {
+            mem::FrameAllocator &owner = machine_.ownerOf(cur.frame());
+            const mem::Frame &src = owner.frame(cur.frame());
+            if (src.refcount == 1 && src.use != mem::FrameUse::FileCache) {
+                // Sole owner: re-arm writable in place, content
+                // untouched.
+                Pte rearmed = cur;
+                rearmed.set(Pte::kWrite);
+                rearmed.clear(Pte::kSoftCow);
+                pt.setPte(va, rearmed);
+                clock_.advance(costs.pteWrite);
+                ++out.mapped;
+            } else {
+                const mem::PhysAddr frame =
+                    localDram().alloc(mem::FrameUse::Data, src.content);
+                FrameGuard guard(localDram(), frame);
+                // setPte drops our reference on the shared source.
+                pt.setPte(va, Pte::make(frame, true));
+                guard.release();
+                clock_.advance(costs.dramCopy(kPageSize) + costs.pteWrite);
+                ++out.copied;
+                out.bytesCopied += kPageSize;
+                brokePresent = true;
+            }
+            continue;
+        }
+        ++out.skipped;
+    }
+
+    // The batch's miss stream overlaps on the fabric; one invalidation
+    // round covers every replaced translation.
+    if (cxlTouched)
+        clock_.advance(costs.missStreamCost(cxlTouched, costs.cxlLatency));
+    if (brokePresent) {
+        clock_.advance(costs.tlbShootdown);
+        tlbShootdownCounter_->inc();
+    }
+    prefetchIssuedCounter_->inc(out.issued);
+    prefetchMappedCounter_->inc(out.mapped);
+    prefetchCopiedCounter_->inc(out.copied);
+    prefetchSkippedCounter_->inc(out.skipped);
+    prefetchBytesCounter_->inc(out.bytesCopied);
+    return out;
+}
+
 uint64_t
 NodeOs::read(Task &task, mem::VirtAddr va)
 {
@@ -639,7 +818,7 @@ NodeOs::localFork(Task &parent, const std::string &childName)
     // ranges must keep resolving against the image).
     if (auto backing = parent.mm().backingPtr())
         child->mm().setBacking(std::move(backing), parent.mm().policy());
-    stats_.counter("fork.local").inc();
+    forkLocalStat_->inc();
     return child;
 }
 

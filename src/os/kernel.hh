@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mem/machine.hh"
 #include "namespaces.hh"
@@ -47,6 +48,37 @@ struct AccessResult
     FaultKind fault = FaultKind::None;
     mem::Tier tier = mem::Tier::LocalDram; ///< Tier finally serving the page.
     bool leafCow = false;                  ///< A sealed PT leaf was cloned.
+};
+
+/**
+ * Observer of the node's page-fault stream. Installed per NodeOs while
+ * an invocation runs under tracing; the working-set predictor trains
+ * on the recorded (address, kind, order, time) tuples. Recording is
+ * pure observation: it never changes what the fault handler does.
+ */
+class FaultTraceSink
+{
+  public:
+    virtual ~FaultTraceSink() = default;
+    virtual void recordFault(mem::VirtAddr va, FaultKind kind, bool isWrite,
+                             sim::SimTime now) = 0;
+};
+
+/** One page a speculative batch asks the kernel to pre-fault. */
+struct PrefetchRequest
+{
+    mem::VirtAddr va{0};
+    bool wantWrite = false; ///< Predicted store: pre-break CoW too.
+};
+
+/** What one speculative batch actually did. */
+struct PrefetchResult
+{
+    uint64_t issued = 0;      ///< Requests examined.
+    uint64_t mapped = 0;      ///< Translations installed without a copy.
+    uint64_t copied = 0;      ///< Pages copied into local memory.
+    uint64_t skipped = 0;     ///< Already resident or not prefetchable.
+    uint64_t bytesCopied = 0; ///< Data bytes the copies moved.
 };
 
 /** One OS instance. */
@@ -124,6 +156,29 @@ class NodeOs
                const std::function<uint64_t(uint64_t pageIdx)> &content = {});
 
     /**
+     * Install (or with nullptr remove) the fault-stream observer. At
+     * most one sink at a time; the caller keeps ownership and must
+     * outlive the installation.
+     */
+    void setFaultSink(FaultTraceSink *sink) { faultSink_ = sink; }
+
+    /**
+     * Speculatively pre-fault a batch of pages. Populates translations
+     * exactly as the demand path would — checkpoint pages are copied
+     * in or mapped through per the task's tiering policy, anonymous
+     * pages are zero-populated, write-predicted CoW mappings are
+     * pre-broken — but always with the page's *current* content and
+     * never dirty, so a mispredicted page changes no byte any later
+     * access observes. The batch charges one setup, a per-page issue
+     * cost, bandwidth for the copies with miss-stream amortization of
+     * the fabric latency, and a single TLB shootdown if any present
+     * translation was replaced. Pages already resident (or not safely
+     * prefetchable, e.g. file-backed cold pages) are counted skipped.
+     */
+    PrefetchResult prefetchPages(Task &task,
+                                 const std::vector<PrefetchRequest> &reqs);
+
+    /**
      * Total simulated time this node spent inside fault handling
      * (minor, major, CoW, migrate). Used by the benches to report the
      * Fig. 7 Restore / Page Faults / Execution breakdown.
@@ -172,6 +227,25 @@ class NodeOs
     sim::Counter *tlbShootdownCounter_ = nullptr;
     sim::Counter *pagesFromCxlCounter_ = nullptr;
     sim::LatencyHistogram *faultLatency_ = nullptr;
+
+    // Syscall / lifecycle stat handles, same policy as the fault-path
+    // handles above: resolve the string-keyed lookup once, bump a
+    // pointer afterwards.
+    sim::Counter *taskCreatedStat_ = nullptr;
+    sim::Counter *taskExitedStat_ = nullptr;
+    sim::Counter *munmapStat_ = nullptr;
+    sim::Counter *mprotectStat_ = nullptr;
+    sim::Counter *vmaMaterializedStat_ = nullptr;
+    sim::Counter *forkLocalStat_ = nullptr;
+
+    sim::Counter *prefetchBatchCounter_ = nullptr;
+    sim::Counter *prefetchIssuedCounter_ = nullptr;
+    sim::Counter *prefetchMappedCounter_ = nullptr;
+    sim::Counter *prefetchCopiedCounter_ = nullptr;
+    sim::Counter *prefetchSkippedCounter_ = nullptr;
+    sim::Counter *prefetchBytesCounter_ = nullptr;
+
+    FaultTraceSink *faultSink_ = nullptr;
 };
 
 } // namespace cxlfork::os

@@ -54,6 +54,19 @@ class CheckpointBacking
     {
         return c.cxlAccessFault();
     }
+
+    /**
+     * Cost of speculatively pre-copying one checkpointed page in a
+     * batched prefetch: bandwidth only — the batch pays trap/setup
+     * once and amortizes fabric latency over the miss stream, which
+     * is the honest win over demand faulting. Mitosis-style images
+     * override it (their pages cross the fabric twice).
+     */
+    virtual sim::SimTime
+    prefetchPageCost(const sim::CostParams &c) const
+    {
+        return c.cxlRead(c.pageSize);
+    }
 };
 
 /** Per-process memory state. */

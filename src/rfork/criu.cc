@@ -1,5 +1,6 @@
 #include "criu.hh"
 
+#include "prefetch.hh"
 #include "sim/error.hh"
 #include "sim/log.hh"
 #include "state_capture.hh"
@@ -91,7 +92,7 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     checkpointLatency_->record(cs.latency);
     if (stats)
         *stats = cs;
-    node.stats().counter("criu.checkpoint").inc();
+    ckptNodeStat_.on(node).inc();
     return handle;
 }
 
@@ -125,8 +126,12 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     // escalates. The scan peeks at the poison bit directly so the
     // clean-frame case (every run without poison injection) charges
     // nothing and touches no counters.
+    // With the codec pipeline armed every image page pays its one-time
+    // decompress on this bulk read (the checked read routes it through
+    // the codec hook); off, the scan stays peek-only and free.
+    const bool compressed = fabric_.pageStore().compressEnabled();
     for (mem::PhysAddr fr : file->frames) {
-        if (machine.frame(fr).poisoned)
+        if (machine.frame(fr).poisoned || compressed)
             machine.readFrameChecked(fr, clock, "criu image read");
         if (machine.coherence()) {
             // Directory on: the bulk read is additionally a
@@ -203,6 +208,13 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     task->cpu().fpstate = image.cpu.fpstate;
     globalSpan.finish();
 
+    // Speculative prefetch: CRIU restores eagerly, so most requests
+    // find their page resident and count as skips — the schedule costs
+    // its issue time and buys little, which the ablation reports
+    // honestly.
+    if (opts.prefetch)
+        runSpeculativePrefetch(target, *task, *opts.prefetch, &rs);
+
     } catch (...) {
         target.exitTask(task);
         restoreFailedCounter_->inc();
@@ -215,7 +227,7 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     restoreLatency_->record(rs.latency);
     if (stats)
         *stats = rs;
-    target.stats().counter("criu.restore").inc();
+    restoreNodeStat_.on(target).inc();
     return task;
 }
 

@@ -129,6 +129,8 @@ class CriuCxl : public RemoteForkMechanism
     sim::Counter *restoresCounter_ = nullptr;
     sim::Counter *restoreFailedCounter_ = nullptr;
     sim::LatencyHistogram *restoreLatency_ = nullptr;
+    NodeStatHandle ckptNodeStat_{"criu.checkpoint"};
+    NodeStatHandle restoreNodeStat_{"criu.restore"};
 };
 
 } // namespace cxlfork::rfork

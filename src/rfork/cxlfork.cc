@@ -1,6 +1,7 @@
 #include "cxlfork.hh"
 
 #include "cxl/rebase.hh"
+#include "prefetch.hh"
 #include "sim/error.hh"
 #include "sim/log.hh"
 #include "state_capture.hh"
@@ -81,9 +82,12 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
                 if (!r.shared) {
                     // Only a fresh frame pays the non-temporal copy; a
                     // dedup hit already holds the bytes on the device.
+                    // The copy covers what the intern actually stored:
+                    // a full page normally, the modeled compressed size
+                    // with the codec pipeline armed.
                     machine.cxlTransaction(clock, "cxlfork checkpoint copy");
-                    clock.advance(costs.cxlWrite(kPageSize));
-                    cs.bytesToCxl += kPageSize;
+                    clock.advance(costs.cxlWrite(r.storedBytes));
+                    cs.bytesToCxl += r.storedBytes;
                     // Publish through the coherence directory: the NT
                     // store stream plus its trailing fence. Under
                     // HDM-D an elided flush leaves remote readers on
@@ -211,7 +215,7 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
     checkpointLatency_->record(cs.latency);
     if (stats)
         *stats = cs;
-    node.stats().counter("cxlfork.checkpoint").inc();
+    ckptNodeStat_.on(node).inc();
     return img;
 }
 
@@ -361,6 +365,11 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
         prefetchSpan.attr("pages_copied", rs.pagesCopied);
     }
 
+    // Trace-trained speculative prefetch: pre-fault the predicted
+    // working set in one batch before handing the clone back.
+    if (opts.prefetch)
+        runSpeculativePrefetch(target, *task, *opts.prefetch, &rs);
+
     } catch (...) {
         target.exitTask(task);
         restoreFailedCounter_->inc();
@@ -376,7 +385,7 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     restoreLatency_->record(rs.latency);
     if (stats)
         *stats = rs;
-    target.stats().counter("cxlfork.restore").inc();
+    restoreNodeStat_.on(target).inc();
     return task;
 }
 

@@ -91,6 +91,8 @@ class CxlFork : public RemoteForkMechanism
     sim::Counter *restoreFailedCounter_ = nullptr;
     sim::Counter *pagesPrefetchedCounter_ = nullptr;
     sim::LatencyHistogram *restoreLatency_ = nullptr;
+    NodeStatHandle ckptNodeStat_{"cxlfork.checkpoint"};
+    NodeStatHandle restoreNodeStat_{"cxlfork.restore"};
 };
 
 } // namespace cxlfork::rfork

@@ -1,5 +1,6 @@
 #include "localfork.hh"
 
+#include "prefetch.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::rfork {
@@ -36,7 +37,6 @@ LocalFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
                    "restore requested on node %u)",
                    h->node()->id(), target.id());
     }
-    (void)opts;
     mem::Machine &machine = target.machine();
     if (handleMachine_ != &machine) {
         handleMachine_ = &machine;
@@ -53,14 +53,19 @@ LocalFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
     auto child =
         target.localFork(*h->parent(), h->parent()->name() + "+fork");
     forkSpan.finish();
+    RestoreStats rs;
+    // Speculative prefetch pre-breaks the CoW sharing the fork just
+    // created for write-predicted pages, trading batched local copies
+    // now for avoided CoW faults (and shootdowns) later.
+    if (opts.prefetch)
+        runSpeculativePrefetch(target, *child, *opts.prefetch, &rs);
     restoreSpan.finish();
     restoresCounter_->inc();
-    restoreLatency_->record(target.clock().now() - start);
-    if (stats) {
-        *stats = RestoreStats{};
-        stats->latency = target.clock().now() - start;
-        stats->memoryState = stats->latency;
-    }
+    rs.latency = target.clock().now() - start;
+    rs.memoryState = rs.latency - rs.prefetchTime;
+    restoreLatency_->record(rs.latency);
+    if (stats)
+        *stats = rs;
     return child;
 }
 

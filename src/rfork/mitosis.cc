@@ -1,5 +1,6 @@
 #include "mitosis.hh"
 
+#include "prefetch.hh"
 #include "sim/error.hh"
 #include "sim/log.hh"
 #include "state_capture.hh"
@@ -68,6 +69,15 @@ MitosisHandle::migrateCost(const sim::CostParams &c) const
     return c.faultTrap + c.cxlCowOverhead + descriptorLookup +
            c.cxlWrite(kPageSize) + c.cxlRead(kPageSize) +
            2.0 * c.cxlLatency;
+}
+
+sim::SimTime
+MitosisHandle::prefetchPageCost(const sim::CostParams &c) const
+{
+    // The batch amortizes trap and descriptor lookups, but every page
+    // still moves parent -> device -> child: both bandwidth charges
+    // stay (latency is amortized by the batch's miss stream).
+    return c.cxlWrite(kPageSize) + c.cxlRead(kPageSize);
 }
 
 std::shared_ptr<CheckpointHandle>
@@ -167,7 +177,7 @@ MitosisCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     checkpointLatency_->record(cs.latency);
     if (stats)
         *stats = cs;
-    node.stats().counter("mitosis.checkpoint").inc();
+    ckptNodeStat_.on(node).inc();
     return handle;
 }
 
@@ -238,6 +248,12 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     task->cpu() = h->cpu();
     globalSpan.finish();
 
+    // Speculative prefetch turns predicted migrate-on-access faults
+    // into one batched pull; each page still pays Mitosis's two fabric
+    // crossings (see MitosisCheckpoint::prefetchPageCost).
+    if (opts.prefetch)
+        runSpeculativePrefetch(target, *task, *opts.prefetch, &rs);
+
     } catch (...) {
         target.exitTask(task);
         restoreFailedCounter_->inc();
@@ -250,7 +266,7 @@ MitosisCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     restoreLatency_->record(rs.latency);
     if (stats)
         *stats = rs;
-    target.stats().counter("mitosis.restore").inc();
+    restoreNodeStat_.on(target).inc();
     return task;
 }
 

@@ -60,6 +60,9 @@ class MitosisHandle : public CheckpointHandle, public os::CheckpointBacking
     /** Remote page fault over CXL: parent stores, child fetches. */
     sim::SimTime migrateCost(const sim::CostParams &c) const override;
 
+    /** Batched prefetch still crosses the fabric twice per page. */
+    sim::SimTime prefetchPageCost(const sim::CostParams &c) const override;
+
     // --- Construction.
     void addLeaf(uint64_t baseVpn, std::shared_ptr<os::TablePage> leaf);
     void addShadowFrame(mem::PhysAddr f) { shadowFrames_.push_back(f); }
@@ -164,6 +167,8 @@ class MitosisCxl : public RemoteForkMechanism
     sim::Counter *restoresCounter_ = nullptr;
     sim::Counter *restoreFailedCounter_ = nullptr;
     sim::LatencyHistogram *restoreLatency_ = nullptr;
+    NodeStatHandle ckptNodeStat_{"mitosis.checkpoint"};
+    NodeStatHandle restoreNodeStat_{"mitosis.restore"};
 };
 
 } // namespace cxlfork::rfork

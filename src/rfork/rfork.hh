@@ -23,6 +23,36 @@
 
 namespace cxlfork::rfork {
 
+struct PrefetchSchedule;
+
+/**
+ * Single-entry cache for a per-node StatSet counter. Machine-registry
+ * handles resolve once at mechanism construction, but StatSets live
+ * per node, so this handle re-resolves only when the acting node
+ * changes (the LocalFork lazy-handle pattern) instead of walking the
+ * string-keyed map on every checkpoint/restore.
+ */
+class NodeStatHandle
+{
+  public:
+    explicit NodeStatHandle(const char *key) : key_(key) {}
+
+    sim::Counter &
+    on(os::NodeOs &node)
+    {
+        if (node_ != &node) {
+            node_ = &node;
+            counter_ = &node.stats().counter(key_);
+        }
+        return *counter_;
+    }
+
+  private:
+    const char *key_;
+    os::NodeOs *node_ = nullptr;
+    sim::Counter *counter_ = nullptr;
+};
+
 /** Opaque mechanism-specific checkpoint handle. */
 class CheckpointHandle
 {
@@ -121,6 +151,15 @@ struct RestoreOptions
 
     /** Opportunistically prefetch checkpoint-dirty pages (Sec. 4.2.1). */
     bool prefetchDirty = true;
+
+    /**
+     * Trace-trained working-set schedule to pre-fault right after the
+     * restore proper, before control returns to the caller (nullptr:
+     * no speculation — the bit-identical default). The schedule stays
+     * owned by the caller; mispredicted entries cost simulated time
+     * but can never change the bytes the clone observes.
+     */
+    const PrefetchSchedule *prefetch = nullptr;
 };
 
 /** Restore-side measurements. */
@@ -132,6 +171,12 @@ struct RestoreStats
     sim::SimTime dataCopy;      ///< Bulk page copies (CRIU) / prefetch.
     uint64_t pagesCopied = 0;
     uint64_t leavesAttached = 0;
+
+    // Speculative-prefetch accounting (all zero unless
+    // RestoreOptions::prefetch was set).
+    sim::SimTime prefetchTime;     ///< Time the speculative batch took.
+    uint64_t pagesPrefetched = 0;  ///< Translations installed or copied.
+    uint64_t prefetchSkipped = 0;  ///< Requests already satisfied/dropped.
 };
 
 /** Why a restore attempt failed (typed; nothing here aborts the sim). */

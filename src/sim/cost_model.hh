@@ -60,6 +60,23 @@ struct CostParams
     SimTime cohWriteback = 500_ns;     ///< Write a Modified line back.
     SimTime cohFlush = 200_ns;         ///< Software flush/invalidate op (HDM-D).
 
+    // --- Speculative restore (charged only when the working-set
+    // prefetcher is armed). A batch shares one trap/setup charge; each
+    // page pays an issue cost plus the data movement at bandwidth with
+    // miss-stream amortization, which is the honest win over per-fault
+    // trap + CoW overhead + shootdown charges.
+    SimTime prefetchBatchSetup = 2_us;  ///< Arm one speculative batch.
+    SimTime prefetchIssue = 150_ns;     ///< Queue one page prefetch.
+
+    // --- Compressed checkpoint pages (charged only when the PageStore
+    // codec pipeline is armed). Ratios are modeled, not computed from
+    // real bytes; decompress is charged once on first materialization.
+    double compressBwGBs = 6.0;    ///< Codec compress throughput.
+    double decompressBwGBs = 12.0; ///< Codec decompress throughput.
+    SimTime codecSetup = 300_ns;   ///< Per-page codec dispatch floor.
+    double deltaRatio = 0.25;      ///< Stored fraction for delta-coded pages.
+    double rleRatio = 0.55;        ///< Stored fraction for RLE-coded pages.
+
     // --- OS object manipulation costs.
     SimTime vmaSetup = 500_ns;       ///< Allocate + link one VMA.
     SimTime ptPageAlloc = 300_ns;    ///< Allocate + zero one table page.
@@ -126,6 +143,16 @@ struct CostParams
 
     SimTime serializeCost(uint64_t bytes) const { return copyCost(bytes, serializeBwGBs); }
     SimTime deserializeCost(uint64_t bytes) const { return copyCost(bytes, deserializeBwGBs); }
+
+    SimTime compressCost(uint64_t bytes) const
+    {
+        return codecSetup + copyCost(bytes, compressBwGBs);
+    }
+
+    SimTime decompressCost(uint64_t storedBytes) const
+    {
+        return codecSetup + copyCost(storedBytes, decompressBwGBs);
+    }
 
     /** Throughput cost of n overlapping LLC misses to a tier. */
     SimTime

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Determinism of the working-set predictor and the prefetch ablation
+ * machinery.
+ *
+ * The predictor must be a pure function of its training traces:
+ * identical traces in identical order produce the identical schedule,
+ * whether the training runs serially or on many host threads at once
+ * (no global RNG, no hashed iteration order). degradeSchedule must be
+ * a pure function of (schedule, accuracy, decoys, seed). And the
+ * 0%-accuracy schedule — all decoys — is the negative control: it can
+ * only waste simulated time, never change a restored byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "faas/workloads.hh"
+#include "porter/cluster.hh"
+#include "rfork/cxlfork.hh"
+#include "rfork/prefetch.hh"
+#include "sim/thread_pool.hh"
+#include "test_util.hh"
+
+namespace cxlfork::rfork {
+namespace {
+
+using mem::VirtAddr;
+
+/** A synthetic multi-invocation fault history, deterministic by seed. */
+std::vector<std::vector<FaultTraceEntry>>
+syntheticTraces(uint64_t seed, size_t invocations, size_t pagesPer)
+{
+    std::vector<std::vector<FaultTraceEntry>> traces;
+    for (size_t inv = 0; inv < invocations; ++inv) {
+        std::vector<FaultTraceEntry> t;
+        for (size_t i = 0; i < pagesPer; ++i) {
+            FaultTraceEntry e;
+            // A stable hot core plus per-invocation noise pages.
+            e.vpn = (i < pagesPer / 2)
+                        ? 0x1000 + i
+                        : 0x9000 + (seed * 31 + inv * 17 + i) % 64;
+            e.kind = os::FaultKind::Minor;
+            e.isWrite = (i % 3) == 0;
+            e.order = i;
+            e.sinceLast = sim::SimTime::ns(double(100 + i));
+            t.push_back(e);
+        }
+        traces.push_back(std::move(t));
+    }
+    return traces;
+}
+
+bool
+sameSchedule(const PrefetchSchedule &a, const PrefetchSchedule &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a.pages[i].vpn != b.pages[i].vpn ||
+            a.pages[i].wantWrite != b.pages[i].wantWrite)
+            return false;
+    }
+    return true;
+}
+
+TEST(PredictorDeterminism, IdenticalTracesProduceIdenticalSchedule)
+{
+    const auto traces = syntheticTraces(7, 5, 40);
+    WorkingSetPredictor a, b;
+    for (const auto &t : traces) {
+        a.train(t);
+        b.train(t);
+    }
+    EXPECT_TRUE(sameSchedule(a.schedule(), b.schedule()));
+    EXPECT_GT(a.schedule().size(), 0u);
+    // schedule() is const and repeatable.
+    EXPECT_TRUE(sameSchedule(a.schedule(), a.schedule()));
+}
+
+/**
+ * Train many predictors concurrently on the same traces: the schedule
+ * must be independent of host parallelism (the CXLFORK_JOBS contract —
+ * the bench-level determinism check drives the same property through
+ * the full bench pipeline).
+ */
+TEST(PredictorDeterminism, ScheduleIndependentOfHostThreads)
+{
+    const auto traces = syntheticTraces(13, 6, 64);
+    WorkingSetPredictor reference;
+    for (const auto &t : traces)
+        reference.train(t);
+    const PrefetchSchedule expect = reference.schedule();
+    ASSERT_GT(expect.size(), 0u);
+
+    constexpr size_t kWorkers = 8;
+    std::vector<PrefetchSchedule> results(kWorkers);
+    sim::ThreadPool pool(4);
+    pool.parallelIndexed(kWorkers, [&](size_t i) {
+        WorkingSetPredictor p;
+        for (const auto &t : traces)
+            p.train(t);
+        results[i] = p.schedule();
+    });
+    for (size_t i = 0; i < kWorkers; ++i)
+        EXPECT_TRUE(sameSchedule(results[i], expect)) << "worker " << i;
+}
+
+TEST(PredictorDeterminism, DegradeIsPureAndMonotonic)
+{
+    const auto traces = syntheticTraces(23, 4, 50);
+    WorkingSetPredictor p;
+    for (const auto &t : traces)
+        p.train(t);
+    const PrefetchSchedule full = p.schedule();
+    const std::vector<uint64_t> decoys = {0xdead00, 0xdead01, 0xdead02};
+
+    // Pure: same inputs, same output.
+    EXPECT_TRUE(sameSchedule(degradeSchedule(full, 0.5, decoys, 42),
+                             degradeSchedule(full, 0.5, decoys, 42)));
+    // Accuracy 1.0 is the identity; 0.0 keeps nothing real.
+    EXPECT_TRUE(sameSchedule(degradeSchedule(full, 1.0, decoys, 42), full));
+    const PrefetchSchedule zero = degradeSchedule(full, 0.0, decoys, 42);
+    for (const auto &e : zero.pages) {
+        EXPECT_TRUE(std::find(decoys.begin(), decoys.end(), e.vpn) !=
+                    decoys.end())
+            << "0% accuracy kept a real page";
+    }
+    // Without decoys, misses are dropped instead.
+    EXPECT_EQ(degradeSchedule(full, 0.0, {}, 42).size(), 0u);
+}
+
+/**
+ * The negative control end to end: a restore driven by a 0%-accuracy
+ * schedule (pure decoys) reads byte-identically to the lazy restore —
+ * speculation wastes time, never corrupts.
+ */
+TEST(PredictorDeterminism, ZeroAccuracyPrefetchNeverChangesBytes)
+{
+    const faas::FunctionSpec spec = *faas::findWorkload("Float");
+    porter::ClusterConfig cfg;
+    cfg.machine.numNodes = 2;
+    cfg.machine.dramPerNodeBytes = mem::gib(1);
+    cfg.machine.cxlCapacityBytes = mem::gib(1);
+
+    auto run = [&](bool decoySchedule) {
+        porter::Cluster cluster(cfg);
+        auto parent =
+            faas::FunctionInstance::deployCold(cluster.node(0), spec);
+        parent->invoke();
+        CxlFork fork(cluster.fabric());
+        auto handle = fork.checkpoint(cluster.node(0), parent->task());
+
+        rfork::PrefetchSchedule trained;
+        {
+            // Fully lazy training restore so the traced invocation
+            // actually faults (the dirty-page copy would pre-fault the
+            // whole working set).
+            RestoreOptions lazyOpts;
+            lazyOpts.prefetchDirty = false;
+            auto task = fork.restore(handle, cluster.node(1), lazyOpts);
+            auto child = faas::FunctionInstance::adoptRestored(
+                cluster.node(1), spec, task);
+            FaultTraceRecorder rec;
+            WorkingSetPredictor p;
+            child->invokeTraced(rec);
+            p.train(rec.entries());
+            trained = p.schedule();
+            child->destroy();
+        }
+
+        std::vector<uint64_t> decoys;
+        for (uint64_t i = 0; i < 8; ++i)
+            decoys.push_back(0xffff'0000 + i);
+        const PrefetchSchedule zero =
+            degradeSchedule(trained, 0.0, decoys, 99);
+        RestoreOptions opts;
+        RestoreStats rs;
+        if (decoySchedule)
+            opts.prefetch = &zero;
+        auto child = fork.restore(handle, cluster.node(1), opts, &rs);
+        if (decoySchedule) {
+            // Every decoy missed the address space: skipped, populated 0.
+            EXPECT_EQ(rs.pagesPrefetched, 0u);
+            EXPECT_GT(rs.prefetchSkipped, 0u);
+        }
+
+        std::vector<std::pair<uint64_t, uint64_t>> bytes;
+        parent->task().mm().pageTable().forEachLeaf(
+            [&](uint64_t baseVpn, os::TablePage &leaf) {
+                for (uint32_t i = 0; i < os::TablePage::kEntries; ++i) {
+                    if (!leaf.pte(i).present())
+                        continue;
+                    const uint64_t vpn = baseVpn + i;
+                    bytes.emplace_back(
+                        vpn, cluster.node(1).read(
+                                 *child, VirtAddr::fromPageNumber(vpn)));
+                }
+            });
+        return bytes;
+    };
+
+    const auto lazy = run(false);
+    const auto speculated = run(true);
+    ASSERT_EQ(lazy.size(), speculated.size());
+    for (size_t i = 0; i < lazy.size(); ++i) {
+        EXPECT_EQ(lazy[i].first, speculated[i].first);
+        EXPECT_EQ(lazy[i].second, speculated[i].second)
+            << "vpn=0x" << std::hex << lazy[i].first;
+    }
+}
+
+} // namespace
+} // namespace cxlfork::rfork

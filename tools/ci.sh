@@ -28,6 +28,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L litmus
 echo "== Running coherence property + differential oracle (ctest -L coherence)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L coherence
 
+echo "== Running speculative-restore suite (ctest -L speculative)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L speculative
+
 echo "== Running chaos soak suite (ctest -L chaos)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
 "$BUILD_DIR/tools/chaos_soak"
@@ -49,6 +52,8 @@ for jobs in 1 8; do
         "$BUILD_DIR/bench/bench_fig8_tiering" > /dev/null
     CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
         "$BUILD_DIR/bench/bench_ext_coherence" > /dev/null
+    CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
+        "$BUILD_DIR/bench/bench_ext_speculative" > /dev/null
 done
 if ! "$BUILD_DIR/tools/perfcmp" \
         "$REPO_ROOT/tests/perf/BENCH_WALLCLOCK.json" "$WALLCLOCK_OUT" \

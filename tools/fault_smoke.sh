@@ -28,6 +28,9 @@ echo "== Running coherence litmus + property/oracle suites under ASan/UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L litmus
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L coherence
 
+echo "== Running speculative-restore suite under ASan/UBSan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L speculative
+
 echo "== Running chaos soak suite under ASan/UBSan"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
 "$BUILD_DIR/tools/chaos_soak"

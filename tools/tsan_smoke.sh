@@ -16,15 +16,18 @@ JOBS="${JOBS:-$(nproc)}"
 SWEEP_JOBS="${SWEEP_JOBS:-4}"
 
 # fig10 exercises the shared (mutex-protected) porter::PerfModel cache;
-# ext_coherence runs directory-armed clusters on every worker thread.
+# ext_coherence runs directory-armed clusters on every worker thread;
+# ext_speculative trains predictors and decompresses codec pages on
+# every worker thread.
 BENCHES=(bench_fig8_tiering bench_ext_scaling bench_fig10_porter
-         bench_ext_coherence)
+         bench_ext_coherence bench_ext_speculative)
 
 echo "== Configuring TSan build in $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCXLFORK_TSAN=ON
 cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}" \
     sim_threadpool_test property_pagestore_test \
-    litmus_coherence_test property_coherence_test
+    litmus_coherence_test property_coherence_test \
+    speculative_determinism_test
 
 echo "== ThreadPool unit test under TSan"
 "$BUILD_DIR/tests/sim_threadpool_test"
@@ -35,6 +38,9 @@ echo "== PageStore property fuzz under TSan"
 echo "== Coherence litmus + property fuzz under TSan"
 "$BUILD_DIR/tests/litmus_coherence_test"
 "$BUILD_DIR/tests/property_coherence_test"
+
+echo "== Predictor determinism (threaded training) under TSan"
+"$BUILD_DIR/tests/speculative_determinism_test"
 
 for bench in "${BENCHES[@]}"; do
     echo "== $bench under TSan with CXLFORK_JOBS=$SWEEP_JOBS"
