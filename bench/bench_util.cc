@@ -53,6 +53,24 @@ benchClusterConfig(sim::CostParams costs)
     // checkpoint page raw and the exports stay bit-identical.
     if (const char *compress = std::getenv("CXLFORK_COMPRESS"))
         cfg.pageStore.compress = std::atoi(compress) != 0;
+    // Partition opt-in, same contract: unset (or 0) builds no
+    // link-health model, no fabric transaction consults it, and every
+    // bench output stays bit-identical to the pre-partition tree.
+    // The env knob arms *degradation* weather only: generic figure
+    // benches neither walk the restore ladder nor run journal
+    // recovery, so a checkpoint-time severance would be an unhandled
+    // abort. Severance sweeps live in bench_ext_partition and
+    // tools/partition_soak, which arm it programmatically and own
+    // the recovery protocol.
+    if (const char *rate = std::getenv("CXLFORK_PARTITION_RATE")) {
+        const double r = std::atof(rate);
+        cfg.machine.faults.linkDegradeRate = r;
+        cfg.link.enabled = r > 0.0;
+    }
+    if (const char *factor = std::getenv("CXLFORK_DEGRADE_FACTOR"))
+        cfg.link.degradeFactor = std::atof(factor);
+    if (const char *k = std::getenv("CXLFORK_HEARTBEAT_K"))
+        cfg.heartbeatK = uint32_t(std::atoi(k));
     return cfg;
 }
 

@@ -44,6 +44,18 @@
  *    report `<scenario>.prefetch_hit_pct`.
  *  - CXLFORK_PREDICTOR_WINDOW=<n>: traced training invocations per
  *    predictor (default 3; only meaningful with CXLFORK_PREFETCH).
+ *  - CXLFORK_PARTITION_RATE=<p>: arm the fabric link-health model on
+ *    every bench cluster with per-transaction Bernoulli link
+ *    *degradation* probability p (0 or unset: no link model is built,
+ *    output bit-identical to the pre-partition tree). Severance is
+ *    deliberately not armed here — generic benches own no restore
+ *    ladder or recovery protocol; severance sweeps live in
+ *    bench_ext_partition and tools/partition_soak.
+ *  - CXLFORK_DEGRADE_FACTOR=<f>: latency multiplier a degraded link
+ *    charges (default 4; only meaningful with a partition rate set).
+ *  - CXLFORK_HEARTBEAT_K=<n>: consecutive missed heartbeat probes
+ *    before a node is quarantined (default 3; only meaningful with a
+ *    partition rate set).
  */
 
 #pragma once

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "coherence.hh"
+#include "link_health.hh"
 #include "mem/machine.hh"
 #include "page_store.hh"
 #include "ras.hh"
@@ -23,7 +24,8 @@ class CxlFabric
 {
   public:
     explicit CxlFabric(mem::Machine &machine, PageStoreConfig pageStoreCfg = {},
-                       RasConfig rasCfg = {}, CoherenceConfig coherenceCfg = {})
+                       RasConfig rasCfg = {}, CoherenceConfig coherenceCfg = {},
+                       LinkHealthConfig linkCfg = {})
         : machine_(machine), pageStore_(machine, pageStoreCfg),
           ras_(machine, pageStore_, rasCfg), sharedFs_(machine, pageStore_)
     {
@@ -36,6 +38,15 @@ class CxlFabric
         if (coherenceCfg.mode != CoherenceMode::Off) {
             coherence_ = std::make_unique<CoherenceDirectory>(machine,
                                                               coherenceCfg);
+        }
+        // The link-health ctor installs the machine-level link model
+        // when enabled; reroutes consult the RAS replica placement, so
+        // keep the domain striping aligned with the RAS config.
+        if (linkCfg.enabled) {
+            if (rasCfg.enabled)
+                linkCfg.domains = rasCfg.faultDomains;
+            linkHealth_ =
+                std::make_unique<LinkHealth>(machine, ras_, linkCfg);
         }
     }
 
@@ -50,6 +61,9 @@ class CxlFabric
 
     /** The coherence directory, or nullptr when mode is Off. */
     CoherenceDirectory *coherence() { return coherence_.get(); }
+
+    /** The link-health manager, or nullptr when disabled. */
+    LinkHealth *linkHealth() { return linkHealth_.get(); }
     sim::StatSet &stats() { return stats_; }
 
     /** Device capacity consumed, across checkpoints and files. */
@@ -62,6 +76,8 @@ class CxlFabric
     RasManager ras_;      ///< Before sharedFs_: FS pages may be protected.
     SharedFs sharedFs_;
     std::unique_ptr<CoherenceDirectory> coherence_;
+    std::unique_ptr<LinkHealth> linkHealth_; ///< After ras_: reroutes
+                                             ///< read its replica map.
     sim::StatSet stats_;
 };
 

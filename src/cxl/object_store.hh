@@ -76,6 +76,15 @@ struct JournalRecord
     JournalState state = JournalState::Staged;
 
     /**
+     * The owner node's fence epoch at stage time. A publish only
+     * succeeds while the record's epoch still matches the owner's
+     * current epoch; quarantining a node bumps its epoch, so anything
+     * the quarantined node staged before the partition can never be
+     * published behind the cluster's back (split-brain fence).
+     */
+    uint64_t epoch = 0;
+
+    /**
      * Shared-pool pages pinned by this record while STAGED; each entry
      * holds one extra frame reference, released exactly once when the
      * record publishes or is retired.
@@ -89,7 +98,31 @@ struct RecoveryReport
     uint64_t scanned = 0;   ///< STAGED records examined.
     uint64_t completed = 0; ///< Verified complete and published.
     uint64_t reclaimed = 0; ///< Incomplete; object + record erased.
+    uint64_t staleEpoch = 0; ///< Reclaimed for a fenced-off epoch alone.
 };
+
+/** What one publish() attempt did. */
+enum class PublishResult : uint8_t {
+    Published,        ///< The tuple's lookup entry flipped to the CID.
+    AlreadyPublished, ///< Idempotent re-publish (or unknown CID): no-op.
+    StaleEpoch,       ///< Rejected: the record was staged under an
+                      ///< epoch the owner's fence has moved past. The
+                      ///< record stays STAGED for recovery to reclaim.
+};
+
+inline const char *
+publishResultName(PublishResult r)
+{
+    switch (r) {
+      case PublishResult::Published:
+        return "published";
+      case PublishResult::AlreadyPublished:
+        return "already-published";
+      case PublishResult::StaleEpoch:
+        return "stale-epoch";
+    }
+    return "?";
+}
 
 /**
  * Keyed store of shared checkpoint objects.
@@ -130,7 +163,8 @@ class ObjectStore
         const Cid cid = nextCid_++;
         objects_[cid] = std::move(object);
         journal_[cid] = JournalRecord{user, function, ownerNode,
-                                      JournalState::Staged, {}};
+                                      JournalState::Staged,
+                                      epochOf(ownerNode), {}};
         return cid;
     }
 
@@ -180,19 +214,59 @@ class ObjectStore
      * Idempotent — republishing a PUBLISHED CID is a no-op, so a
      * retried publish step never double-publishes (and never
      * double-releases the staged manifest pins).
+     *
+     * The epoch fence runs first: a record staged by a node whose
+     * epoch has since advanced (the node was quarantined during a
+     * partition) is rejected with StaleEpoch and stays STAGED — a
+     * returning zombie can never flip a tuple the surviving cluster
+     * has moved past. Fencing is free when no epoch ever advanced
+     * (0 == 0) and can be disabled for the split-brain negative
+     * control.
      */
-    void
+    PublishResult
     publish(Cid cid)
     {
         auto it = journal_.find(cid);
-        if (it == journal_.end() || it->second.state == JournalState::Published)
-            return;
+        if (it == journal_.end() ||
+            it->second.state == JournalState::Published)
+            return PublishResult::AlreadyPublished;
+        if (fencing_ && it->second.ownerNode != kAnyNode &&
+            it->second.epoch != epochOf(it->second.ownerNode))
+            return PublishResult::StaleEpoch;
         it->second.state = JournalState::Published;
         latest_[{it->second.user, it->second.function}] = cid;
         // The finished object now solely owns its pages; drop the
         // staged safety pins.
         releaseManifest(it->second);
+        return PublishResult::Published;
     }
+
+    // --- The epoch fence (split-brain protection).
+
+    /** The current fence epoch of a node (0 until first quarantine). */
+    uint64_t
+    epochOf(uint32_t node) const
+    {
+        if (node == kAnyNode)
+            return 0;
+        auto it = nodeEpoch_.find(node);
+        return it == nodeEpoch_.end() ? 0 : it->second;
+    }
+
+    /**
+     * Advance a node's fence epoch (quarantine). Everything the node
+     * staged before this call becomes unpublishable; re-staging after
+     * rejoin picks up the new epoch.
+     */
+    uint64_t bumpEpoch(uint32_t node) { return ++nodeEpoch_[node]; }
+
+    /**
+     * The negative-control switch: with fencing off a returning
+     * zombie's stale publish succeeds, demonstrating the split-brain
+     * double-publish the fence exists to prevent. On by default.
+     */
+    void setEpochFencing(bool on) { fencing_ = on; }
+    bool epochFencing() const { return fencing_; }
 
     /** stage() + publish() in one step (cannot be made crash-safe). */
     Cid
@@ -262,8 +336,13 @@ class ObjectStore
                 continue;
             }
             ++rep.scanned;
+            // A record staged under a fenced-off epoch is stale by
+            // definition — even a verifiably complete object must not
+            // publish behind the surviving cluster's back.
+            const bool stale = fencing_ && rec.ownerNode != kAnyNode &&
+                               rec.epoch != epochOf(rec.ownerNode);
             auto obj = get(cid);
-            if (obj && verify(obj)) {
+            if (!stale && obj && verify(obj)) {
                 rec.state = JournalState::Published;
                 latest_[{rec.user, rec.function}] = cid;
                 releaseManifest(rec);
@@ -277,6 +356,7 @@ class ObjectStore
                 objects_.erase(cid);
                 it = journal_.erase(it);
                 ++rep.reclaimed;
+                rep.staleEpoch += stale;
             }
         }
         return rep;
@@ -352,6 +432,9 @@ class ObjectStore
     std::map<Cid, JournalRecord> journal_;
     std::map<std::pair<std::string, std::string>, Cid> latest_;
     std::function<void(uint64_t)> manifestReleaser_;
+    std::map<uint32_t, uint64_t> nodeEpoch_; ///< Fence epochs; empty
+                                             ///< until a quarantine.
+    bool fencing_ = true;
 };
 
 } // namespace cxlfork::cxl

@@ -201,7 +201,8 @@ PageStore::frameFreed(mem::PhysAddr addr)
 }
 
 InternResult
-PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
+PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock,
+                  mem::NodeId node)
 {
     if (!cfg_.dedup) {
         // Pass-through: identical to the pre-store allocation path, no
@@ -246,7 +247,9 @@ PageStore::intern(uint64_t content, mem::FrameUse use, sim::SimClock &clock)
             }
         }
         if (comparedAny) {
-            machine_.cxlTransaction(clock, "pagestore collision check");
+            machine_.cxlTransaction(clock, "pagestore collision check",
+                                    node, bucket->second.front(),
+                                    /*isRead=*/true);
             clock.advance(machine_.costs().cxlRead(mem::kPageSize));
         }
         if (match.raw != 0) {

@@ -146,10 +146,14 @@ class PageStore : public mem::PageCodec
      * of allocated; a miss allocates and indexes the new frame. The
      * caller owns one reference either way and must return it through
      * release(). The data-write cost of a miss stays with the caller —
-     * exactly where it was before the store existed.
+     * exactly where it was before the store existed. `node` attributes
+     * the collision-check read to the interning node so an installed
+     * link-health model applies that node's link state; the default
+     * leaves the read unattributed (pre-partition behavior).
      */
     InternResult intern(uint64_t content, mem::FrameUse use,
-                        sim::SimClock &clock);
+                        sim::SimClock &clock,
+                        mem::NodeId node = mem::kInvalidNode);
 
     /** Take one more reference on any CXL frame (store-owned or not). */
     void ref(mem::PhysAddr addr);

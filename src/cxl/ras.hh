@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -155,6 +156,29 @@ class RasManager : public mem::PoisonRepairer
     ScrubReport scrubAll(sim::SimClock &clock);
 
     // --- Introspection.
+
+    /**
+     * The reroute rung of the partition ladder: a healthy replica of
+     * `primary` whose fault domain satisfies `reachable` (the link-
+     * health model's view from the partitioned node), or null when the
+     * page is unprotected or no reachable healthy copy exists. Pure
+     * lookup — the caller charges the reroute read.
+     */
+    mem::PhysAddr
+    findReplicaOn(mem::PhysAddr primary,
+                  const std::function<bool(uint32_t)> &reachable) const
+    {
+        auto it = tracked_.find(primary.raw);
+        if (it == tracked_.end())
+            return mem::PhysAddr{};
+        for (mem::PhysAddr r : it->second.replicas) {
+            if (!machine_.cxl().frame(r).poisoned &&
+                reachable(domainOf(r))) {
+                return r;
+            }
+        }
+        return mem::PhysAddr{};
+    }
 
     bool isLost(mem::PhysAddr addr) const
     {

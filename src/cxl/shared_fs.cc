@@ -39,7 +39,8 @@ SharedFs::~SharedFs()
 
 const CxlFsFile &
 SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
-                uint64_t simulatedBytes, sim::SimClock &clock)
+                uint64_t simulatedBytes, sim::SimClock &clock,
+                mem::NodeId node)
 {
     CxlFsFile file;
     file.name = name;
@@ -59,7 +60,7 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
             for (uint64_t i = 0; i < pages; ++i) {
                 const InternResult r = pageStore_.intern(
                     filePageToken(file.data, i, pages),
-                    mem::FrameUse::FileCache, clock);
+                    mem::FrameUse::FileCache, clock, node);
                 file.frames.push_back(r.addr);
                 sharedPages += r.shared;
                 freshStoredBytes += r.storedBytes;
@@ -70,7 +71,7 @@ SharedFs::write(const std::string &name, std::vector<uint8_t> encoded,
                     machine_.cxl().alloc(mem::FrameUse::FileCache));
             }
         }
-        machine_.cxlTransaction(clock, "shared-fs write");
+        machine_.cxlTransaction(clock, "shared-fs write", node);
     } catch (const sim::NodeCrashError &) {
         // The writing node crashed mid-write: it cannot run its own
         // cleanup, so the partial allocation stays on the device as an

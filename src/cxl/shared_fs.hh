@@ -65,7 +65,8 @@ class SharedFs
      */
     const CxlFsFile &write(const std::string &name,
                            std::vector<uint8_t> encoded,
-                           uint64_t simulatedBytes, sim::SimClock &clock);
+                           uint64_t simulatedBytes, sim::SimClock &clock,
+                           mem::NodeId node = mem::kInvalidNode);
 
     /** Open for reading; nullptr when absent. No cost (mapped access). */
     const CxlFsFile *open(const std::string &name) const;

@@ -63,12 +63,18 @@ Machine::setPageCodec(PageCodec *c)
 }
 
 void
-Machine::cxlTransaction(sim::SimClock &clock, const char *site)
+Machine::cxlTransaction(sim::SimClock &clock, const char *site,
+                        NodeId node, PhysAddr target, bool isRead)
 {
     cxlTxnCounter_->inc();
     // Every fabric transaction is a crash site: the issuing node can
     // die before the transaction commits. Free when crash mode is off.
     injector_.crashPoint(site);
+    // Link health before the transient ladder: a severed path cannot
+    // carry the transaction at all, so transient retries over it would
+    // be fiction. Only node-attributed traffic crosses a node's link.
+    if (link_ && node != kInvalidNode)
+        link_->onTransaction(node, target, isRead, clock, site);
     if (!injector_.armed())
         return;
     // The generic retry policy: bounded attempts with exponential
@@ -104,7 +110,7 @@ Machine::cxlTransaction(sim::SimClock &clock, const char *site)
 
 uint64_t
 Machine::readFrameChecked(PhysAddr addr, sim::SimClock &clock,
-                          const char *site)
+                          const char *site, NodeId node)
 {
     const Frame &f = frame(addr);
     if (f.poisoned) {
@@ -121,7 +127,7 @@ Machine::readFrameChecked(PhysAddr addr, sim::SimClock &clock,
     }
     if (tierOf(addr) == Tier::Cxl) {
         cxlFrameReadCounter_->inc();
-        cxlTransaction(clock, site);
+        cxlTransaction(clock, site, node, addr, /*isRead=*/true);
         if (codec_)
             codec_->onMaterialize(addr, clock);
     } else {

@@ -133,6 +133,42 @@ class PageCodec
     virtual void frameFreed(PhysAddr addr) = 0;
 };
 
+/**
+ * Fabric link-health hook. When installed (by the CXL fabric's
+ * LinkHealth manager) every *node-attributed* fabric transaction routed
+ * through Machine::cxlTransaction consults the model, which tracks the
+ * per-(node, fault-domain) link state: a degraded link charges extra
+ * latency to the issuing node's clock, and a severed link either
+ * reroutes the access to a RAS replica on a reachable domain (reads
+ * only — the page content is replicated byte-identically) or raises
+ * sim::FabricPartitionError. Defined here — not in cxl — because mem
+ * cannot depend on the cxl layer (the same pattern as PoisonRepairer).
+ *
+ * Null by default: with no model installed the fabric is always
+ * reachable and every path is bit-identical to the pre-partition tree.
+ * Transactions with no issuing node (kInvalidNode — device-internal RAS
+ * traffic, tests poking the machine directly) bypass the model: only
+ * node-attributed traffic crosses a node's link.
+ */
+class FabricLinkModel
+{
+  public:
+    virtual ~FabricLinkModel() = default;
+
+    /**
+     * Node `n` issues one fabric transaction toward the device domain
+     * holding `addr` (a null addr is control-plane traffic — journal
+     * records, heartbeat probes — which rides domain 0). Charges
+     * degraded-link latency to `clock`; throws
+     * sim::FabricPartitionError when the path is severed and, for
+     * addressed reads, no replica on a reachable domain can serve it.
+     * `isRead` gates the replica-reroute rung: a write through a
+     * severed path can never be silently redirected.
+     */
+    virtual void onTransaction(NodeId n, PhysAddr addr, bool isRead,
+                               sim::SimClock &clock, const char *site) = 0;
+};
+
 /** Machine construction parameters. */
 struct MachineConfig
 {
@@ -224,6 +260,15 @@ class Machine
     PageCodec *pageCodec() const { return codec_; }
 
     /**
+     * Install (or clear, with nullptr) the fabric link-health model
+     * that node-attributed cxlTransaction calls consult. Null by
+     * default: every link is permanently Up and each path is
+     * bit-identical to the pre-partition tree.
+     */
+    void setLinkModel(FabricLinkModel *m) { link_ = m; }
+    FabricLinkModel *linkModel() const { return link_; }
+
+    /**
      * Node-attributed read of a frame's content token: the failure
      * model of readFrameChecked plus, when a coherence model is
      * installed and the frame is on the CXL tier, the directory's view
@@ -233,7 +278,7 @@ class Machine
     readFrame(PhysAddr addr, NodeId n, sim::SimClock &clock,
               const char *site)
     {
-        uint64_t content = readFrameChecked(addr, clock, site);
+        uint64_t content = readFrameChecked(addr, clock, site, n);
         if (coherence_ && tierOf(addr) == Tier::Cxl)
             content = coherence_->read(addr, n, content, clock, site);
         return content;
@@ -338,16 +383,30 @@ class Machine
      * budget with exponential backoff charged to `clock`. Throws
      * sim::TransientFaultError once the budget is exhausted. A no-op
      * when injection is disarmed.
+     *
+     * `node` attributes the transaction to the issuing node so an
+     * installed FabricLinkModel can apply that node's link state
+     * (degraded latency, severed → sim::FabricPartitionError); the
+     * default kInvalidNode bypasses the link model (device-internal
+     * traffic never crosses a node's link). `target` names the device
+     * address the transaction is headed for — it selects the fault
+     * domain, and for reads (`isRead`) it enables the replica-reroute
+     * rung; a null target is control-plane traffic on domain 0.
      */
-    void cxlTransaction(sim::SimClock &clock, const char *site);
+    void cxlTransaction(sim::SimClock &clock, const char *site,
+                        NodeId node = kInvalidNode,
+                        PhysAddr target = PhysAddr{},
+                        bool isRead = false);
 
     /**
      * Read a frame's content token through the failure model: poisoned
      * frames machine-check (sim::PoisonedFrameError); CXL-tier reads
-     * additionally pass through cxlTransaction.
+     * additionally pass through cxlTransaction, node-attributed when
+     * the caller knows the issuing node.
      */
     uint64_t readFrameChecked(PhysAddr addr, sim::SimClock &clock,
-                              const char *site);
+                              const char *site,
+                              NodeId node = kInvalidNode);
 
     /**
      * Which tier an address lives on. Pure window arithmetic: anything
@@ -412,6 +471,7 @@ class Machine
     PoisonRepairer *repairer_ = nullptr;
     CoherenceModel *coherence_ = nullptr;
     PageCodec *codec_ = nullptr;
+    FabricLinkModel *link_ = nullptr;
 
     // Hot-path metric handles, resolved once at construction so the
     // per-transaction cost is a pointer bump instead of a string-keyed

@@ -1,5 +1,6 @@
 #include "cluster.hh"
 
+#include "sim/error.hh"
 #include "sim/log.hh"
 
 namespace cxlfork::porter {
@@ -7,9 +8,11 @@ namespace cxlfork::porter {
 Cluster::Cluster(const ClusterConfig &cfg)
     : cfg_(cfg), machine_(std::make_unique<mem::Machine>(cfg.machine)),
       fabric_(std::make_unique<cxl::CxlFabric>(*machine_, cfg.pageStore,
-                                               cfg.ras, cfg.coherence)),
+                                               cfg.ras, cfg.coherence,
+                                               cfg.link)),
       vfs_(std::make_shared<os::Vfs>())
 {
+    health_.resize(machine_->numNodes());
     // Staged-manifest pins taken during checkpointPublished are real
     // frame references; the journal releases them through the page
     // store so a shared frame's index entry disappears only when its
@@ -65,7 +68,7 @@ Cluster::recoverNode(mem::NodeId n)
     // by an unflushed store".
     const cxl::RecoveryReport rep = checkpoints_.recoverOrphans(
         n, [&](const std::shared_ptr<rfork::CheckpointHandle> &h) {
-            machine_->cxlTransaction(clock, "journal recover");
+            machine_->cxlTransaction(clock, "journal recover", n);
             clock.advance(costs.cxlRead(rfork::kJournalRecordBytes));
             return h->complete() && h->localBytes() == 0 &&
                    !referencesTornLine(h);
@@ -73,6 +76,7 @@ Cluster::recoverNode(mem::NodeId n)
     out.orphansScanned = rep.scanned;
     out.orphansCompleted = rep.completed;
     out.orphansReclaimed = rep.reclaimed;
+    out.staleEpochReclaimed = rep.staleEpoch;
     clock.advance(costs.cxlWrite(rfork::kJournalRecordBytes) *
                   double(rep.completed + rep.reclaimed));
 
@@ -91,7 +95,7 @@ Cluster::recoverNode(mem::NodeId n)
                 deadPublished.push_back(cid);
         });
     for (cxl::Cid cid : deadPublished) {
-        machine_->cxlTransaction(clock, "journal recover");
+        machine_->cxlTransaction(clock, "journal recover", n);
         clock.advance(costs.cxlRead(rfork::kJournalRecordBytes) +
                       costs.cxlWrite(rfork::kJournalRecordBytes));
         checkpoints_.reclaim(cid);
@@ -149,7 +153,7 @@ Cluster::reclaimDamaged(mem::NodeId n, mem::PhysAddr lostFrame)
                 damaged.push_back(cid);
         });
     for (cxl::Cid cid : damaged) {
-        machine_->cxlTransaction(clock, "journal reclaim damaged");
+        machine_->cxlTransaction(clock, "journal reclaim damaged", n);
         clock.advance(costs.cxlRead(rfork::kJournalRecordBytes) +
                       costs.cxlWrite(rfork::kJournalRecordBytes));
         checkpoints_.reclaim(cid);
@@ -160,6 +164,68 @@ Cluster::reclaimDamaged(mem::NodeId n, mem::PhysAddr lostFrame)
             .inc(damaged.size());
     }
     return uint64_t(damaged.size());
+}
+
+HeartbeatReport
+Cluster::heartbeatTick()
+{
+    HeartbeatReport out;
+    for (mem::NodeId n = 0; n < numNodes(); ++n) {
+        if (health_[n].quarantined)
+            continue;
+        sim::SimClock &clock = node(n).clock();
+        bool missed = false;
+        try {
+            // A control-plane probe: null target address, so the link
+            // model routes it over the node's domain-0 path. The probe
+            // itself is one fabric round trip.
+            machine_->cxlTransaction(clock, "heartbeat probe", n);
+            clock.advance(machine_->costs().cxlLatency);
+        } catch (const sim::FabricPartitionError &) {
+            missed = true;
+        } catch (const sim::TransientFaultError &) {
+            missed = true;
+        }
+        ++out.probes;
+        if (!missed) {
+            health_[n].missedProbes = 0;
+            continue;
+        }
+        ++out.misses;
+        if (++health_[n].missedProbes >= cfg_.heartbeatK) {
+            quarantineNode(n);
+            out.newlyQuarantined.push_back(n);
+        }
+    }
+    return out;
+}
+
+void
+Cluster::quarantineNode(mem::NodeId n)
+{
+    NodeHealth &h = health_.at(n);
+    if (h.quarantined)
+        return;
+    h.quarantined = true;
+    // The fence itself: everything node n staged before the partition
+    // now carries a stale epoch, so a zombie publish after the link
+    // heals is rejected instead of clobbering what the survivors
+    // published in the meantime.
+    const uint64_t epoch = checkpoints_.bumpEpoch(n);
+    machine_->metrics().counter("cxl.partition.quarantines").inc();
+    CXLF_DEBUG("cluster: node %u quarantined (epoch now %llu)", n,
+               (unsigned long long)epoch);
+}
+
+NodeRecovery
+Cluster::rejoinNode(mem::NodeId n)
+{
+    NodeRecovery rec = recoverNode(n);
+    NodeHealth &h = health_.at(n);
+    h.missedProbes = 0;
+    h.quarantined = false;
+    machine_->metrics().counter("cxl.partition.rejoins").inc();
+    return rec;
 }
 
 } // namespace cxlfork::porter

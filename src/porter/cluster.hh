@@ -27,7 +27,16 @@ struct NodeRecovery
     uint64_t orphansReclaimed = 0; ///< Journal records garbage-collected.
     uint64_t fsFramesReclaimed = 0; ///< SharedFs frames from torn writes.
     uint64_t framesReclaimed = 0;  ///< Total CXL frames returned.
+    uint64_t staleEpochReclaimed = 0; ///< STAGED records fenced by epoch.
     sim::SimTime recoveryTime;     ///< Simulated cost of the pass.
+};
+
+/** What one cluster-wide heartbeat round observed. */
+struct HeartbeatReport
+{
+    uint64_t probes = 0;  ///< Probe transactions attempted.
+    uint64_t misses = 0;  ///< Probes the fabric failed to carry.
+    std::vector<mem::NodeId> newlyQuarantined; ///< Crossed K this round.
 };
 
 /** Cluster construction parameters. */
@@ -56,6 +65,21 @@ struct ClusterConfig
      * counters, bit-identical behaviour.
      */
     cxl::CoherenceConfig coherence;
+
+    /**
+     * Fabric link-health configuration (partition injection, degraded
+     * latency, replica reroute). Off by default: no link model is
+     * installed and every transaction behaves exactly as before.
+     */
+    cxl::LinkHealthConfig link;
+
+    /**
+     * Consecutive missed heartbeat probes before a node is declared
+     * partitioned and quarantined (its checkpoint-store epoch is
+     * bumped so in-flight publishes it staged before the partition are
+     * fenced off).
+     */
+    uint32_t heartbeatK = 3;
 };
 
 /** The running cluster. */
@@ -106,7 +130,57 @@ class Cluster
      */
     uint64_t reclaimDamaged(mem::NodeId n, mem::PhysAddr lostFrame);
 
+    /** The fabric's link-health model; nullptr unless cfg.link.enabled. */
+    cxl::LinkHealth *linkHealth() { return fabric_->linkHealth(); }
+
+    /**
+     * One cluster-wide heartbeat round on the simulated clock: every
+     * non-quarantined node probes the fabric with one control-plane
+     * transaction. A probe the fabric cannot carry (severed link,
+     * escalated transient) counts as a miss; cfg.heartbeatK
+     * consecutive misses quarantine the node. A successful probe
+     * resets the node's miss count.
+     */
+    HeartbeatReport heartbeatTick();
+
+    /** Whether node n is currently fenced off from publishing. */
+    bool quarantined(mem::NodeId n) const
+    {
+        return health_.at(n).quarantined;
+    }
+
+    /**
+     * Fence node n out of the checkpoint store: bump its publish
+     * epoch so every record it staged before the partition is stale,
+     * then mark it quarantined. Idempotent. This is the split-brain
+     * guard — a quarantined node that comes back cannot publish over
+     * a checkpoint the survivors published in its absence.
+     */
+    void quarantineNode(mem::NodeId n);
+
+    /**
+     * Readmit a quarantined node after its link heals: run the full
+     * recoverNode pass (which reclaims the stale-epoch STAGED records
+     * its fenced epoch left behind) and clear the quarantine. The
+     * caller must heal the link first — the recovery pass itself
+     * talks to the fabric as node n.
+     */
+    NodeRecovery rejoinNode(mem::NodeId n);
+
+    /** Node n's current publish epoch in the checkpoint store. */
+    uint64_t nodeEpoch(mem::NodeId n) const
+    {
+        return checkpoints_.epochOf(n);
+    }
+
   private:
+    /** Per-node heartbeat bookkeeping. */
+    struct NodeHealth
+    {
+        uint32_t missedProbes = 0;
+        bool quarantined = false;
+    };
+
     ClusterConfig cfg_;
     std::unique_ptr<mem::Machine> machine_;
     std::unique_ptr<cxl::CxlFabric> fabric_;
@@ -114,6 +188,7 @@ class Cluster
     os::NamespaceRegistry nsRegistry_;
     std::vector<std::unique_ptr<os::NodeOs>> nodes_;
     std::vector<std::unique_ptr<faas::ContainerManager>> containerMgrs_;
+    std::vector<NodeHealth> health_;
     rfork::CheckpointStore checkpoints_;
 };
 

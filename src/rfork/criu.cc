@@ -68,7 +68,8 @@ CriuCxl::checkpoint(os::NodeOs &node, os::Task &parent,
     // cost is charged by SharedFs).
     machine.faults().crashPoint("criu.serialize");
     const cxl::CxlFsFile &file =
-        fabric_.sharedFs().write(name, enc.take(), simBytes, clock);
+        fabric_.sharedFs().write(name, enc.take(), simBytes, clock,
+                                 node.id());
     // The image file's cache frames (possibly shared with other images
     // through the page store) go on the STAGED manifest so a crash
     // between here and publish releases them exactly once.
@@ -132,7 +133,8 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     const bool compressed = fabric_.pageStore().compressEnabled();
     for (mem::PhysAddr fr : file->frames) {
         if (machine.frame(fr).poisoned || compressed)
-            machine.readFrameChecked(fr, clock, "criu image read");
+            machine.readFrameChecked(fr, clock, "criu image read",
+                                     target.id());
         if (machine.coherence()) {
             // Directory on: the bulk read is additionally a
             // coherence-visible touch (sharer tracking + tax, nothing

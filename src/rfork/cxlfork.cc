@@ -76,7 +76,8 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
                 const uint64_t content =
                     machine.frame(src.frame()).content;
                 const cxl::InternResult r =
-                    pages.intern(content, mem::FrameUse::Data, clock);
+                    pages.intern(content, mem::FrameUse::Data, clock,
+                                 node.id());
                 replica = r.addr;
                 img->addDataFrame(replica);
                 if (!r.shared) {
@@ -85,7 +86,8 @@ CxlFork::checkpoint(os::NodeOs &node, os::Task &parent,
                     // The copy covers what the intern actually stored:
                     // a full page normally, the modeled compressed size
                     // with the codec pipeline armed.
-                    machine.cxlTransaction(clock, "cxlfork checkpoint copy");
+                    machine.cxlTransaction(clock, "cxlfork checkpoint copy",
+                                           node.id(), replica);
                     clock.advance(costs.cxlWrite(r.storedBytes));
                     cs.bytesToCxl += r.storedBytes;
                     // Publish through the coherence directory: the NT
@@ -298,7 +300,9 @@ CxlFork::restore(const std::shared_ptr<CheckpointHandle> &handle,
             // Ablation: re-construct the page table by copying every
             // checkpointed leaf to local memory.
             for (const auto &[baseVpn, leaf] : img->leaves()) {
-                machine.cxlTransaction(clock, "cxlfork leaf copy");
+                machine.cxlTransaction(clock, "cxlfork leaf copy",
+                                       target.id(), leaf->backing(),
+                                       /*isRead=*/true);
                 for (uint32_t i = 0; i < TablePage::kEntries; ++i) {
                     const Pte &p = leaf->pte(i);
                     if (p.present()) {

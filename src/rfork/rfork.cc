@@ -16,6 +16,8 @@ restoreErrorName(RestoreError e)
     case RestoreError::ParentNodeFailed: return "parent-node-failed";
     case RestoreError::PoisonedFrame: return "poisoned-frame";
     case RestoreError::MissingFile: return "missing-file";
+    case RestoreError::FabricPartition: return "fabric-partition";
+    case RestoreError::StaleEpoch: return "stale-epoch";
     case RestoreError::Other: return "other";
     }
     return "?";
@@ -36,6 +38,9 @@ classify(const sim::SimError &e)
     // A crash of the restoring node itself is never retryable on that
     // node; the caller must pick another node (or recover this one).
     case sim::ErrClass::NodeCrashed: return RestoreError::Other;
+    case sim::ErrClass::FabricPartition:
+        return RestoreError::FabricPartition;
+    case sim::ErrClass::StaleEpoch: return RestoreError::StaleEpoch;
     }
     return RestoreError::Other;
 }
@@ -54,7 +59,7 @@ RemoteForkMechanism::stageHandle(
     // (and therefore a crash site); a crash before it commits leaves
     // nothing behind, a crash after it leaves a discoverable orphan.
     machine.faults().crashPoint("journal.stage");
-    machine.cxlTransaction(node.clock(), "journal stage");
+    machine.cxlTransaction(node.clock(), "journal stage", node.id());
     node.clock().advance(machine.costs().cxlWrite(kJournalRecordBytes));
     pubCtx_->stagedCid = pubCtx_->store->stage(
         pubCtx_->id->user, pubCtx_->id->function, handle, node.id());
@@ -115,9 +120,28 @@ RemoteForkMechanism::checkpointPublished(
         // completes or reclaims it); crash after it -> the published,
         // fully-built image survives the node.
         machine.faults().crashPoint("journal.publish");
-        machine.cxlTransaction(node.clock(), "journal publish");
+        machine.cxlTransaction(node.clock(), "journal publish", node.id());
         node.clock().advance(machine.costs().cxlWrite(kJournalRecordBytes));
-        store.publish(ctx.stagedCid);
+        const cxl::PublishResult pr = store.publish(ctx.stagedCid);
+        if (pr == cxl::PublishResult::StaleEpoch) {
+            // The epoch fence refused: this node was quarantined (and
+            // possibly returned) after staging. The record stays
+            // STAGED for recovery to reclaim; surface the refusal as a
+            // typed error so the caller rejoins instead of retrying.
+            sim::FaultOrigin origin;
+            origin.node = node.id();
+            origin.cid = ctx.stagedCid;
+            throw sim::StaleEpochError(
+                sim::format("publish of cid %llu fenced off: node %u "
+                            "staged at epoch %llu but the fence is at "
+                            "%llu (node was quarantined)",
+                            (unsigned long long)ctx.stagedCid, node.id(),
+                            (unsigned long long)store
+                                .journalRecord(ctx.stagedCid)
+                                ->epoch,
+                            (unsigned long long)store.epochOf(node.id())),
+                origin);
+        }
         machine.faults().crashPoint("journal.published");
     }
     out.cid = ctx.stagedCid;
@@ -138,8 +162,17 @@ RemoteForkMechanism::tryRestore(
     }
 
     sim::SimTime backoff = policy.backoff;
+    sim::BackoffSchedule partitionSched(policy.partition);
     for (uint32_t attempt = 0;; ++attempt) {
         try {
+            // Fetching the handle's journal record is itself a fabric
+            // read, so with a link model installed every attempt is
+            // exposed to partition weather before mechanism-specific
+            // work starts. Without a link model the charge stays
+            // folded into the mechanism's own costs.
+            if (target.machine().linkModel())
+                target.machine().cxlTransaction(
+                    target.clock(), "restore attach", target.id());
             out.task = restore(handle, target, opts, stats);
             out.error = RestoreError::None;
             return out;
@@ -147,6 +180,24 @@ RemoteForkMechanism::tryRestore(
             out.error = classify(e);
             out.message = e.what();
             out.origin = e.origin();
+            if (out.error == RestoreError::FabricPartition) {
+                // The partition rung: a flapped link may heal, so the
+                // restore is re-attempted on the partition backoff
+                // schedule (count- and budget-bounded). Exhaustion
+                // hands the typed outcome to the caller's next rungs
+                // (failover to a warm node, then cold start).
+                const std::optional<sim::SimTime> delay =
+                    partitionSched.next(
+                        &target.machine().faults().backoffRng());
+                if (!delay)
+                    return out;
+                target.clock().advance(*delay);
+                ++out.retries;
+                CXLF_DEBUG("%s: restore partitioned (%s), retry %u "
+                           "after backoff",
+                           name(), e.what(), partitionSched.retries());
+                continue;
+            }
             // Only transients are worth re-running the same restore on
             // the same node; everything else needs a different
             // checkpoint or a different node, which is the caller's

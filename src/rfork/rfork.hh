@@ -18,6 +18,7 @@
 #include "cxl/object_store.hh"
 #include "mem/types.hh"
 #include "os/kernel.hh"
+#include "sim/backoff.hh"
 #include "sim/error.hh"
 #include "sim/time.hh"
 
@@ -189,6 +190,9 @@ enum class RestoreError : uint8_t
     ParentNodeFailed, ///< Mechanism depends on a parent node that died.
     PoisonedFrame,    ///< A checkpoint frame lost its data.
     MissingFile,      ///< Checkpoint file/handle no longer exists.
+    FabricPartition,  ///< The target's fabric link is severed and no
+                      ///< replica could serve the reads.
+    StaleEpoch,       ///< A publish was fenced off (quarantined epoch).
     Other,            ///< Any other recoverable failure.
 };
 
@@ -200,6 +204,19 @@ struct RestoreRetryPolicy
     uint32_t maxRetries = 2;              ///< Whole-restore re-attempts.
     sim::SimTime backoff = sim::SimTime::us(50);
     double backoffMultiplier = 2.0;
+
+    /**
+     * The partition rung's retry budget: a restore that failed with
+     * FabricPartition is re-attempted on this schedule (a flapped link
+     * may heal between attempts), bounded by both the retry count and
+     * the time budget. Exhaustion returns the partition outcome to the
+     * caller, whose next rungs are failover to a warm node or a cold
+     * start. maxRetries 0 disables partition retries entirely.
+     */
+    sim::BackoffPolicy partition{
+        /*maxRetries=*/3, /*base=*/sim::SimTime::us(100),
+        /*multiplier=*/2.0, /*jitter=*/0.0,
+        /*budget=*/sim::SimTime::us(5000)};
 };
 
 /** Result of a fallible restore: a task, or a typed error. */

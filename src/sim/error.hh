@@ -29,6 +29,11 @@ enum class ErrClass : uint8_t {
     NodeFailed,        ///< The remote node holding required state died.
     NodeCrashed,       ///< Injected whole-node crash at a deterministic
                        ///< crash site (FaultInjector::armCrashSite).
+    FabricPartition,   ///< The node's link to a device fault domain is
+                       ///< severed; the path is unreachable until the
+                       ///< link heals (cxl::LinkHealth).
+    StaleEpoch,        ///< A publish from a fenced-off epoch (the node
+                       ///< was quarantined and returned) was rejected.
 };
 
 const char *errClassName(ErrClass c);
@@ -46,11 +51,21 @@ struct FaultOrigin
     static constexpr uint32_t kNoNode = 0xffffffffu;
     static constexpr uint32_t kCxlDevice = 0xfffffffeu;
 
+    /** No link involved (the default for non-partition faults). */
+    static constexpr uint32_t kNoLink = 0xffffffffu;
+
     uint64_t frameAddr = 0; ///< Physical frame address; 0 = unknown.
     uint32_t node = kNoNode; ///< Owner of the frame's window.
     uint64_t cid = 0;       ///< Checkpoint CID, when known; 0 = unknown.
 
-    bool known() const { return frameAddr != 0 || cid != 0; }
+    /**
+     * For partition faults: the device fault domain whose link from
+     * `node` was severed/degraded. Here `node` is the *issuing* node
+     * (the one cut off), not a frame owner.
+     */
+    uint32_t link = kNoLink;
+
+    bool known() const { return frameAddr != 0 || cid != 0 || link != kNoLink; }
 
     /** " [frame=0x.. owner=.. cid=..]", or "" when nothing is known. */
     std::string describe() const;
@@ -143,6 +158,42 @@ class NodeCrashError : public SimError
   public:
     explicit NodeCrashError(const std::string &what)
         : SimError(ErrClass::NodeCrashed, what)
+    {}
+};
+
+/**
+ * The issuing node's link to a CXL device fault domain is severed: the
+ * transaction cannot reach the device at all (reachability loss, not a
+ * transient bit error). Recovery is the partition ladder — retry on a
+ * backoff budget (a flapped link may heal), reroute reads to a RAS
+ * replica on a reachable domain, fail over to a warm node, or cold
+ * start — never a blind immediate retry.
+ */
+class FabricPartitionError : public SimError
+{
+  public:
+    explicit FabricPartitionError(const std::string &what)
+        : SimError(ErrClass::FabricPartition, what)
+    {}
+    FabricPartitionError(const std::string &what, const FaultOrigin &origin)
+        : SimError(ErrClass::FabricPartition, what, origin)
+    {}
+};
+
+/**
+ * A checkpoint publish carried an epoch older than the owning node's
+ * fence: the publisher was quarantined (and possibly returned) while
+ * the cluster moved on. The publish was rejected — retrying is wrong;
+ * the node must rejoin and re-stage under its new epoch.
+ */
+class StaleEpochError : public SimError
+{
+  public:
+    explicit StaleEpochError(const std::string &what)
+        : SimError(ErrClass::StaleEpoch, what)
+    {}
+    StaleEpochError(const std::string &what, const FaultOrigin &origin)
+        : SimError(ErrClass::StaleEpoch, what, origin)
     {}
 };
 

@@ -21,6 +21,10 @@ errClassName(ErrClass c)
         return "node-failed";
       case ErrClass::NodeCrashed:
         return "node-crashed";
+      case ErrClass::FabricPartition:
+        return "fabric-partition";
+      case ErrClass::StaleEpoch:
+        return "stale-epoch";
     }
     return "?";
 }
@@ -42,6 +46,14 @@ FaultOrigin::describe() const
         if (frameAddr != 0)
             out += " ";
         out += format("cid=%llu", (unsigned long long)cid);
+    }
+    if (link != kNoLink) {
+        if (out.size() > 2)
+            out += " ";
+        if (node != kNoNode && node != kCxlDevice)
+            out += format("link=node%u:dom%u", node, link);
+        else
+            out += format("link=dom%u", link);
     }
     return out + "]";
 }
@@ -69,6 +81,10 @@ rethrowWithCid(const SimError &e, uint64_t cid)
         throw NodeFailedError(what + withCid.describe());
       case ErrClass::NodeCrashed:
         throw NodeCrashError(what + withCid.describe());
+      case ErrClass::FabricPartition:
+        throw FabricPartitionError(what, withCid);
+      case ErrClass::StaleEpoch:
+        throw StaleEpochError(what, withCid);
     }
     throw SimError(e.errClass(), what, withCid);
 }
@@ -81,6 +97,8 @@ constexpr uint64_t kTransientSalt = 0x7261'6e73'6965'6e74ULL;
 constexpr uint64_t kPoisonSalt = 0x706f'6973'6f6e'6564ULL;
 constexpr uint64_t kTornSalt = 0x746f'726e'7772'6974ULL;
 constexpr uint64_t kBackoffSalt = 0x6261'636b'6f66'6673ULL;
+constexpr uint64_t kLinkSeverSalt = 0x7365'7665'7265'6421ULL;
+constexpr uint64_t kLinkDegradeSalt = 0x6465'6772'6164'6564ULL;
 
 } // namespace
 
@@ -88,7 +106,9 @@ FaultInjector::FaultInjector(FaultConfig cfg)
     : cfg_(cfg), armed_(cfg.anyEnabled()),
       transientRng_(cfg.seed ^ kTransientSalt),
       poisonRng_(cfg.seed ^ kPoisonSalt), tornRng_(cfg.seed ^ kTornSalt),
-      backoffRng_(cfg.seed ^ kBackoffSalt)
+      backoffRng_(cfg.seed ^ kBackoffSalt),
+      linkSeverRng_(cfg.seed ^ kLinkSeverSalt),
+      linkDegradeRng_(cfg.seed ^ kLinkDegradeSalt)
 {
 }
 
@@ -101,18 +121,35 @@ FaultInjector::setConfig(const FaultConfig &cfg)
     poisonRng_ = Rng(cfg.seed ^ kPoisonSalt);
     tornRng_ = Rng(cfg.seed ^ kTornSalt);
     backoffRng_ = Rng(cfg.seed ^ kBackoffSalt);
+    linkSeverRng_ = Rng(cfg.seed ^ kLinkSeverSalt);
+    linkDegradeRng_ = Rng(cfg.seed ^ kLinkDegradeSalt);
     stats_ = FaultStats{};
     // Full reset semantics: a reconfigured injector starts with crash
     // sites off, like a freshly constructed one.
     crashMode_ = CrashMode::Off;
     crashSiteCursor_ = 0;
     crashTarget_ = 0;
+    linkEventHook_ = nullptr;
 }
 
 void
 FaultInjector::crashPointSlow(const char *site)
 {
     const uint64_t idx = crashSiteCursor_++;
+    if (crashMode_ == CrashMode::LinkEvent) {
+        if (idx != crashTarget_)
+            return;
+        // One-shot like a crash, but the operation keeps running: the
+        // link event's damage shows up on the *next* transaction that
+        // crosses the now-severed path.
+        crashMode_ = CrashMode::Off;
+        if (linkEventHook_) {
+            auto hook = std::move(linkEventHook_);
+            linkEventHook_ = nullptr;
+            hook();
+        }
+        return;
+    }
     if (crashMode_ != CrashMode::Armed || idx != crashTarget_)
         return;
     ++stats_.crashesInjected;
@@ -208,6 +245,28 @@ FaultInjector::drawTornWrite()
     ++stats_.tornWrites;
     if (tornCounter_)
         tornCounter_->inc();
+    return true;
+}
+
+bool
+FaultInjector::drawLinkSever()
+{
+    if (cfg_.linkSeverRate <= 0.0)
+        return false;
+    if (!linkSeverRng_.chance(cfg_.linkSeverRate))
+        return false;
+    ++stats_.linkSeversInjected;
+    return true;
+}
+
+bool
+FaultInjector::drawLinkDegrade()
+{
+    if (cfg_.linkDegradeRate <= 0.0)
+        return false;
+    if (!linkDegradeRng_.chance(cfg_.linkDegradeRate))
+        return false;
+    ++stats_.linkDegradesInjected;
     return true;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "backoff.hh"
 #include "rng.hh"
@@ -41,6 +42,15 @@ struct FaultConfig
     /** Probability one checkpoint ends up torn: a segment is silently
      *  corrupted after its CRC was computed. */
     double tornWriteRate = 0.0;
+
+    /** Probability one node-attributed CXL transaction flaps its link
+     *  to the target fault domain into Severed (the link auto-heals
+     *  after LinkHealthConfig::flapTxns failed attempts). */
+    double linkSeverRate = 0.0;
+
+    /** Probability one node-attributed CXL transaction degrades its
+     *  link (latency multiplied until healed). */
+    double linkDegradeRate = 0.0;
 
     // --- Recovery budget for transient faults.
     uint32_t maxRetries = 3;          ///< Bounded retry budget.
@@ -91,6 +101,8 @@ struct FaultStats
     uint64_t framesPoisoned = 0;
     uint64_t tornWrites = 0;
     uint64_t crashesInjected = 0;    ///< Armed crash sites that fired.
+    uint64_t linkSeversInjected = 0; ///< Bernoulli link flaps to Severed.
+    uint64_t linkDegradesInjected = 0; ///< Bernoulli link degradations.
     uint64_t orphansReclaimed = 0;   ///< Staged checkpoints GC'd on recovery.
     uint64_t orphansCompleted = 0;   ///< Staged checkpoints published on
                                      ///< recovery (verified complete).
@@ -106,6 +118,10 @@ enum class CrashMode : uint8_t {
     Off,   ///< Crash sites are free no-ops (the default).
     Count, ///< Dry run: sites only advance the site counter.
     Armed, ///< The k-th site hit after arming throws NodeCrashError.
+    LinkEvent, ///< The k-th site runs the armed link-event hook (e.g.
+               ///< sever a node's link mid-operation) instead of
+               ///< crashing — same counter, so partition-site
+               ///< enumeration composes with crash-site enumeration.
 };
 
 /**
@@ -138,6 +154,12 @@ class FaultInjector
 
     /** Draw: is the next checkpoint write torn? */
     bool drawTornWrite();
+
+    /** Draw: does this transaction flap its link into Severed? */
+    bool drawLinkSever();
+
+    /** Draw: does this transaction degrade its link? */
+    bool drawLinkDegrade();
 
     /**
      * Deterministic victim selection for a torn write: which of n
@@ -187,8 +209,31 @@ class FaultInjector
         crashTarget_ = k;
     }
 
-    /** Turn crash sites back into free no-ops. */
-    void disarmCrash() { crashMode_ = CrashMode::Off; }
+    /**
+     * Arm a deterministic one-shot link event: the k-th crash site hit
+     * after this call (0-based) invokes `hook` (which typically severs
+     * a specific node's link via cxl::LinkHealth) and the injector
+     * disarms itself. The current operation then *continues* — the harm
+     * surfaces at the next transaction over the severed path, exactly
+     * like real mid-operation link loss. Shares the crash-site counter
+     * with armCrashSite, so k enumerates the same site space.
+     */
+    void
+    armLinkEventSite(uint64_t k, std::function<void()> hook)
+    {
+        crashMode_ = CrashMode::LinkEvent;
+        crashSiteCursor_ = 0;
+        crashTarget_ = k;
+        linkEventHook_ = std::move(hook);
+    }
+
+    /** Turn crash sites back into free no-ops (clears any link hook). */
+    void
+    disarmCrash()
+    {
+        crashMode_ = CrashMode::Off;
+        linkEventHook_ = nullptr;
+    }
 
     CrashMode crashMode() const { return crashMode_; }
 
@@ -240,11 +285,14 @@ class FaultInjector
     Rng poisonRng_;
     Rng tornRng_;
     Rng backoffRng_;
+    Rng linkSeverRng_;
+    Rng linkDegradeRng_;
     FaultStats stats_;
 
     CrashMode crashMode_ = CrashMode::Off;
     uint64_t crashSiteCursor_ = 0;
     uint64_t crashTarget_ = 0;
+    std::function<void()> linkEventHook_;
 
     // Mirrored sim.faults.* counter handles; null when detached.
     Counter *injectedCounter_ = nullptr;

@@ -36,6 +36,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L chaos
 "$BUILD_DIR/tools/chaos_soak"
 "$BUILD_DIR/tools/chaos_soak" --mechanism cxlfork --negative
 
+echo "== Running partition tolerance suite (ctest -L partition)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L partition
+"$BUILD_DIR/tools/partition_soak"
+"$BUILD_DIR/tools/partition_soak" --mechanism cxlfork --negative
+
 echo "== Running golden-benchmark regression suite (CXLFORK_JOBS=1)"
 CXLFORK_JOBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
 
@@ -54,6 +59,8 @@ for jobs in 1 8; do
         "$BUILD_DIR/bench/bench_ext_coherence" > /dev/null
     CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
         "$BUILD_DIR/bench/bench_ext_speculative" > /dev/null
+    CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
+        "$BUILD_DIR/bench/bench_ext_partition" > /dev/null
 done
 if ! "$BUILD_DIR/tools/perfcmp" \
         "$REPO_ROOT/tests/perf/BENCH_WALLCLOCK.json" "$WALLCLOCK_OUT" \

@@ -1,30 +1,33 @@
 /**
  * @file
- * Chaos soak CLI: the RAS layer under sustained mixed fault injection.
+ * Partition soak CLI: the link-health / heartbeat / epoch-fence /
+ * restore-ladder stack under sustained link chaos.
  *
- * Runs the long-lived soak harness (porter/chaos_harness.hh) for each
- * mechanism: hundreds of rounds of publish / restore / scrub under
- * combined birth poison, post-birth poison strikes, transient
- * transaction errors, and seeded mid-publish node crashes. Exits
- * nonzero if any audited invariant is violated — a restore that is
- * neither byte-identical nor provably reclaimed, a leaked frame, or a
- * failed allocator/page-store/RAS audit.
+ * Runs the long-lived partition harness (porter/partition_harness.hh)
+ * for each mechanism: hundreds of rounds of publish / restore while
+ * links flap, whole nodes are cut off and quarantined, publishes are
+ * severed mid-flight, and the split-brain zombie scenario is replayed
+ * every few rounds. Exits nonzero if any audited invariant is
+ * violated — a restore that is neither byte-identical nor provably
+ * degraded, a zombie publish the fence let through, a leaked frame,
+ * or a survival fraction below the threshold.
  *
  * Usage:
- *   chaos_soak [--mechanism cxlfork|criu|mitosis|localfork]
- *              [--rounds N] [--replicas K] [--seed S] [--negative]
- *              [--min-survival F]
+ *   partition_soak [--mechanism cxlfork|criu|mitosis|localfork]
+ *                  [--rounds N] [--replicas K] [--seed S] [--negative]
+ *                  [--min-survival F]
  *
- *   --negative   run with replicas == 0 (RAS off); checkpoints are
- *                EXPECTED to be lost, and the run fails if none are —
- *                the control that proves the harness can see losses
+ *   --negative   run with the epoch fence OFF; the returning zombie's
+ *                publish is EXPECTED to double-publish, and the run
+ *                fails if it never does — the control that proves the
+ *                fence is load-bearing
  *   --min-survival F
- *                fail if any mechanism's checkpoint-survival fraction
+ *                fail if any mechanism's restore-survival fraction
  *                falls below F (default 0.9; ignored in --negative
- *                mode, where losses are the point)
+ *                mode)
  *
  * Environment:
- *   CXLFORK_CHAOS_ROUNDS  overrides --rounds (CI scales soak length).
+ *   CXLFORK_PARTITION_ROUNDS  overrides --rounds (CI scales length).
  */
 
 #include <cstdio>
@@ -33,7 +36,7 @@
 #include <string>
 #include <vector>
 
-#include "porter/chaos_harness.hh"
+#include "porter/partition_harness.hh"
 #include "sim/table.hh"
 
 using namespace cxlfork;
@@ -75,9 +78,9 @@ main(int argc, char **argv)
     std::vector<porter::CrashMechanism> mechanisms = {
         porter::CrashMechanism::CxlFork, porter::CrashMechanism::Criu,
         porter::CrashMechanism::Mitosis, porter::CrashMechanism::LocalFork};
-    uint64_t rounds = 250;
+    uint64_t rounds = 200;
     uint32_t replicas = 2;
-    uint64_t seed = 0xc4a0'5011ULL;
+    uint64_t seed = 0x11aa'facab1eULL;
     bool negative = false;
     double minSurvival = 0.9;
 
@@ -98,7 +101,6 @@ main(int argc, char **argv)
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--negative") {
             negative = true;
-            replicas = 0;
         } else if (arg == "--min-survival" && i + 1 < argc) {
             minSurvival = std::strtod(argv[++i], nullptr);
             if (minSurvival < 0.0 || minSurvival > 1.0)
@@ -107,66 +109,72 @@ main(int argc, char **argv)
             return usage(argv[0]);
         }
     }
-    if (const char *env = std::getenv("CXLFORK_CHAOS_ROUNDS")) {
+    if (const char *env = std::getenv("CXLFORK_PARTITION_ROUNDS")) {
         const uint64_t v = std::strtoull(env, nullptr, 10);
         if (v > 0)
             rounds = v;
     }
 
     sim::Table t(negative
-                     ? "Chaos soak, negative control (replicas=0): losses "
-                       "expected, invariants still audited"
-                     : "Chaos soak: publish/restore/scrub under poison + "
-                       "transients + crashes");
-    t.setHeader({"Mechanism", "Rounds", "Invocations", "Published", "OK",
-                 "Cold", "Lost", "Repairs", "Strikes", "Crashes",
-                 "Survival", "Verdict"});
+                     ? "Partition soak, negative control (epoch fence "
+                       "off): the zombie double-publish must appear"
+                     : "Partition soak: publish/restore under link flaps, "
+                       "quarantines, and split-brain replays");
+    t.setHeader({"Mechanism", "Rounds", "Invocations", "OK", "Direct",
+                 "Retried", "Failover", "Cold", "Reroutes", "Quar",
+                 "Fenced", "Double", "Survival", "Verdict"});
 
     bool violated = false;
-    bool anyLost = false;
+    bool anyDouble = false;
     bool belowThreshold = false;
     for (porter::CrashMechanism mech : mechanisms) {
-        porter::ChaosConfig cfg;
+        porter::PartitionConfig cfg;
         cfg.mechanism = mech;
         cfg.rounds = rounds;
         cfg.replicas = replicas;
         cfg.seed = seed;
-        const porter::ChaosReport rep = porter::runChaosSoak(cfg);
+        cfg.epochFencing = !negative;
+        const porter::PartitionReport rep = porter::runPartitionSoak(cfg);
         violated |= !rep.pass;
-        anyLost |= rep.checkpointsLost > 0;
+        anyDouble |= rep.doublePublishes > 0;
         belowThreshold |= rep.survivalFraction() < minSurvival;
         t.addRow({porter::crashMechanismName(mech),
                   std::to_string(rep.rounds),
                   std::to_string(rep.invocations),
-                  std::to_string(rep.checkpointsPublished),
                   std::to_string(rep.restoresOk),
+                  std::to_string(rep.directRestores),
+                  std::to_string(rep.retriedRestores),
+                  std::to_string(rep.failovers),
                   std::to_string(rep.coldStarts),
-                  std::to_string(rep.checkpointsLost),
-                  std::to_string(rep.repairs),
-                  std::to_string(rep.strikes),
-                  std::to_string(rep.crashesInjected),
+                  std::to_string(rep.reroutes),
+                  std::to_string(rep.quarantines),
+                  std::to_string(rep.stalePublishesRejected),
+                  std::to_string(rep.doublePublishes),
                   sim::Table::num(rep.survivalFraction(), 4),
                   rep.pass ? "ok" : rep.firstViolation});
     }
-    t.addNote("Every restore must be byte-identical or end in a provable "
-              "reclaim; the teardown census must balance to zero leaks.");
+    t.addNote("Every restore must land on a ladder rung byte-identical "
+              "or degrade to an honest cold start; zombie publishes "
+              "must be fenced; the teardown census must balance.");
     t.print();
 
     if (violated) {
-        std::printf("FAIL: chaos soak invariant violated\n");
+        std::printf("FAIL: partition soak invariant violated\n");
         return 1;
     }
-    if (negative && !anyLost) {
-        std::printf("FAIL: negative control lost no checkpoints (the "
-                    "harness cannot see losses)\n");
+    if (negative && !anyDouble) {
+        std::printf("FAIL: negative control never double-published (the "
+                    "epoch fence is not load-bearing)\n");
         return 1;
     }
     if (!negative && belowThreshold) {
-        std::printf("FAIL: checkpoint survival fell below %.4f\n",
+        std::printf("FAIL: restore survival fell below %.4f\n",
                     minSurvival);
         return 1;
     }
-    std::printf(negative ? "PASS: losses observed and provably reclaimed\n"
-                         : "PASS: chaos soak held every invariant\n");
+    std::printf(negative
+                    ? "PASS: split-brain double-publish demonstrated "
+                      "without the fence\n"
+                    : "PASS: partition soak held every invariant\n");
     return 0;
 }
