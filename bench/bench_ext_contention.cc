@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Extension: contended-fabric scaling (paper Sec. 8 "in a large
+ * cluster, we anticipate that limited CXL bandwidth may be a
+ * bottleneck").
+ *
+ * Arms the per-link fabric queue model and sweeps node count x device
+ * service rate x burst synchrony over the three remote mechanisms: one
+ * warm parent checkpoints on node 0, then every other node restores
+ * and runs the function — either as a synchronized burst (all restorer
+ * clocks start together, the worst case a scale-out event produces) or
+ * staggered 1 ms apart (what an admission scheduler would do). The
+ * headline is the keep-alive argument under pressure: the win a remote
+ * fork buys over a cold start — the ratio that lets CXLporter drop its
+ * keep-alive window to 10 s — shrinks as more synchronized nodes share
+ * the device, and an eager copy mechanism (CRIU-CXL) pays far more
+ * queueing than CXLfork's lazy faults, which spread naturally.
+ *
+ * Fixed seeds and a deterministic queue model: two runs (at any
+ * CXLFORK_JOBS value) produce identical output.
+ */
+
+#include <algorithm>
+#include <numeric>
+
+#include "cxl/fabric_queue.hh"
+#include "sim/log.hh"
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace cxlfork;
+
+    const faas::FunctionSpec spec = *faas::findWorkload("Json");
+
+    struct Point
+    {
+        const char *mech;
+        uint32_t nodes;
+        double serviceGBs;
+        bool staggered;
+    };
+    std::vector<Point> points;
+    for (const char *mech : {"cxlfork", "criu", "mitosis"})
+        for (uint32_t nodes : {2u, 8u, 16u})
+            for (double svc : {16.0, 4.0})
+                for (bool staggered : {false, true})
+                    points.push_back({mech, nodes, svc, staggered});
+
+    auto makeMech = [](porter::Cluster &cluster, const std::string &name)
+        -> std::unique_ptr<rfork::RemoteForkMechanism> {
+        if (name == "criu")
+            return std::make_unique<rfork::CriuCxl>(cluster.fabric());
+        if (name == "mitosis")
+            return std::make_unique<rfork::MitosisCxl>(cluster.fabric());
+        return std::make_unique<rfork::CxlFork>(cluster.fabric());
+    };
+
+    struct Row
+    {
+        double meanMs = 0.0;
+        double maxMs = 0.0;
+        double coldMs = 0.0;
+        double win = 0.0;
+        uint64_t queued = 0;
+        double delayMs = 0.0;
+        uint64_t holBlocks = 0;
+    };
+    std::vector<Row> rows(points.size());
+
+    bench::runSweep(points, [&](const Point &p, size_t i) {
+        // The contended cluster: every fabric transaction queues on the
+        // shared device port at the point's service rate.
+        porter::ClusterConfig cc = bench::benchClusterConfig();
+        cc.machine.numNodes = p.nodes;
+        cc.contention.enabled = true;
+        cc.contention.serviceReadGBs = p.serviceGBs;
+        cc.contention.serviceWriteGBs = 0.8 * p.serviceGBs;
+        porter::Cluster cluster(cc);
+
+        auto parent = bench::deployWarmParent(cluster, spec);
+        auto mech = makeMech(cluster, p.mech);
+        auto handle = mech->checkpoint(cluster.node(0), parent->task());
+
+        const sim::MetricsRegistry &m = cluster.machine().metrics();
+        const uint64_t queued0 = m.counterValue("cxl.contention.queued");
+        const uint64_t delay0 = m.counterValue("cxl.contention.delay_ns");
+        const uint64_t hol0 = m.counterValue("cxl.contention.hol_blocks");
+
+        // Every other node restores and runs the function. Burst: all
+        // restorer clocks start at 0, so their fabric traffic overlaps
+        // in simulated time. Staggered: 1 ms apart, the de-synchronized
+        // control.
+        std::vector<double> totalsMs;
+        for (mem::NodeId n = 1; n < p.nodes; ++n) {
+            if (p.staggered)
+                cluster.node(n).clock().advanceTo(
+                    sim::SimTime::us(1000.0 * double(n - 1)));
+            const bench::RforkRun r = bench::runRestoreScenario(
+                cluster, *mech, handle, spec, n);
+            totalsMs.push_back(r.total().toNs() / 1e6);
+        }
+
+        // The cold baseline on a fresh, queue-off cluster: what the
+        // keep-alive window is protecting against.
+        porter::ClusterConfig coldCc = bench::benchClusterConfig();
+        coldCc.machine.numNodes = p.nodes;
+        porter::Cluster coldCluster(coldCc);
+        const bench::RforkRun cold =
+            bench::runColdScenario(coldCluster, spec, 1);
+
+        Row &row = rows[i];
+        row.meanMs = std::accumulate(totalsMs.begin(), totalsMs.end(),
+                                     0.0) /
+                     double(totalsMs.size());
+        row.maxMs = *std::max_element(totalsMs.begin(), totalsMs.end());
+        row.coldMs = cold.total().toNs() / 1e6;
+        row.win = row.coldMs / row.meanMs;
+        row.queued = m.counterValue("cxl.contention.queued") - queued0;
+        row.delayMs =
+            double(m.counterValue("cxl.contention.delay_ns") - delay0) /
+            1e6;
+        row.holBlocks =
+            m.counterValue("cxl.contention.hol_blocks") - hol0;
+
+        const std::string tag =
+            sim::format("contention.%s.n%02u.s%02.0f.%s", p.mech, p.nodes,
+                        p.serviceGBs, p.staggered ? "stag" : "burst");
+        bench::recordValue(tag + ".win", row.win);
+        bench::recordValue(tag + ".mean_ms", row.meanMs);
+        bench::recordValue(tag + ".max_ms", row.maxMs);
+        bench::recordValue(tag + ".queued", double(row.queued));
+        bench::recordValue(tag + ".delay_ms", row.delayMs);
+        bench::recordValue(tag + ".hol_blocks", double(row.holBlocks));
+    });
+
+    sim::Table t("Contended-fabric scaling: restore+run vs cold start as "
+                 "synchronized nodes share the CXL device");
+    t.setHeader({"Mechanism", "Nodes", "Svc (GB/s)", "Sync",
+                 "Mean (ms)", "Max (ms)", "Cold (ms)", "Win", "Queued",
+                 "Delay (ms)", "HoL"});
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        const Row &r = rows[i];
+        t.addRow({p.mech, std::to_string(p.nodes),
+                  sim::Table::num(p.serviceGBs, 0),
+                  p.staggered ? "stag" : "burst",
+                  sim::Table::num(r.meanMs, 2), sim::Table::num(r.maxMs, 2),
+                  sim::Table::num(r.coldMs, 2), sim::Table::num(r.win, 1),
+                  std::to_string(r.queued), sim::Table::num(r.delayMs, 2),
+                  std::to_string(r.holBlocks)});
+    }
+    t.addNote("Win = cold-start total / mean contended restore+run: the "
+              "margin that justifies short keep-alive windows. It shrinks "
+              "as synchronized node counts grow or the device slows — "
+              "and staggering restores by 1 ms recovers most of it, "
+              "because the queue, not the copy, is the bottleneck.");
+    t.print();
+
+    bench::finishBench("ext_contention");
+    return 0;
+}

@@ -7,7 +7,7 @@
  *  - cluster-wide local memory and CXL memory vs per-node replication
  *    (the CRIU world), i.e. rack-scale deduplication;
  *  - restore latency as nodes are added — CXLfork has no parent-node
- *    bottleneck, but the shared device contends (FabricContentionModel);
+ *    bottleneck, but the shared device contends (cxl::contendedCosts);
  *  - every clone re-checkpoints through the content-addressed page
  *    store (dedup on), so the dedup factor is *measured* from the
  *    machine's cxl.dedup.* counters — pages interned over pages
@@ -19,9 +19,8 @@
  * with its own cluster; the tables print from the collected rows.
  */
 
-#include "mem/bandwidth.hh"
-
 #include "bench_util.hh"
+#include "cxl/fabric_queue.hh"
 
 int
 main()
@@ -29,7 +28,6 @@ main()
     using namespace cxlfork;
 
     const faas::FunctionSpec fn = *faas::findWorkload("Rnn");
-    const mem::FabricContentionModel contention;
 
     sim::Table t("Scaling: one checkpoint, one clone per node, "
                  "re-checkpoint per clone (Rnn, 190 MB, dedup on)");
@@ -53,7 +51,7 @@ main()
 
     bench::runSweep(cxlNodeCounts, [&](uint32_t nodes, size_t i) {
         porter::ClusterConfig cfg = bench::benchClusterConfig(
-            contention.contend(sim::CostParams{}, nodes));
+            cxl::contendedCosts(sim::CostParams{}, nodes));
         cfg.machine.numNodes = nodes;
         cfg.machine.dramPerNodeBytes = mem::gib(1);
         cfg.machine.cxlCapacityBytes = mem::gib(2);
@@ -147,7 +145,7 @@ main()
 
     bench::runSweep(mitoNodeCounts, [&](uint32_t nodes, size_t i) {
         porter::ClusterConfig cfg = bench::benchClusterConfig(
-            contention.contend(sim::CostParams{}, nodes));
+            cxl::contendedCosts(sim::CostParams{}, nodes));
         cfg.machine.numNodes = nodes;
         cfg.machine.dramPerNodeBytes = mem::gib(1);
         porter::Cluster cluster(cfg);

@@ -1,5 +1,6 @@
 #include "bench_util.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -71,6 +72,23 @@ benchClusterConfig(sim::CostParams costs)
         cfg.link.degradeFactor = std::atof(factor);
     if (const char *k = std::getenv("CXLFORK_HEARTBEAT_K"))
         cfg.heartbeatK = uint32_t(std::atoi(k));
+    // Contention opt-in, same contract: unset (or 0) installs no queue
+    // model, no transaction consults it, and every bench output stays
+    // bit-identical to the pre-queue tree. The rate is the background
+    // utilization other tenants soak out of the device port, capped
+    // below saturation (an M/D/1 queue at rho >= 1 never drains).
+    if (const char *rate = std::getenv("CXLFORK_CONTENTION_RATE")) {
+        const double u = std::atof(rate);
+        cfg.contention.backgroundUtilization = std::min(u, 0.95);
+        cfg.contention.enabled = u > 0.0;
+    }
+    if (const char *gbs = std::getenv("CXLFORK_SERVICE_GBS")) {
+        const double g = std::atof(gbs);
+        if (g > 0.0) {
+            cfg.contention.serviceReadGBs = g;
+            cfg.contention.serviceWriteGBs = 0.8 * g;
+        }
+    }
     return cfg;
 }
 

@@ -56,6 +56,13 @@
  *  - CXLFORK_HEARTBEAT_K=<n>: consecutive missed heartbeat probes
  *    before a node is quarantined (default 3; only meaningful with a
  *    partition rate set).
+ *  - CXLFORK_CONTENTION_RATE=<u>: arm the per-link fabric queue model
+ *    on every bench cluster with background utilization u in (0, 0.95]
+ *    soaking up device-port service capacity (0 or unset: no queue
+ *    model is installed, output bit-identical to the pre-queue tree).
+ *  - CXLFORK_SERVICE_GBS=<g>: device-port read-lane service rate in
+ *    GB/s; the write lane gets 0.8x (defaults 10/8; only meaningful
+ *    with the queue armed — this knob alone does not arm it).
  */
 
 #pragma once

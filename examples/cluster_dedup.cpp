@@ -11,8 +11,8 @@
 
 #include <cstdio>
 
+#include "cxl/fabric_queue.hh"
 #include "faas/workloads.hh"
-#include "mem/bandwidth.hh"
 #include "porter/cluster.hh"
 #include "rfork/cxlfork.hh"
 
@@ -24,12 +24,11 @@ main()
     const faas::FunctionSpec cnn = *faas::findWorkload("Cnn");
     const uint32_t kNodes = 8;
 
-    mem::FabricContentionModel contention;
     porter::ClusterConfig cfg;
     cfg.machine.numNodes = kNodes;
     cfg.machine.dramPerNodeBytes = mem::gib(1);
     cfg.machine.cxlCapacityBytes = mem::gib(2);
-    cfg.machine.costs = contention.contend(sim::CostParams{}, kNodes);
+    cfg.machine.costs = cxl::contendedCosts(sim::CostParams{}, kNodes);
     porter::Cluster cluster(cfg);
 
     // One parent, one checkpoint.

@@ -110,6 +110,16 @@ CoherenceDirectory::charge(sim::SimClock &clock, sim::SimTime t)
 }
 
 void
+CoherenceDirectory::queueFabric(mem::PhysAddr addr, mem::NodeId issuer,
+                                uint64_t bytes, sim::SimClock &clock,
+                                const char *site)
+{
+    if (mem::FabricQueue *q = machine_.fabricQueue())
+        q->onTransaction(issuer, addr, /*isRead=*/false, bytes, clock,
+                         site);
+}
+
+void
 CoherenceDirectory::dropSharer(Line &line, mem::NodeId n)
 {
     line.sharers &= ~(1ull << n);
@@ -188,6 +198,8 @@ CoherenceDirectory::read(mem::PhysAddr addr, mem::NodeId n,
                 // and both end up sharers of the clean line.
                 writebacks_->inc();
                 charge(clock, c.cohWriteback);
+                queueFabric(addr, mem::NodeId(line.owner), c.pageSize,
+                            clock, "coherence.read.wb");
                 line.state = MesiState::Shared;
                 line.sharers |= bit;
                 line.owner = -1;
@@ -241,12 +253,19 @@ CoherenceDirectory::write(mem::PhysAddr addr, mem::NodeId n,
         if (line.state == MesiState::Modified && line.owner != int(n)) {
             writebacks_->inc();
             charge(clock, c.cohWriteback);
+            queueFabric(addr, mem::NodeId(line.owner), c.pageSize, clock,
+                        "coherence.write.wb");
         }
         const uint64_t others = line.sharers & ~bit;
         const uint32_t k = uint32_t(std::popcount(others));
         if (k) {
             invalidations_->inc(k);
             charge(clock, c.cohBackInvalidate * double(k));
+            // One invalidation message per remote sharer; each queues
+            // behind whatever data is in flight on the line's domain.
+            for (uint32_t i = 0; i < k; ++i)
+                queueFabric(addr, n, c.cachelineSize, clock,
+                            "coherence.write.binv");
         }
         line.state = MesiState::Modified;
         line.owner = int(n);
@@ -286,6 +305,7 @@ CoherenceDirectory::flush(mem::PhysAddr addr, mem::NodeId n,
         if (line.state == MesiState::Modified && line.owner == int(n)) {
             writebacks_->inc();
             charge(clock, c.cohWriteback);
+            queueFabric(addr, n, c.pageSize, clock, "coherence.flush.wb");
             line.state = MesiState::Exclusive;
         }
         return;
@@ -293,6 +313,7 @@ CoherenceDirectory::flush(mem::PhysAddr addr, mem::NodeId n,
     if (auto p = line.pending.find(n); p != line.pending.end()) {
         writebacks_->inc();
         charge(clock, c.cohWriteback);
+        queueFabric(addr, n, c.pageSize, clock, "coherence.flush.wb");
         line.visible = p->second;
         // The flusher's own cached view tracks what it just published.
         line.cached[n] = p->second;
@@ -337,6 +358,7 @@ CoherenceDirectory::evict(mem::PhysAddr addr, mem::NodeId n,
         // Evicting a dirty line writes it back first.
         writebacks_->inc();
         charge(clock, c.cohWriteback);
+        queueFabric(addr, n, c.pageSize, clock, "coherence.evict.wb");
     }
     // An unflushed store dies with the eviction, but the line must
     // survive it — even across later clean evictions by other nodes:
@@ -371,6 +393,12 @@ CoherenceDirectory::onNodeCrash(mem::NodeId n, sim::SimClock &clock)
             // One back-invalidation round per line the crashed node
             // touched: survivors' caches of lines it owned must drop.
             charge(clock, c.cohBackInvalidate);
+            // Home-agent-issued cleanup traffic (the dead node cannot
+            // issue); rides the device pseudo-issuer on the queue.
+            queueFabric(mem::PhysAddr{mem::Machine::kCxlBase +
+                                      it->first * mem::kPageSize},
+                        mem::kInvalidNode, c.cachelineSize, clock,
+                        "coherence.crash.binv");
             dropSharer(line, n);
         }
         // Same retention rule as evict(): while a discarded store

@@ -197,6 +197,18 @@ class CoherenceDirectory final : public mem::CoherenceModel
     uint64_t lineIndexOf(mem::PhysAddr addr) const;
     Line &lineAt(mem::PhysAddr addr, uint64_t initialVisible);
     void charge(sim::SimClock &clock, sim::SimTime t);
+
+    /**
+     * Directory control traffic is fabric traffic: when a queue model
+     * is installed, writebacks (a page of data) and back-invalidations
+     * (a cacheline-sized message) occupy the device port like any
+     * other transaction and queue behind whatever is in flight.
+     * Deliberately not routed through cxlTransaction — that would add
+     * crash sites and shift the deterministic site enumeration.
+     */
+    void queueFabric(mem::PhysAddr addr, mem::NodeId issuer,
+                     uint64_t bytes, sim::SimClock &clock,
+                     const char *site);
     void dropSharer(Line &line, mem::NodeId n);
     /** Recompute state/owner after sharer-set shrink. */
     void settle(Line &line);

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "coherence.hh"
+#include "fabric_queue.hh"
 #include "link_health.hh"
 #include "mem/machine.hh"
 #include "page_store.hh"
@@ -25,7 +26,8 @@ class CxlFabric
   public:
     explicit CxlFabric(mem::Machine &machine, PageStoreConfig pageStoreCfg = {},
                        RasConfig rasCfg = {}, CoherenceConfig coherenceCfg = {},
-                       LinkHealthConfig linkCfg = {})
+                       LinkHealthConfig linkCfg = {},
+                       FabricQueueConfig queueCfg = {})
         : machine_(machine), pageStore_(machine, pageStoreCfg),
           ras_(machine, pageStore_, rasCfg), sharedFs_(machine, pageStore_)
     {
@@ -48,6 +50,16 @@ class CxlFabric
             linkHealth_ =
                 std::make_unique<LinkHealth>(machine, ras_, linkCfg);
         }
+        // The queue-model ctor installs the machine-level fabric queue
+        // when enabled; its port striping follows the same domain
+        // alignment as the link/RAS layers so a rerouted replica read
+        // queues on the domain that actually serves it.
+        if (queueCfg.enabled) {
+            if (rasCfg.enabled)
+                queueCfg.domains = rasCfg.faultDomains;
+            fabricQueue_ =
+                std::make_unique<FabricQueueModel>(machine, queueCfg);
+        }
     }
 
     CxlFabric(const CxlFabric &) = delete;
@@ -64,6 +76,9 @@ class CxlFabric
 
     /** The link-health manager, or nullptr when disabled. */
     LinkHealth *linkHealth() { return linkHealth_.get(); }
+
+    /** The fabric queuing model, or nullptr when disabled. */
+    FabricQueueModel *fabricQueue() { return fabricQueue_.get(); }
     sim::StatSet &stats() { return stats_; }
 
     /** Device capacity consumed, across checkpoints and files. */
@@ -78,6 +93,7 @@ class CxlFabric
     std::unique_ptr<CoherenceDirectory> coherence_;
     std::unique_ptr<LinkHealth> linkHealth_; ///< After ras_: reroutes
                                              ///< read its replica map.
+    std::unique_ptr<FabricQueueModel> fabricQueue_;
     sim::StatSet stats_;
 };
 

@@ -75,6 +75,17 @@ Machine::cxlTransaction(sim::SimClock &clock, const char *site,
     // be fiction. Only node-attributed traffic crosses a node's link.
     if (link_ && node != kInvalidNode)
         link_->onTransaction(node, target, isRead, clock, site);
+    // Queue behind the link model: a transaction a severed link cannot
+    // carry never occupies the device port, and a degraded link's extra
+    // wire latency is charged before the port sees the arrival. Null
+    // targets are control-plane messages (cacheline-sized); addressed
+    // traffic moves a page.
+    if (queue_) {
+        queue_->onTransaction(node, target, isRead,
+                              target.isNull() ? costs_.cachelineSize
+                                              : costs_.pageSize,
+                              clock, site);
+    }
     if (!injector_.armed())
         return;
     // The generic retry policy: bounded attempts with exponential

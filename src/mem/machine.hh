@@ -169,6 +169,40 @@ class FabricLinkModel
                                sim::SimClock &clock, const char *site) = 0;
 };
 
+/**
+ * Fabric queuing hook. When installed (by the CXL fabric's
+ * FabricQueueModel) every transaction routed through
+ * Machine::cxlTransaction — and the coherence directory's own control
+ * traffic — is enqueued on a simulated-time device-port queue, which
+ * charges the issuing clock whatever queueing delay the port's current
+ * occupancy implies. Defined here — not in cxl — because mem cannot
+ * depend on the cxl layer (the same pattern as PoisonRepairer above).
+ *
+ * Unlike FabricLinkModel this hook also sees transactions with no
+ * issuing node (kInvalidNode): device-internal traffic occupies the
+ * shared port like anyone else's, it just rides a distinct issuer so
+ * the cross-stream interference accounting stays honest.
+ *
+ * Null by default: with no queue installed the fabric port has
+ * infinite service capacity and every path is bit-identical to the
+ * pre-contention tree.
+ */
+class FabricQueue
+{
+  public:
+    virtual ~FabricQueue() = default;
+
+    /**
+     * One fabric transaction of `bytes` payload from node `n` (or
+     * kInvalidNode for device-internal traffic) toward `addr` (null =
+     * control-plane, domain 0). Charges any queueing delay to `clock`;
+     * never throws — a queued transaction is merely late, not lost.
+     */
+    virtual void onTransaction(NodeId n, PhysAddr addr, bool isRead,
+                               uint64_t bytes, sim::SimClock &clock,
+                               const char *site) = 0;
+};
+
 /** Machine construction parameters. */
 struct MachineConfig
 {
@@ -267,6 +301,16 @@ class Machine
      */
     void setLinkModel(FabricLinkModel *m) { link_ = m; }
     FabricLinkModel *linkModel() const { return link_; }
+
+    /**
+     * Install (or clear, with nullptr) the fabric queuing model that
+     * cxlTransaction consults after the link model (a severed path
+     * never reaches the device port) and before the transient retry
+     * ladder. Null by default: infinite service capacity, every path
+     * bit-identical to the pre-contention tree.
+     */
+    void setFabricQueue(FabricQueue *q) { queue_ = q; }
+    FabricQueue *fabricQueue() const { return queue_; }
 
     /**
      * Node-attributed read of a frame's content token: the failure
@@ -472,6 +516,7 @@ class Machine
     CoherenceModel *coherence_ = nullptr;
     PageCodec *codec_ = nullptr;
     FabricLinkModel *link_ = nullptr;
+    FabricQueue *queue_ = nullptr;
 
     // Hot-path metric handles, resolved once at construction so the
     // per-transaction cost is a pointer bump instead of a string-keyed

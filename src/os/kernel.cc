@@ -375,6 +375,16 @@ NodeOs::migrateFromCheckpoint(Task &task, mem::VirtAddr va, const Vma &vma,
     const uint64_t content =
         machine_.readFrame(ckptPte.frame(), id_, clock_,
                            "checkpoint migrate");
+    // The page pull crosses the shared device port: with the fabric
+    // queue armed it occupies the read lane like any demand read. The
+    // hook is charged directly rather than via cxlTransaction so the
+    // migration mints no new crash site and pays the link model only
+    // once (readFrame's checked twin already covers both).
+    if (mem::FabricQueue *q = machine_.fabricQueue()) {
+        q->onTransaction(id_, ckptPte.frame(), /*isRead=*/true,
+                         machine_.costs().pageSize, clock_,
+                         "checkpoint migrate");
+    }
     const mem::PhysAddr frame = localDram().alloc(
         mem::FrameUse::Data, isWrite ? contentOnWrite : content);
     FrameGuard guard(localDram(), frame);

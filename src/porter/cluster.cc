@@ -9,7 +9,7 @@ Cluster::Cluster(const ClusterConfig &cfg)
     : cfg_(cfg), machine_(std::make_unique<mem::Machine>(cfg.machine)),
       fabric_(std::make_unique<cxl::CxlFabric>(*machine_, cfg.pageStore,
                                                cfg.ras, cfg.coherence,
-                                               cfg.link)),
+                                               cfg.link, cfg.contention)),
       vfs_(std::make_shared<os::Vfs>())
 {
     health_.resize(machine_->numNodes());

@@ -74,6 +74,13 @@ struct ClusterConfig
     cxl::LinkHealthConfig link;
 
     /**
+     * Fabric queuing-model configuration (device-port contention,
+     * head-of-line blocking). Off by default: no queue is installed
+     * and every transaction behaves exactly as before.
+     */
+    cxl::FabricQueueConfig contention;
+
+    /**
      * Consecutive missed heartbeat probes before a node is declared
      * partitioned and quarantined (its checkpoint-store epoch is
      * bumped so in-flight publishes it staged before the partition are
@@ -132,6 +139,9 @@ class Cluster
 
     /** The fabric's link-health model; nullptr unless cfg.link.enabled. */
     cxl::LinkHealth *linkHealth() { return fabric_->linkHealth(); }
+
+    /** The fabric's queue model; nullptr unless cfg.contention.enabled. */
+    cxl::FabricQueueModel *fabricQueue() { return fabric_->fabricQueue(); }
 
     /**
      * One cluster-wide heartbeat round on the simulated clock: every

@@ -28,6 +28,7 @@ smallCluster(const CrashEnumConfig &cfg)
     cc.machine.llcBytes = mem::mib(8);
     cc.pageStore = cfg.pageStore;
     cc.coherence.mode = cfg.coherence;
+    cc.contention = cfg.contention;
     return cc;
 }
 

@@ -68,6 +68,15 @@ struct CrashEnumConfig
      * coherence operation recovers as cleanly as every other site.
      */
     cxl::CoherenceMode coherence = cxl::CoherenceMode::Off;
+
+    /**
+     * Fabric queue-model config for each replay's fresh cluster. Off
+     * (the default) enumerates exactly the pre-contention site list;
+     * armed it must enumerate the *same* list — the queue charges
+     * simulated time but deliberately adds no crash sites — and every
+     * site must still recover restorable-or-absent with zero leaks.
+     */
+    cxl::FabricQueueConfig contention;
 };
 
 /** What happened when the checkpoint crashed (or ran) at one site. */

@@ -118,6 +118,7 @@ partitionCluster(const PartitionConfig &cfg)
     cc.link.degradeFactor = cfg.degradeFactor;
     cc.link.flapTxns = cfg.flapTxns;
     cc.heartbeatK = cfg.heartbeatK;
+    cc.contention = cfg.contention;
     return cc;
 }
 

@@ -113,6 +113,13 @@ struct PartitionConfig
     uint64_t tokenPeriod = 4;
     uint64_t republishEvery = 8;
     uint64_t restoresPerRound = 2;
+
+    /**
+     * Fabric queue model for the soak cluster. Off by default; armed,
+     * every partition-contract audit must still hold — queueing delays
+     * restores but never corrupts or loses them.
+     */
+    cxl::FabricQueueConfig contention;
 };
 
 /** What the soak saw and concluded. */

@@ -132,9 +132,19 @@ CriuCxl::restore(const std::shared_ptr<CheckpointHandle> &handle,
     // the codec hook); off, the scan stays peek-only and free.
     const bool compressed = fabric_.pageStore().compressEnabled();
     for (mem::PhysAddr fr : file->frames) {
-        if (machine.frame(fr).poisoned || compressed)
+        if (machine.frame(fr).poisoned || compressed) {
             machine.readFrameChecked(fr, clock, "criu image read",
                                      target.id());
+        } else if (mem::FabricQueue *q = machine.fabricQueue()) {
+            // Queue armed: the eager bulk read still occupies the
+            // device port page by page — this is precisely where an
+            // up-front copy loses to lazy faults under contention. The
+            // checked read above already routes through the queue; the
+            // clean-frame path charges the hook directly so it mints
+            // no crash site and stays free when the queue is off.
+            q->onTransaction(target.id(), fr, /*isRead=*/true,
+                             costs.pageSize, clock, "criu image read");
+        }
         if (machine.coherence()) {
             // Directory on: the bulk read is additionally a
             // coherence-visible touch (sharer tracking + tax, nothing

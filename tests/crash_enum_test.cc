@@ -279,6 +279,49 @@ TEST(CrashEnumCoherence, EverySiteRecoversCriuHdmD)
     EXPECT_TRUE(rep.results.back().restored);
 }
 
+// --- The sweep again with the fabric queue model armed.
+//
+// The queue hook charges latency but sits *after* the crash point in
+// cxlTransaction and the coherence paths bypass it for crash purposes,
+// so arming it must not add, remove, or reorder a single crash site —
+// and every site must still recover restorable-or-absent with zero
+// leaks while contention delays stretch the simulated timeline.
+
+CrashEnumConfig
+contentionConfigFor(CrashMechanism m)
+{
+    CrashEnumConfig cfg = configFor(m);
+    cfg.contention.enabled = true;
+    return cfg;
+}
+
+TEST(CrashEnumContention, QueueAddsNoCrashSites)
+{
+    const uint64_t off = countCrashSites(configFor(CrashMechanism::CxlFork));
+    const uint64_t armed =
+        countCrashSites(contentionConfigFor(CrashMechanism::CxlFork));
+    EXPECT_EQ(armed, off)
+        << "the queue model is a latency hook, not a failure domain: "
+           "arming it must not shift the deterministic site enumeration";
+}
+
+TEST(CrashEnumContention, EverySiteRecoversCxlForkQueued)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(contentionConfigFor(CrashMechanism::CxlFork));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_EQ(rep.results.size(), rep.sites + 1);
+    EXPECT_TRUE(rep.results.back().restored);
+}
+
+TEST(CrashEnumContention, EverySiteRecoversCriuQueued)
+{
+    const CrashEnumReport rep =
+        enumerateCrashSites(contentionConfigFor(CrashMechanism::Criu));
+    EXPECT_TRUE(rep.pass) << describe(rep);
+    EXPECT_TRUE(rep.results.back().restored);
+}
+
 TEST(CrashEnum, CrashMetricsLandInMachineRegistry)
 {
     ClusterConfig cc;

@@ -26,6 +26,7 @@
 #include <array>
 
 #include "cxl/coherence.hh"
+#include "cxl/fabric_queue.hh"
 #include "mem/machine.hh"
 #include "porter/cluster.hh"
 #include "rfork/cxlfork.hh"
@@ -568,6 +569,59 @@ TEST(LitmusHdmD, CrashClearsOwnershipAndSharers)
     EXPECT_NE(i.owner, 0);
     EXPECT_FALSE(i.hasSharer(0));
     w.expectClean();
+}
+
+TEST(LitmusContention, BackInvalidationsQueueBehindDataTraffic)
+{
+    // Directory control traffic is fabric traffic: with the queue model
+    // armed, the back-invalidations a write storms at its sharers must
+    // wait out data transactions already occupying the write lane —
+    // the writer's clock observably stretches versus a queue-off twin,
+    // while the protocol outcome stays bit-identical.
+    struct Outcome
+    {
+        double writerElapsedNs;
+        uint64_t queued;
+        uint64_t token;
+    };
+    auto run = [](bool armed) {
+        LitmusWorld w(cfgOf(CoherenceMode::HdmH));
+        FabricQueueConfig qc;
+        qc.enabled = armed;
+        qc.domains = 1; // one lane: the flood and the binvs collide
+        FabricQueueModel q(w.machine, qc);
+
+        const PhysAddr a = w.line(kOld);
+        w.ld(a, 0);
+        w.ld(a, 1); // two sharers to invalidate
+        // Node 2 floods the write lane with bulk data transactions —
+        // the same calls the checkpoint copy paths issue.
+        for (int i = 0; i < 6; ++i)
+            w.machine.cxlTransaction(w.clocks[2], "litmus flood", 2,
+                                     w.line(0), /*isRead=*/false);
+
+        const sim::SimTime before = w.clocks[3].now();
+        const uint64_t queuedBefore = w.ctr("cxl.contention.queued");
+        w.st(a, 3, kNew); // storms 2 back-invalidations at the sharers
+        w.expectClean();
+        return Outcome{(w.clocks[3].now() - before).toNs(),
+                       w.ctr("cxl.contention.queued") - queuedBefore,
+                       w.ld(a, 2)};
+    };
+
+    const Outcome off = run(false);
+    const Outcome armed = run(true);
+    EXPECT_EQ(off.token, kNew);
+    EXPECT_EQ(armed.token, kNew)
+        << "queueing may delay the protocol, never change it";
+    EXPECT_EQ(off.queued, 0u);
+    // The write itself enqueues no data transaction (writeFrame is a
+    // directory-only path), so any queued charge here belongs to an
+    // invalidation message waiting out the foreign flood.
+    EXPECT_GE(armed.queued, 1u)
+        << "back-invalidations bypassed the fabric queue";
+    EXPECT_GT(armed.writerElapsedNs, off.writerElapsedNs)
+        << "queued control traffic must stretch the writer's clock";
 }
 
 TEST(LitmusModes, NamesRoundTrip)

@@ -163,6 +163,24 @@ TEST(PartitionSoak, ReportIsDeterministic)
     EXPECT_EQ(a.pass, b.pass);
 }
 
+TEST(PartitionSoak, QueueArmedSoakHoldsEveryInvariant)
+{
+    // Partition chaos with the fabric queue model charging contention
+    // on top: reroutes, failovers, and quarantine retries all ride
+    // cxlTransaction, so every one of them now pays queue delay — but
+    // correctness (leaks, fencing, byte-identical survivors) must be
+    // exactly as solid as the queue-off soak, and the contention must
+    // actually have been exercised, not silently disabled.
+    PartitionConfig cfg = soakConfig(CrashMechanism::CxlFork);
+    cfg.contention.enabled = true;
+    const PartitionReport rep = porter::runPartitionSoak(cfg);
+    EXPECT_TRUE(rep.pass) << rep.firstViolation;
+    EXPECT_EQ(rep.framesLeaked, 0u);
+    EXPECT_EQ(rep.doublePublishes, 0u);
+    EXPECT_GE(rep.survivalFraction(), 0.9);
+    EXPECT_GT(rep.severedTxns, 0u) << "the weather must still blow";
+}
+
 TEST(PartitionSoak, SeedChangesTheWeather)
 {
     PartitionConfig cfg = soakConfig(CrashMechanism::CxlFork, 120);

@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "mem/bandwidth.hh"
+#include "cxl/fabric_queue.hh"
 #include "porter/autoscaler.hh"
 #include "porter/trace.hh"
 
@@ -205,19 +205,31 @@ TEST_F(PorterFeatureTest, QueueingCountersPopulateUnderOverload)
         << "queued requests must still complete";
 }
 
+// The steady-state contention derivation moved from the (dead)
+// mem::FabricContentionModel into cxl::contendedCosts when the
+// per-request queue model landed. This regression pins the surviving
+// math to its closed form so the ext_scaling golden can never drift:
+// share(n) = 1 / (n * (1 + 0.05 (n-1))), latency *= 1 + 0.12 (n-1).
 TEST(FabricContention, DeratesBandwidthAndInflatesLatency)
 {
-    mem::FabricContentionModel model;
     sim::CostParams base;
-    const auto one = model.contend(base, 1);
+    const auto one = cxl::contendedCosts(base, 1);
     EXPECT_DOUBLE_EQ(one.cxlReadBwGBs, base.cxlReadBwGBs);
     EXPECT_EQ(one.cxlLatency, base.cxlLatency);
 
-    const auto four = model.contend(base, 4);
+    const auto four = cxl::contendedCosts(base, 4);
+    const double share4 = 1.0 / (4.0 * (1.0 + 0.05 * 3.0));
+    EXPECT_DOUBLE_EQ(four.cxlReadBwGBs, base.cxlReadBwGBs * share4);
+    EXPECT_DOUBLE_EQ(four.cxlWriteBwGBs, base.cxlWriteBwGBs * share4);
+    EXPECT_DOUBLE_EQ(four.cxlLatency.toNs(),
+                     base.cxlLatency.toNs() * (1.0 + 0.12 * 3.0));
     EXPECT_LT(four.cxlReadBwGBs, base.cxlReadBwGBs / 3.9);
-    EXPECT_GT(four.cxlLatency, base.cxlLatency);
 
-    const auto eight = model.contend(base, 8);
+    const auto eight = cxl::contendedCosts(base, 8);
+    const double share8 = 1.0 / (8.0 * (1.0 + 0.05 * 7.0));
+    EXPECT_DOUBLE_EQ(eight.cxlReadBwGBs, base.cxlReadBwGBs * share8);
+    EXPECT_DOUBLE_EQ(eight.cxlLatency.toNs(),
+                     base.cxlLatency.toNs() * (1.0 + 0.12 * 7.0));
     EXPECT_LT(eight.cxlReadBwGBs, four.cxlReadBwGBs);
     EXPECT_GT(eight.cxlLatency, four.cxlLatency);
     // Local memory untouched.

@@ -41,6 +41,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L partition
 "$BUILD_DIR/tools/partition_soak"
 "$BUILD_DIR/tools/partition_soak" --mechanism cxlfork --negative
 
+echo "== Running fabric-contention suite (ctest -L contention)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L contention
+# The analytical anchor, run explicitly: the queue's measured mean wait
+# must track the M/D/1 Pollaczek-Khinchine prediction at every swept
+# utilization, or the model's timing story is fiction.
+"$BUILD_DIR/tests/contention_oracle_test" \
+    --gtest_filter='SweptUtilizations/*'
+
 echo "== Running golden-benchmark regression suite (CXLFORK_JOBS=1)"
 CXLFORK_JOBS=1 ctest --test-dir "$BUILD_DIR" --output-on-failure -L golden
 
@@ -61,6 +69,8 @@ for jobs in 1 8; do
         "$BUILD_DIR/bench/bench_ext_speculative" > /dev/null
     CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
         "$BUILD_DIR/bench/bench_ext_partition" > /dev/null
+    CXLFORK_JOBS="$jobs" CXLFORK_WALLCLOCK_JSON="$WALLCLOCK_OUT" \
+        "$BUILD_DIR/bench/bench_ext_contention" > /dev/null
 done
 if ! "$BUILD_DIR/tools/perfcmp" \
         "$REPO_ROOT/tests/perf/BENCH_WALLCLOCK.json" "$WALLCLOCK_OUT" \

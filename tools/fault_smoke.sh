@@ -41,6 +41,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -L partition
 "$BUILD_DIR/tools/partition_soak"
 "$BUILD_DIR/tools/partition_soak" --mechanism cxlfork --negative
 
+echo "== Running fabric-contention suite under ASan/UBSan"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L contention
+
 echo "== Running fault sweep benchmark (nonzero injection) twice"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run1.txt"
 "$BUILD_DIR/bench/bench_ext_faults" > "$BUILD_DIR/faults_run2.txt"

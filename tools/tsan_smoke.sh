@@ -19,16 +19,21 @@ SWEEP_JOBS="${SWEEP_JOBS:-4}"
 # ext_coherence runs directory-armed clusters on every worker thread;
 # ext_speculative trains predictors and decompresses codec pages on
 # every worker thread; ext_partition runs link-model-armed soaks (the
-# whole restore ladder, quarantines included) on every worker thread.
+# whole restore ladder, quarantines included) on every worker thread;
+# ext_contention runs queue-model-armed clusters on every worker
+# thread (each point owns its queue, so TSan proves no cross-point
+# sharing leaked in).
 BENCHES=(bench_fig8_tiering bench_ext_scaling bench_fig10_porter
-         bench_ext_coherence bench_ext_speculative bench_ext_partition)
+         bench_ext_coherence bench_ext_speculative bench_ext_partition
+         bench_ext_contention)
 
 echo "== Configuring TSan build in $BUILD_DIR"
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCXLFORK_TSAN=ON
 cmake --build "$BUILD_DIR" -j "$JOBS" --target "${BENCHES[@]}" \
     sim_threadpool_test property_pagestore_test \
     litmus_coherence_test property_coherence_test \
-    speculative_determinism_test link_health_test partition_soak_test
+    speculative_determinism_test link_health_test partition_soak_test \
+    property_contention_test
 
 echo "== ThreadPool unit test under TSan"
 "$BUILD_DIR/tests/sim_threadpool_test"
@@ -46,6 +51,9 @@ echo "== Predictor determinism (threaded training) under TSan"
 echo "== Link-health units + partition soak under TSan"
 "$BUILD_DIR/tests/link_health_test"
 "$BUILD_DIR/tests/partition_soak_test"
+
+echo "== Fabric-queue shadow fuzz under TSan"
+"$BUILD_DIR/tests/property_contention_test"
 
 for bench in "${BENCHES[@]}"; do
     echo "== $bench under TSan with CXLFORK_JOBS=$SWEEP_JOBS"
